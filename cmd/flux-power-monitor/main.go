@@ -1,0 +1,88 @@
+// Command flux-power-monitor demonstrates the telemetry path end to end:
+// boot a monitored cluster, run a job, and emit the per-job power CSV the
+// paper's client script produces (§III-A) — one row per (node, sample)
+// with a completeness column.
+//
+// Usage:
+//
+//	flux-power-monitor -system lassen -nodes 4 -app quicksilver -job-nodes 4 -size 10
+//	flux-power-monitor -system tioga -nodes 8 -app lammps -job-nodes 8 -o lammps.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fluxpower"
+)
+
+func main() {
+	system := flag.String("system", "lassen", "system model: lassen or tioga")
+	nodes := flag.Int("nodes", 4, "cluster node count")
+	app := flag.String("app", "quicksilver", "application: "+strings.Join(fluxpower.Applications(), ", "))
+	jobNodes := flag.Int("job-nodes", 0, "job node count (default: whole cluster)")
+	size := flag.Float64("size", 1, "problem size factor")
+	reps := flag.Float64("reps", 1, "repetition factor")
+	interval := flag.Duration("interval", 2*time.Second, "sampling interval")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	out := flag.String("o", "", "CSV output path (default: stdout)")
+	flag.Parse()
+
+	if *jobNodes == 0 {
+		*jobNodes = *nodes
+	}
+	c, err := fluxpower.NewCluster(fluxpower.Config{
+		System:                fluxpower.System(*system),
+		Nodes:                 *nodes,
+		Seed:                  *seed,
+		MonitorSampleInterval: *interval,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	id, err := c.Submit(fluxpower.JobSpec{
+		App: *app, Nodes: *jobNodes, SizeFactor: *size, RepFactor: *reps,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if !c.RunUntilIdle(24 * time.Hour) {
+		fatal(fmt.Errorf("job did not finish"))
+	}
+
+	rep, err := c.Report(id)
+	if err != nil {
+		fatal(err)
+	}
+	sum, err := c.JobPowerSummary(id)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"job %d (%s on %d nodes): %.2f s, avg %.1f W/node, max %.1f W, %.1f kJ/node, complete=%v\n",
+		id, rep.App, rep.Nodes, rep.ExecSec, sum.AvgNodePowerW, sum.MaxNodePowerW,
+		sum.AvgEnergyPerNodeJ/1000, sum.Complete)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := c.WriteJobCSV(w, id); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flux-power-monitor:", err)
+	os.Exit(1)
+}

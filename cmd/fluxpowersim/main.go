@@ -1,0 +1,219 @@
+// Command fluxpowersim regenerates the paper's tables and figures from
+// the simulated reproduction. Each experiment prints the same rows/series
+// the paper reports; EXPERIMENTS.md records paper-vs-measured.
+//
+// Usage:
+//
+//	fluxpowersim -exp table4
+//	fluxpowersim -exp all -quick
+//	fluxpowersim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"fluxpower/internal/experiments"
+)
+
+type runner func(opts experiments.Options) (string, error)
+
+var registry = map[string]runner{
+	"fig1": func(o experiments.Options) (string, error) {
+		r, err := experiments.Fig1(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"fig2": func(o experiments.Options) (string, error) {
+		r, err := experiments.Fig2(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"table2": func(o experiments.Options) (string, error) {
+		r, err := experiments.Table2(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"fig3": func(o experiments.Options) (string, error) {
+		r, err := experiments.Fig3(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"fig4": func(o experiments.Options) (string, error) {
+		f3, err := experiments.Fig3(o)
+		if err != nil {
+			return "", err
+		}
+		r, err := experiments.Fig4(f3)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"table3": func(o experiments.Options) (string, error) {
+		r, err := experiments.Table3(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"table4": func(o experiments.Options) (string, error) {
+		r, err := experiments.Table4(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"fig5": func(o experiments.Options) (string, error) {
+		r, err := experiments.Table4(o)
+		if err != nil {
+			return "", err
+		}
+		gemm, qs, err := experiments.Fig5(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTimelines("Fig 5: proportional sharing timeline", gemm, qs), nil
+	},
+	"fig6": func(o experiments.Options) (string, error) {
+		r, err := experiments.Table4(o)
+		if err != nil {
+			return "", err
+		}
+		gemm, qs, err := experiments.Fig6(r)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderTimelines("Fig 6: FPP timeline", gemm, qs), nil
+	},
+	"fig7": func(o experiments.Options) (string, error) {
+		r, err := experiments.Fig7(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"timelines": func(o experiments.Options) (string, error) {
+		rs, err := experiments.AllTimelines(o)
+		if err != nil {
+			return "", err
+		}
+		out := ""
+		for _, r := range rs {
+			out += r.Render() + "\n"
+		}
+		return out, nil
+	},
+	"sweep": func(o experiments.Options) (string, error) {
+		r, err := experiments.BoundSweep(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"queue": func(o experiments.Options) (string, error) {
+		r, err := experiments.Queue(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+}
+
+// csvRegistry covers the experiments with a CSV rendering (-format csv).
+var csvRegistry = map[string]runner{
+	"table2": func(o experiments.Options) (string, error) {
+		r, err := experiments.Table2(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderCSV(), nil
+	},
+	"table3": func(o experiments.Options) (string, error) {
+		r, err := experiments.Table3(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderCSV(), nil
+	},
+	"table4": func(o experiments.Options) (string, error) {
+		r, err := experiments.Table4(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderCSV(), nil
+	},
+	"sweep": func(o experiments.Options) (string, error) {
+		r, err := experiments.BoundSweep(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderCSV(), nil
+	},
+}
+
+func names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run: "+strings.Join(names(), ", ")+", or 'all'")
+	quick := flag.Bool("quick", false, "shrink sweeps/repetitions for a fast run")
+	format := flag.String("format", "text", "output format: text, or csv (table2, table3, table4, sweep)")
+	seed := flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "fluxpowersim: -exp required (or -list); e.g. -exp table4")
+		os.Exit(2)
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	targets := []string{*exp}
+	if *exp == "all" {
+		targets = names()
+	}
+	for _, name := range targets {
+		run, ok := registry[name]
+		if *format == "csv" {
+			if csvRun, csvOK := csvRegistry[name]; csvOK {
+				run, ok = csvRun, true
+			} else {
+				fmt.Fprintf(os.Stderr, "fluxpowersim: %q has no CSV rendering\n", name)
+				os.Exit(2)
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fluxpowersim: unknown experiment %q (have %s)\n", name, strings.Join(names(), ", "))
+			os.Exit(2)
+		}
+		out, err := run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fluxpowersim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s ====\n%s\n", name, out)
+	}
+}

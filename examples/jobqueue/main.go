@@ -1,0 +1,86 @@
+// Jobqueue: the paper's §IV-E scenario — a 10-job queue (Laghos,
+// Quicksilver, LAMMPS, GEMM at 1-8 nodes each) on a power-constrained
+// 16-node allocation, run under proportional sharing and under FPP, then
+// compared on makespan and per-job energy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"fluxpower"
+)
+
+// jobMix mirrors the paper's random mix: 3 Laghos, 2 Quicksilver, 3
+// LAMMPS, 2 GEMM, each requesting 1-8 nodes.
+func jobMix(seed int64) []fluxpower.JobSpec {
+	specs := []fluxpower.JobSpec{
+		{App: "laghos", SizeFactor: 10}, {App: "laghos", SizeFactor: 10}, {App: "laghos", SizeFactor: 10},
+		{App: "quicksilver", SizeFactor: 10}, {App: "quicksilver", SizeFactor: 10},
+		{App: "lammps", RepFactor: 2}, {App: "lammps", RepFactor: 2}, {App: "lammps", RepFactor: 2},
+		{App: "gemm"}, {App: "gemm"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range specs {
+		specs[i].Nodes = 1 + rng.Intn(8)
+		specs[i].Name = fmt.Sprintf("%s-%d", specs[i].App, i)
+	}
+	rng.Shuffle(len(specs), func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
+	return specs
+}
+
+func runQueue(policy fluxpower.Policy, seed int64) (makespan float64, avgEnergyKJ float64) {
+	c, err := fluxpower.NewCluster(fluxpower.Config{
+		System:          fluxpower.Lassen,
+		Nodes:           16,
+		Policy:          policy,
+		GlobalPowerCapW: 16 * 1200,
+		Seed:            seed,
+		SensorNoiseW:    8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	specs := jobMix(seed)
+	ids := make([]fluxpower.JobID, 0, len(specs))
+	for _, s := range specs {
+		id, err := c.Submit(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if !c.RunUntilIdle(6 * time.Hour) {
+		log.Fatal("queue did not drain")
+	}
+	var lastEnd, totalEnergy float64
+	fmt.Printf("\n  %-16s %5s %8s %9s\n", "job", "nodes", "exec_s", "kJ/node")
+	for _, id := range ids {
+		rep, err := c.Report(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.EndSec > lastEnd {
+			lastEnd = rep.EndSec
+		}
+		totalEnergy += rep.EnergyPerNodeJ / 1000
+		fmt.Printf("  %-16s %5d %8.1f %9.1f\n", rep.Name, rep.Nodes, rep.ExecSec, rep.EnergyPerNodeJ/1000)
+	}
+	return lastEnd, totalEnergy / float64(len(ids))
+}
+
+func main() {
+	const seed = 20240601
+	fmt.Println("=== proportional sharing ===")
+	mkProp, eProp := runQueue(fluxpower.PolicyProportional, seed)
+	fmt.Println("\n=== FPP ===")
+	mkFPP, eFPP := runQueue(fluxpower.PolicyFPP, seed)
+
+	fmt.Printf("\nmakespan: proportional %.0f s, fpp %.0f s (paper: identical)\n", mkProp, mkFPP)
+	fmt.Printf("avg energy/node/job: proportional %.2f kJ, fpp %.2f kJ (%.2f%% change)\n",
+		eProp, eFPP, (eFPP-eProp)/eProp*100)
+}

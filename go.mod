@@ -1,0 +1,3 @@
+module fluxpower
+
+go 1.22

@@ -1,0 +1,509 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fluxpower/internal/hw"
+)
+
+// runFullPower drives an instance on simulated Lassen/Tioga nodes at full
+// power with dt ticks and returns (executionSec, avgNodePowerW,
+// maxNodePowerW). It is a miniature of the cluster engine, used here to
+// assert the calibration targets from the paper's tables.
+func runFullPower(t *testing.T, in *Instance, cfg hw.Config) (execSec, avgW, maxW float64) {
+	t.Helper()
+	node, err := hw.NewNode("cal", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.1
+	var sumW float64
+	var samples int
+	for !in.Done() {
+		d := in.Demand(cfg)
+		node.SetDemand(d)
+		act := node.Actual()
+		w := act.NodeW
+		if !cfg.HasNodeSensor {
+			// Tioga-style conservative estimate: CPU + GPUs.
+			w = 0
+			for _, c := range act.CPUW {
+				w += c
+			}
+			for _, g := range act.GPUW {
+				w += g
+			}
+		}
+		sumW += w
+		if w > maxW {
+			maxW = w
+		}
+		samples++
+		rate := in.NodeRate(cfg, d, act)
+		in.Advance(dt, rate)
+		execSec += dt
+		if execSec > 100000 {
+			t.Fatal("instance never finished")
+		}
+	}
+	return execSec, sumW / float64(samples), maxW
+}
+
+func within(t *testing.T, name string, got, want, tolPct float64) {
+	t.Helper()
+	if math.Abs(got-want)/want*100 > tolPct {
+		t.Fatalf("%s: got %.2f, want %.2f ±%.0f%%", name, got, want, tolPct)
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	names := Names()
+	want := []string{"gemm", "kripke", "laghos", "lammps", "nqueens", "quicksilver", "sw4lite"}
+	if len(names) != len(want) {
+		t.Fatalf("catalog: %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("catalog: %v, want %v", names, want)
+		}
+	}
+	for _, name := range names {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := Lookup("hpl"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRegisterCustomProfile(t *testing.T) {
+	custom := lammps
+	custom.Name = "custom-md"
+	if err := Register(custom); err != nil {
+		t.Fatal(err)
+	}
+	defer delete(catalog, "custom-md")
+	if _, err := Lookup("custom-md"); err != nil {
+		t.Fatal(err)
+	}
+	bad := Profile{Name: "bad"}
+	if err := Register(bad); err == nil {
+		t.Fatal("invalid profile registered")
+	}
+}
+
+// TestLAMMPSTable2Lassen pins LAMMPS to Table II: 77.17 s / 1283.74 W at
+// 4 nodes, 46.33 s / 1155.08 W at 8.
+func TestLAMMPSTable2Lassen(t *testing.T) {
+	p, _ := Lookup("lammps")
+	for _, c := range []struct {
+		nodes            int
+		wantSec, wantAvg float64
+	}{
+		{4, 77.17, 1283.74},
+		{8, 46.33, 1155.08},
+	} {
+		in, err := NewInstance(p, hw.ArchIBMPower9, c.nodes, 1, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sec, avg, _ := runFullPower(t, in, hw.LassenConfig())
+		within(t, "lammps time", sec, c.wantSec, 2)
+		within(t, "lammps power", avg, c.wantAvg, 3)
+	}
+}
+
+// TestLAMMPSTable2Tioga pins the Tioga variant: 51.00 s / 1552.40 W at 4
+// nodes (conservative CPU+OAM node estimate).
+func TestLAMMPSTable2Tioga(t *testing.T) {
+	p, _ := Lookup("lammps")
+	in, err := NewInstance(p, hw.ArchAMDTrento, 4, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, avg, _ := runFullPower(t, in, hw.TiogaConfig())
+	within(t, "lammps tioga time", sec, 51.0, 2)
+	within(t, "lammps tioga power", avg, 1552.40, 3)
+}
+
+// TestQuicksilverTable2 pins Quicksilver: 12.78 s / 546.99 W on Lassen,
+// the ~8x HIP anomaly (102.03 s) and 915.82 W on Tioga.
+func TestQuicksilverTable2(t *testing.T) {
+	p, _ := Lookup("quicksilver")
+	in, _ := NewInstance(p, hw.ArchIBMPower9, 4, 1, 1, 1)
+	sec, avg, maxW := runFullPower(t, in, hw.LassenConfig())
+	within(t, "qs time", sec, 12.78, 3)
+	within(t, "qs power", avg, 546.99, 5)
+	within(t, "qs max node power", maxW, 940, 5) // Table IV: 952 W unconstrained
+
+	ti, _ := NewInstance(p, hw.ArchAMDTrento, 4, 1, 1, 1)
+	sec, avg, _ = runFullPower(t, ti, hw.TiogaConfig())
+	within(t, "qs tioga time (HIP anomaly)", sec, 102.03, 3)
+	within(t, "qs tioga power", avg, 915.82, 6)
+}
+
+// TestLaghosTable2 pins Laghos: 12.55 s / 472.91 W Lassen; 26.71 s /
+// 530.87 W Tioga.
+func TestLaghosTable2(t *testing.T) {
+	p, _ := Lookup("laghos")
+	in, _ := NewInstance(p, hw.ArchIBMPower9, 4, 1, 1, 1)
+	sec, avg, _ := runFullPower(t, in, hw.LassenConfig())
+	within(t, "laghos time", sec, 12.55, 3)
+	within(t, "laghos power", avg, 472.91, 4)
+
+	ti, _ := NewInstance(p, hw.ArchAMDTrento, 4, 1, 1, 1)
+	sec, avg, _ = runFullPower(t, ti, hw.TiogaConfig())
+	within(t, "laghos tioga time", sec, 26.71, 3)
+	within(t, "laghos tioga power", avg, 530.87, 5)
+}
+
+// TestGEMMTable4Unconstrained pins GEMM: 548 s, 1523 W max, ~1325 W avg
+// (726 kJ / 548 s) at 6 nodes with doubled repetitions.
+func TestGEMMTable4Unconstrained(t *testing.T) {
+	p, _ := Lookup("gemm")
+	in, _ := NewInstance(p, hw.ArchIBMPower9, 6, 1, 2, 1)
+	sec, avg, maxW := runFullPower(t, in, hw.LassenConfig())
+	within(t, "gemm time", sec, 548, 2)
+	within(t, "gemm max node power", maxW, 1523, 2)
+	within(t, "gemm avg node power", avg, 1325, 3)
+}
+
+// TestGEMMUnderIBMDefaultCap reproduces the headline of Table IV: with
+// IBM's conservative 100 W derived GPU cap (1200 W node cap), GEMM slows
+// to ~1145 s — nearly 2.1x.
+func TestGEMMUnderIBMDefaultCap(t *testing.T) {
+	p, _ := Lookup("gemm")
+	in, _ := NewInstance(p, hw.ArchIBMPower9, 6, 1, 2, 1)
+	cfg := hw.LassenConfig()
+	node, err := hw.NewNode("capped", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.SetNodeCap(1200); err != nil { // derived GPU cap = 100 W
+		t.Fatal(err)
+	}
+	const dt = 0.1
+	sec := 0.0
+	for !in.Done() {
+		d := in.Demand(cfg)
+		node.SetDemand(d)
+		rate := in.NodeRate(cfg, d, node.Actual())
+		in.Advance(dt, rate)
+		sec += dt
+		if sec > 5000 {
+			t.Fatal("did not finish")
+		}
+	}
+	within(t, "gemm @ IBM-1200 time", sec, 1145, 8)
+}
+
+func TestQuicksilverBarelyAffectedByGPUCap(t *testing.T) {
+	// Table IV: Quicksilver 348 s → 359 s (+3%) under the 100 W cap.
+	p, _ := Lookup("quicksilver")
+	cfg := hw.LassenConfig()
+	run := func(capped bool) float64 {
+		in, _ := NewInstance(p, hw.ArchIBMPower9, 2, 27.2, 1, 1)
+		node, _ := hw.NewNode("n", cfg, 1)
+		if capped {
+			if err := node.SetNodeCap(1200); err != nil {
+				t.Fatal(err)
+			}
+		}
+		const dt = 0.1
+		sec := 0.0
+		for !in.Done() {
+			d := in.Demand(cfg)
+			node.SetDemand(d)
+			in.Advance(dt, in.NodeRate(cfg, d, node.Actual()))
+			sec += dt
+		}
+		return sec
+	}
+	base := run(false)
+	capped := run(true)
+	slowdown := (capped - base) / base * 100
+	if slowdown < 0.5 || slowdown > 8 {
+		t.Fatalf("quicksilver slowdown under 100 W cap: %.1f%%, want ~3%%", slowdown)
+	}
+}
+
+func TestResponseRateProperties(t *testing.T) {
+	// Full power → rate 1.
+	if r := ResponseRate(290, 290, 1.2); r != 1 {
+		t.Fatalf("rate at demand = %v", r)
+	}
+	if r := ResponseRate(300, 290, 1.2); r != 1 {
+		t.Fatalf("rate above demand = %v", r)
+	}
+	// No demand → rate 1 (nothing to starve).
+	if r := ResponseRate(0, 0, 1.2); r != 1 {
+		t.Fatalf("rate with zero demand = %v", r)
+	}
+	// Zero power → rate 0.
+	if r := ResponseRate(0, 290, 1.2); r != 0 {
+		t.Fatalf("rate at zero power = %v", r)
+	}
+	// Cube-root region: x=0.872 → ~0.955 (static-1950 GEMM behaviour).
+	r := ResponseRate(253, 290, 1.2)
+	if math.Abs(r-math.Cbrt(253.0/290.0)) > 1e-12 {
+		t.Fatalf("DVFS region rate %v", r)
+	}
+	// Continuity at the knee.
+	lo := ResponseRate(0.49999*290, 290, 1.7)
+	hi := ResponseRate(0.50001*290, 290, 1.7)
+	if math.Abs(lo-hi) > 1e-3 {
+		t.Fatalf("knee discontinuity: %v vs %v", lo, hi)
+	}
+}
+
+// Property: ResponseRate is monotone non-decreasing in actual power and
+// bounded in [0,1].
+func TestQuickResponseRateMonotone(t *testing.T) {
+	f := func(steps uint8, betaRaw uint8) bool {
+		beta := 0.3 + float64(betaRaw%30)/10 // [0.3, 3.3)
+		demand := 290.0
+		prev := -1.0
+		n := int(steps%100) + 2
+		for i := 0; i <= n; i++ {
+			a := demand * float64(i) / float64(n)
+			r := ResponseRate(a, demand, beta)
+			if r < 0 || r > 1 {
+				return false
+			}
+			if r < prev-1e-12 {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalingFactorsMultiplyWork(t *testing.T) {
+	p, _ := Lookup("gemm")
+	base, _ := NewInstance(p, hw.ArchIBMPower9, 6, 1, 1, 1)
+	double, _ := NewInstance(p, hw.ArchIBMPower9, 6, 1, 2, 1)
+	tenX, _ := NewInstance(p, hw.ArchIBMPower9, 6, 10, 1, 1)
+	if math.Abs(double.ExpectedTimeSec()-2*base.ExpectedTimeSec()) > 1e-9 {
+		t.Fatal("RepFactor did not double work")
+	}
+	if math.Abs(tenX.ExpectedTimeSec()-10*base.ExpectedTimeSec()) > 1e-9 {
+		t.Fatal("SizeFactor did not scale work")
+	}
+}
+
+func TestWeakScalingHoldsTimeAndPower(t *testing.T) {
+	p, _ := Lookup("laghos")
+	cfg := hw.LassenConfig()
+	var times, powers []float64
+	for _, n := range []int{1, 4, 32} {
+		in, _ := NewInstance(p, hw.ArchIBMPower9, n, 1, 1, 1)
+		sec, avg, _ := runFullPower(t, in, cfg)
+		times = append(times, sec)
+		powers = append(powers, avg)
+	}
+	for i := 1; i < len(times); i++ {
+		if math.Abs(times[i]-times[0]) > 0.2 {
+			t.Fatalf("weak-scaled times diverge: %v", times)
+		}
+		if math.Abs(powers[i]-powers[0]) > 5 {
+			t.Fatalf("weak-scaled powers diverge: %v", powers)
+		}
+	}
+}
+
+func TestPhaseStretchesUnderCap(t *testing.T) {
+	// The FPP feedback signal: capping Quicksilver's GPUs stretches its
+	// observable power period by exactly 1/rate.
+	p, _ := Lookup("quicksilver")
+	cfg := hw.LassenConfig()
+	period := func(gpuCap float64) float64 {
+		in, _ := NewInstance(p, hw.ArchIBMPower9, 1, 100, 1, 1)
+		node, _ := hw.NewNode("n", cfg, 1)
+		if gpuCap > 0 {
+			for g := 0; g < cfg.GPUs; g++ {
+				if err := node.SetGPUCap(g, gpuCap); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		const dt = 0.05
+		sec := 0.0
+		var highStarts []float64
+		prevHigh := false
+		for sec < 100 {
+			d := in.Demand(cfg)
+			node.SetDemand(d)
+			high := d.GPUW[0] > 100
+			if high && !prevHigh {
+				highStarts = append(highStarts, sec)
+			}
+			prevHigh = high
+			in.Advance(dt, in.NodeRate(cfg, d, node.Actual()))
+			sec += dt
+		}
+		if len(highStarts) < 3 {
+			t.Fatalf("too few phases observed: %v", highStarts)
+		}
+		return (highStarts[len(highStarts)-1] - highStarts[0]) / float64(len(highStarts)-1)
+	}
+	uncapped := period(0)
+	capped := period(100)
+	if math.Abs(uncapped-12) > 0.5 {
+		t.Fatalf("uncapped period %.2f, want ~12 s", uncapped)
+	}
+	if capped <= uncapped+0.5 {
+		t.Fatalf("capped period %.2f did not stretch beyond %.2f", capped, uncapped)
+	}
+}
+
+func TestNQueensCPUOnly(t *testing.T) {
+	p, _ := Lookup("nqueens")
+	cfg := hw.LassenConfig()
+	in, err := NewInstance(p, hw.ArchIBMPower9, 2, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := in.Demand(cfg)
+	for _, g := range d.GPUW {
+		if g > cfg.GPUIdleW {
+			t.Fatalf("NQueens demands GPU power: %v", d.GPUW)
+		}
+	}
+	// GPU caps must not slow it down.
+	node, _ := hw.NewNode("n", cfg, 1)
+	for g := 0; g < cfg.GPUs; g++ {
+		if err := node.SetGPUCap(g, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node.SetDemand(d)
+	if rate := in.NodeRate(cfg, d, node.Actual()); rate != 1 {
+		t.Fatalf("GPU cap slowed CPU-only app: rate=%v", rate)
+	}
+	// No Tioga variant.
+	if _, err := NewInstance(p, hw.ArchAMDTrento, 2, 1, 1, 1); err == nil {
+		t.Fatal("NQueens Tioga variant should not exist")
+	}
+}
+
+func TestOverheadSlowsProgress(t *testing.T) {
+	p, _ := Lookup("laghos")
+	in, _ := NewInstance(p, hw.ArchIBMPower9, 1, 1, 1, 1)
+	in.SetOverhead(0.01)
+	in.Advance(10, 1)
+	if math.Abs(in.Progress()-9.9) > 1e-9 {
+		t.Fatalf("progress with 1%% overhead: %v", in.Progress())
+	}
+	in.SetOverhead(-5) // clamps to 0
+	in.Advance(1, 1)
+	if math.Abs(in.Progress()-10.9) > 1e-9 {
+		t.Fatalf("negative overhead not clamped: %v", in.Progress())
+	}
+}
+
+func TestRemainingSec(t *testing.T) {
+	p, _ := Lookup("laghos")
+	in, _ := NewInstance(p, hw.ArchIBMPower9, 1, 1, 1, 1)
+	total := in.ExpectedTimeSec()
+	if got := in.RemainingSec(1); math.Abs(got-total) > 1e-9 {
+		t.Fatalf("RemainingSec=%v, want %v", got, total)
+	}
+	if !math.IsInf(in.RemainingSec(0), 1) {
+		t.Fatal("zero rate should give infinite remaining time")
+	}
+	in.Advance(total+1, 1)
+	if in.RemainingSec(1) != 0 {
+		t.Fatal("finished job has remaining time")
+	}
+}
+
+func TestInstanceValidation(t *testing.T) {
+	p, _ := Lookup("gemm")
+	if _, err := NewInstance(p, hw.ArchIBMPower9, 0, 1, 1, 1); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	bad := p
+	bad.DutyHigh = 2
+	if _, err := NewInstance(bad, hw.ArchIBMPower9, 1, 1, 1, 1); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestAdvancePanicsOnNegativeDt(t *testing.T) {
+	p, _ := Lookup("gemm")
+	in, _ := NewInstance(p, hw.ArchIBMPower9, 1, 1, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dt accepted")
+		}
+	}()
+	in.Advance(-1, 1)
+}
+
+func TestSW4liteAndKripkeLassenOnly(t *testing.T) {
+	// §V: no HIP variant for SW4lite; Kripke failed on Tioga. Both run on
+	// Lassen and are rejected for Tioga.
+	for _, name := range []string{"sw4lite", "kripke"} {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := NewInstance(p, hw.ArchIBMPower9, 4, 1, 1, 1)
+		if err != nil {
+			t.Fatalf("%s on Lassen: %v", name, err)
+		}
+		sec, avg, _ := runFullPower(t, in, hw.LassenConfig())
+		if sec <= 0 || avg < 400 {
+			t.Fatalf("%s: %v s %v W", name, sec, avg)
+		}
+		if _, err := NewInstance(p, hw.ArchAMDTrento, 4, 1, 1, 1); err == nil {
+			t.Fatalf("%s should have no Tioga variant (§V)", name)
+		}
+	}
+}
+
+// Property: every catalog application's demand stays inside the node's
+// hardware envelope at any node count and any phase position.
+func TestQuickDemandWithinHardwareEnvelope(t *testing.T) {
+	cfg := hw.LassenConfig()
+	f := func(appRaw, nodesRaw uint8, advanceRaw uint16) bool {
+		names := Names()
+		name := names[int(appRaw)%len(names)]
+		p, err := Lookup(name)
+		if err != nil {
+			return false
+		}
+		nodes := int(nodesRaw%32) + 1
+		in, err := NewInstance(p, hw.ArchIBMPower9, nodes, 1, 1, int64(advanceRaw))
+		if err != nil {
+			return false
+		}
+		in.Advance(float64(advanceRaw%1000)/10, 1)
+		d := in.Demand(cfg)
+		for _, g := range d.GPUW {
+			if g < cfg.GPUIdleW-1e-9 || g > cfg.GPUMaxPowerW+1e-9 {
+				return false
+			}
+		}
+		for _, c := range d.CPUW {
+			if c < 0 || c > 400 {
+				return false
+			}
+		}
+		return d.MemW >= 0 && d.MemW <= 300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

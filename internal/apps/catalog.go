@@ -1,0 +1,233 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The catalog holds the five paper applications, calibrated against the
+// published measurements. Each constant cites its target. The Lassen node
+// decomposition assumes the hw.LassenConfig idle floor: 2×50 W CPU, 60 W
+// memory, 4×35 W GPU, 100 W uncore = 400 W node idle (the paper's §IV-C
+// assumption).
+
+// LAMMPS: strongly scaled molecular dynamics, ML-Snap GPU kernels, flat
+// compute-bound power timeline (Fig 1a).
+//
+// Calibration targets (Table II, Lassen):
+//   - 4 nodes: 77.17 s, 1283.74 W/node → per-GPU demand (1283.74-500)/4 ≈ 196 W
+//   - 8 nodes: 46.33 s → StrongTimeExp = ln(77.17/46.33)/ln 2 ≈ 0.736
+//   - 8 nodes: 1155.08 W/node → per-GPU 163.8 W → StrongPowerExp ≈ 0.258
+//   - Tioga: 51.00 s (×0.661), 1552.40 W/node → 280 W CPU + 8×159 W GCD
+var lammps = Profile{
+	Name:           "lammps",
+	Scaling:        Strong,
+	RefTimeSec:     77.17,
+	RefNodes:       4,
+	StrongTimeExp:  0.736,
+	StrongPowerExp: 0.258,
+	CPUActiveW:     150,
+	MemActiveW:     100,
+	GPUHighW:       196,
+	GPULowW:        196, // flat: no phase swings
+	DutyHigh:       1,
+	PeriodSec:      0,
+	GPUWorkFrac:    0.95,
+	Beta:           1.1, // compute-bound: deep caps hurt superlinearly
+
+	TiogaTimeFactor: 0.661,
+	TiogaCPUActiveW: 280,
+	TiogaGPUHighW:   159,
+	TiogaGPULowW:    159,
+}
+
+// GEMM: weakly scaled RajaPerf DGEMM, the most compute-bound workload.
+// Its kernel loop produces a fast, shallow oscillation that reads as
+// "relatively flat" at the monitor's 2 s sampling (Fig 1 discussion) but
+// yields the max-vs-average node power gap of Table IV.
+//
+// Calibration targets (Table IV, unconstrained, 6 nodes, RepFactor 2):
+//   - runtime 548 s → RefTimeSec 274 at 6 nodes
+//   - max node power 1523 W → 360 W base + 4×290 W GPU ≈ 1520 W
+//   - avg energy 726 kJ → avg node ≈ 1325 W → avg GPU ≈ 241 W
+//     (duty 0.65 between 290 W and 150 W)
+//   - IBM-1200 (100 W GPU caps): runtime 1145 s → Beta ≈ 1.95
+//     (0.65/r_high + 0.35/r_low = 1145/548 with the 0.5 DVFS knee)
+var gemm = Profile{
+	Name:             "gemm",
+	Scaling:          Weak,
+	RefTimeSec:       274,
+	RefNodes:         6,
+	CPUActiveW:       100,
+	MemActiveW:       60,
+	GPUHighW:         290,
+	GPULowW:          150,
+	DutyHigh:         0.65,
+	PeriodSec:        3.7, // sub-sampling-rate, heavily jittered: aperiodic to an FFT
+	PeriodJitterFrac: 0.45,
+	GPUWorkFrac:      1.0,
+	Beta:             1.95,
+
+	TiogaTimeFactor: 0.8,
+	TiogaCPUActiveW: 250,
+	TiogaGPUHighW:   200,
+	TiogaGPULowW:    140,
+}
+
+// Quicksilver: weakly scaled Monte Carlo transport with pronounced
+// periodic phase behaviour (Fig 1b) — the application FPP is built for.
+//
+// Calibration targets:
+//   - Table II (Lassen, 4 nodes): 12.78 s, 546.99 W/node
+//     → base 280 W + 4×(0.244·165 + 0.756·35) ≈ 547 W
+//   - Table IV: max node power ~952 W → base + 4×165 = 940 W
+//   - capping to 100 W GPU slows it only ~3% (Table IV 348→359 s)
+//     → Beta 0.5 (not compute-bound)
+//   - Tioga: 102.03 s vs 12.78 s (×7.98): the unresolved HIP variant
+//     anomaly (§IV-A); 915.82 W/node → 200 W CPU + 8 GCDs peaking 227 W
+var quicksilver = Profile{
+	Name:             "quicksilver",
+	Scaling:          Weak,
+	RefTimeSec:       12.78,
+	RefNodes:         4,
+	CPUActiveW:       60,
+	MemActiveW:       60,
+	GPUHighW:         165,
+	GPULowW:          35,
+	DutyHigh:         0.244,
+	PeriodSec:        12, // resolvable in FPP's FFT window at 2 s sampling
+	PeriodJitterFrac: 0.05,
+	GPUWorkFrac:      1.0,
+	Beta:             0.5,
+
+	TiogaTimeFactor: 7.98,
+	TiogaCPUActiveW: 200,
+	TiogaGPUHighW:   227,
+	TiogaGPULowW:    45,
+}
+
+// Laghos: weakly scaled high-order FEM hydrodynamics. Mostly CPU-resident
+// with very minor GPU phase swings ("spends most of the time on the CPU
+// and very little on the GPU", §II-D).
+//
+// Calibration targets (Table II, Lassen 4 nodes): 12.55 s, 472.91 W/node
+// → 160 W CPU + 70 W mem + 100 W uncore + 4×~36 W GPU.
+// Tioga: 26.71 s (×2.128), 530.87 W → 180 W CPU + 8 GCDs near idle.
+var laghos = Profile{
+	Name:             "laghos",
+	Scaling:          Weak,
+	RefTimeSec:       12.55,
+	RefNodes:         4,
+	CPUActiveW:       80,
+	MemActiveW:       70,
+	GPUHighW:         50,
+	GPULowW:          35,
+	DutyHigh:         0.06,
+	PeriodSec:        8,
+	PeriodJitterFrac: 0.15,
+	GPUWorkFrac:      0.25,
+	Beta:             0.5,
+
+	TiogaTimeFactor: 2.128,
+	TiogaCPUActiveW: 180,
+	TiogaGPUHighW:   50,
+	TiogaGPULowW:    45,
+}
+
+// NQueens: CPU-only Charm++ chessboard solver (§II-D, Fig 7) — the
+// non-MPI demonstration workload. GPUs stay at idle; power capping only
+// affects it through CPU throttling.
+//
+// No published runtime; 180 s at 2 nodes is chosen to overlap GEMM in the
+// Fig 7 scenario. Lassen-only (the paper did not run it on Tioga).
+var nqueens = Profile{
+	Name:        "nqueens",
+	Scaling:     Weak,
+	RefTimeSec:  180,
+	RefNodes:    2,
+	CPUActiveW:  170,
+	MemActiveW:  80,
+	GPUHighW:    0, // clamps to the GPU idle floor
+	GPULowW:     0,
+	DutyHigh:    1,
+	PeriodSec:   0,
+	GPUWorkFrac: 0,
+	Beta:        1,
+}
+
+var catalog = map[string]Profile{
+	lammps.Name:      lammps,
+	gemm.Name:        gemm,
+	quicksilver.Name: quicksilver,
+	laghos.Name:      laghos,
+	nqueens.Name:     nqueens,
+	sw4lite.Name:     sw4lite,
+	kripke.Name:      kripke,
+}
+
+// Lookup returns the profile for an application name.
+func Lookup(name string) (Profile, error) {
+	p, ok := catalog[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("apps: unknown application %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Names lists the catalog's application names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for name := range catalog {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register adds or replaces a profile in the catalog — the hook for
+// modelling site-specific applications beyond the paper's five.
+func Register(p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	catalog[p.Name] = p
+	return nil
+}
+
+// SW4lite: seismic wave propagation proxy. The paper could not obtain a
+// HIP variant for Tioga (§V: "we could not obtain a HIP variant for
+// SW4lite"), so the profile is Lassen-only — requesting it on Tioga
+// fails, reproducing the paper's experience. Lassen constants follow the
+// app's published GPU-resident character (no per-run paper measurements
+// exist, so these are representative, not calibrated).
+var sw4lite = Profile{
+	Name:        "sw4lite",
+	Scaling:     Weak,
+	RefTimeSec:  95,
+	RefNodes:    4,
+	CPUActiveW:  110,
+	MemActiveW:  90,
+	GPUHighW:    240,
+	GPULowW:     120,
+	DutyHigh:    0.6,
+	PeriodSec:   9,
+	GPUWorkFrac: 0.85,
+	Beta:        1.0,
+}
+
+// Kripke: deterministic Sn transport proxy. "Kripke execution failed on
+// the Tioga system" (§V) — Lassen-only here for the same reason.
+var kripke = Profile{
+	Name:        "kripke",
+	Scaling:     Weak,
+	RefTimeSec:  60,
+	RefNodes:    4,
+	CPUActiveW:  130,
+	MemActiveW:  110,
+	GPUHighW:    180,
+	GPULowW:     90,
+	DutyHigh:    0.5,
+	PeriodSec:   14,
+	GPUWorkFrac: 0.7,
+	Beta:        0.8,
+}

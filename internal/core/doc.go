@@ -1,0 +1,9 @@
+// Package core groups the paper's primary contribution: the
+// flux-power-monitor module (subpackage powermon), the flux-power-manager
+// module with its proportional-sharing policy (subpackage powermgr), and
+// the FFT-based dynamic power policy FPP (subpackage fpp).
+//
+// Everything else in internal/ is substrate — the Flux broker/TBON, the
+// Variorum layer, the simulated hardware and applications — built so these
+// three packages could be implemented exactly as the paper describes them.
+package core

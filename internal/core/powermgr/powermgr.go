@@ -1,0 +1,710 @@
+// Package powermgr implements flux-power-manager, the paper's
+// hierarchical, state-aware job power management module (§III-B).
+//
+// Three levels, as in the paper:
+//
+//   - The cluster-level-manager (rank 0) holds the global power
+//     constraint and allocates power to jobs in proportion to their node
+//     counts (§III-B1). Unconstrained systems get the theoretical peak
+//     per node and no capping.
+//   - The job-level-manager (also rank 0) splits each job's allocation
+//     evenly over its nodes and pushes the node-level power limit to each
+//     node over the TBON.
+//   - The node-level-manager (every rank) enforces its limit through
+//     Variorum, tracks node power on its own sampling timer, and — under
+//     the FPP policy — runs one fpp.Controller per GPU to adjust caps
+//     dynamically.
+//
+// Enforcement detail learned from the paper's Table III/IV: trusting the
+// vendor's node-level capping alone is wasteful, because IBM's firmware
+// derives an extremely conservative GPU cap from a node cap. The manager
+// therefore sets a fixed vendor node cap only as a hardware *backstop*
+// (1950 W, the value the paper found tracks a 9.6 kW cluster bound) and
+// enforces the real limit itself with per-GPU caps sized from the paper's
+// measured ~400 W idle reserve.
+package powermgr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fluxpower/internal/core/fpp"
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/job"
+	"fluxpower/internal/flux/msg"
+	"fluxpower/internal/hw"
+	"fluxpower/internal/simtime"
+	"fluxpower/internal/variorum"
+)
+
+// ModuleName is the manager's registered module/service name.
+const ModuleName = "power-manager"
+
+// Policy selects how node-level limits are enforced.
+type Policy string
+
+// Policies.
+const (
+	// PolicyNone performs no capping (the unconstrained baseline).
+	PolicyNone Policy = "none"
+	// PolicyStatic sets a fixed vendor node-level cap on every node and
+	// lets the vendor firmware derive GPU caps — the IBM-default baseline
+	// of Tables III/IV.
+	PolicyStatic Policy = "static"
+	// PolicyProportional enforces the proportional-sharing allocation
+	// with manager-derived per-GPU caps (§III-B1).
+	PolicyProportional Policy = "proportional"
+	// PolicyFPP is proportional sharing plus the per-GPU FFT controller
+	// (§III-B2).
+	PolicyFPP Policy = "fpp"
+)
+
+// Config configures the manager (same struct on every rank).
+type Config struct {
+	// Policy selects the enforcement scheme.
+	Policy Policy
+	// GlobalCapW is the cluster-level power bound; 0 = unconstrained.
+	GlobalCapW float64
+	// StaticNodeCapW is the per-node vendor cap under PolicyStatic.
+	StaticNodeCapW float64
+	// BackstopNodeCapW is the vendor node cap installed as a safety
+	// backstop under proportional/FPP (default 1950 W).
+	BackstopNodeCapW float64
+	// IdleReserveW is the per-node power reserved for CPU/memory/uncore
+	// when deriving GPU caps from a node limit (default 400 W, the
+	// paper's measured idle).
+	IdleReserveW float64
+	// SampleInterval is the node-level manager's power tracking period
+	// (default 2 s).
+	SampleInterval time.Duration
+	// FPP carries Algorithm 1's constants (zero values = paper defaults).
+	FPP fpp.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = PolicyNone
+	}
+	if c.BackstopNodeCapW == 0 {
+		c.BackstopNodeCapW = 1950
+	}
+	if c.IdleReserveW == 0 {
+		c.IdleReserveW = 400
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 2 * time.Second
+	}
+	return c
+}
+
+// Allocation is one job's power grant.
+type Allocation struct {
+	JobID     uint64  `json:"jobid"`
+	Ranks     []int32 `json:"ranks"`
+	PerNodeW  float64 `json:"per_node_w"`
+	JobLimitW float64 `json:"job_limit_w"`
+	Policy    Policy  `json:"policy"`
+}
+
+// Manager is the power-manager module. Load one per rank; the rank-0
+// instance runs the cluster- and job-level managers.
+type Manager struct {
+	cfg Config
+	ctx *broker.Context
+
+	mu sync.Mutex
+
+	// Node-level state.
+	node        *hw.Node
+	nodeLimitW  float64
+	nodePolicy  Policy
+	fppCtrls    []*fpp.Controller
+	capWrites   uint64 // diagnostics: Variorum cap calls issued
+	capRetries  uint64 // writes re-issued after verification failed (§V)
+	capFailures uint64 // writes that never took effect despite retries
+
+	// Cluster-level state (rank 0 only).
+	allocs map[uint64]*Allocation
+}
+
+// New creates a manager module instance.
+func New(cfg Config) *Manager {
+	return &Manager{cfg: cfg.withDefaults(), allocs: make(map[uint64]*Allocation)}
+}
+
+// Name implements broker.Module.
+func (m *Manager) Name() string { return ModuleName }
+
+// Shutdown implements broker.Module: releases any caps it installed.
+func (m *Manager) Shutdown() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clearCapsLocked()
+	return nil
+}
+
+// Init implements broker.Module.
+func (m *Manager) Init(ctx *broker.Context) error {
+	m.ctx = ctx
+	node, ok := ctx.Local().(*hw.Node)
+	if !ok {
+		return fmt.Errorf("powermgr: rank %d broker has no hardware node attached", ctx.Rank())
+	}
+	m.node = node
+
+	if err := ctx.RegisterService("power-manager.node", m.handleNode); err != nil {
+		return err
+	}
+	// Node-level power tracking "in a separate thread" (§III-B): the
+	// sampling timer feeding the FPP controllers.
+	if _, err := ctx.Every(m.cfg.SampleInterval, m.onSample); err != nil {
+		return err
+	}
+
+	if ctx.Rank() == 0 {
+		if err := ctx.RegisterService("power-manager.status", m.handleStatus); err != nil {
+			return err
+		}
+		if err := ctx.RegisterService("power-manager.setglobal", m.handleSetGlobal); err != nil {
+			return err
+		}
+		ctx.Subscribe(job.EventStart, m.onJobStart)
+		ctx.Subscribe(job.EventFinish, m.onJobFinish)
+		// PolicyStatic caps every node once, up front: that is exactly
+		// what a site does with the IBM default mechanism. Deferred one
+		// timer tick so that node-level managers on the other ranks have
+		// finished loading before the RPCs arrive.
+		if m.cfg.Policy == PolicyStatic && m.cfg.StaticNodeCapW > 0 {
+			if _, err := ctx.After(time.Millisecond, func(simtime.Time) {
+				for rank := int32(0); rank < ctx.Size(); rank++ {
+					m.sendNodeLimit(rank, 0, m.cfg.StaticNodeCapW, PolicyStatic)
+				}
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	// The FPP interval timer is always armed: even on clusters whose
+	// default is proportional, individual jobs may request FPP. It is a
+	// no-op while no controllers exist.
+	ival := m.cfg.FPP.CapIntervalSec
+	if ival == 0 {
+		ival = fpp.Default().CapIntervalSec
+	}
+	if _, err := ctx.Every(time.Duration(ival*float64(time.Second)), m.onFPPInterval); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ---- Cluster-level manager (rank 0) ----
+
+// onJobStart implements §III-B1's admission: give the new job the maximum
+// possible per-node power if the remaining budget covers it, otherwise
+// redistribute P_G/(N_k + N_i) to every job.
+func (m *Manager) onJobStart(ev *msg.Message) {
+	if m.cfg.Policy == PolicyNone || m.cfg.Policy == PolicyStatic {
+		return
+	}
+	var rec job.Record
+	if err := ev.Unmarshal(&rec); err != nil {
+		return
+	}
+	m.mu.Lock()
+	maxPerNode := m.maxNodePower()
+	alloc := &Allocation{
+		JobID:  rec.ID,
+		Ranks:  append([]int32(nil), rec.Ranks...),
+		Policy: m.resolveJobPolicy(rec.Spec.PowerPolicy),
+	}
+	if m.cfg.GlobalCapW <= 0 {
+		alloc.PerNodeW = maxPerNode
+		m.allocs[rec.ID] = alloc
+		m.mu.Unlock()
+		m.pushAllocation(alloc)
+		return
+	}
+	used := 0.0
+	totalNodes := len(rec.Ranks)
+	for _, a := range m.allocs {
+		used += a.PerNodeW * float64(len(a.Ranks))
+		totalNodes += len(a.Ranks)
+	}
+	avail := m.cfg.GlobalCapW - used
+	if avail >= maxPerNode*float64(len(rec.Ranks)) {
+		alloc.PerNodeW = maxPerNode
+		m.allocs[rec.ID] = alloc
+		m.mu.Unlock()
+		m.pushAllocation(alloc)
+		return
+	}
+	// Insufficient: proportional redistribution across all jobs.
+	perNode := m.cfg.GlobalCapW / float64(totalNodes)
+	if perNode > maxPerNode {
+		perNode = maxPerNode
+	}
+	m.allocs[rec.ID] = alloc
+	var push []*Allocation
+	for _, a := range m.allocs {
+		a.PerNodeW = perNode
+		push = append(push, a)
+	}
+	m.mu.Unlock()
+	sort.Slice(push, func(i, j int) bool { return push[i].JobID < push[j].JobID })
+	for _, a := range push {
+		m.pushAllocation(a)
+	}
+}
+
+// onJobFinish reclaims a finished job's power and redistributes it.
+func (m *Manager) onJobFinish(ev *msg.Message) {
+	if m.cfg.Policy == PolicyNone || m.cfg.Policy == PolicyStatic {
+		return
+	}
+	var rec job.Record
+	if err := ev.Unmarshal(&rec); err != nil {
+		return
+	}
+	m.mu.Lock()
+	a, ok := m.allocs[rec.ID]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.allocs, rec.ID)
+	released := a.Ranks
+	maxPerNode := m.maxNodePower()
+	totalNodes := 0
+	for _, al := range m.allocs {
+		totalNodes += len(al.Ranks)
+	}
+	var push []*Allocation
+	if totalNodes > 0 {
+		perNode := maxPerNode
+		if m.cfg.GlobalCapW > 0 {
+			perNode = m.cfg.GlobalCapW / float64(totalNodes)
+			if perNode > maxPerNode {
+				perNode = maxPerNode
+			}
+		}
+		for _, al := range m.allocs {
+			al.PerNodeW = perNode
+			push = append(push, al)
+		}
+	}
+	m.mu.Unlock()
+
+	// Release caps on the finished job's nodes...
+	for _, rank := range released {
+		m.sendNodeLimit(rank, rec.ID, 0, a.Policy)
+	}
+	// ...and reclaim: remaining jobs get the freed power (Fig 5).
+	sort.Slice(push, func(i, j int) bool { return push[i].JobID < push[j].JobID })
+	for _, al := range push {
+		m.pushAllocation(al)
+	}
+}
+
+// maxNodePower returns the per-node theoretical peak used for
+// unconstrained allocation.
+func (m *Manager) maxNodePower() float64 {
+	cfg := m.node.Config()
+	if cfg.MaxNodePowerW > 0 {
+		return cfg.MaxNodePowerW
+	}
+	// No published node maximum (Tioga): derive a peak from components.
+	return float64(cfg.Sockets)*300 + float64(cfg.GPUs)*cfg.GPUMaxPowerW
+}
+
+// pushAllocation is the job-level manager: equal split across the job's
+// nodes (the allocation is already per-node) pushed to each node-level
+// manager over the TBON.
+func (m *Manager) pushAllocation(a *Allocation) {
+	a.JobLimitW = a.PerNodeW * float64(len(a.Ranks))
+	for _, rank := range a.Ranks {
+		m.sendNodeLimit(rank, a.JobID, a.PerNodeW, a.Policy)
+	}
+}
+
+// resolveJobPolicy maps a job's requested power policy onto the manager's
+// configuration: jobs may choose between the dynamic policies; anything
+// else (or no request) uses the cluster default.
+func (m *Manager) resolveJobPolicy(requested string) Policy {
+	switch Policy(requested) {
+	case PolicyProportional, PolicyFPP:
+		return Policy(requested)
+	default:
+		return m.cfg.Policy
+	}
+}
+
+type nodeLimitRequest struct {
+	Op     string  `json:"op"`
+	JobID  uint64  `json:"jobid"`
+	LimitW float64 `json:"limit_w"`
+	Policy Policy  `json:"policy"`
+}
+
+func (m *Manager) sendNodeLimit(rank int32, jobID uint64, limitW float64, policy Policy) {
+	_ = m.ctx.RPC(rank, "power-manager.node.setlimit", nodeLimitRequest{
+		Op: "setlimit", JobID: jobID, LimitW: limitW, Policy: policy,
+	}, func(resp *msg.Message) {
+		// Failures (e.g. capping disabled on this architecture) are
+		// reported but not fatal: telemetry keeps working, as on Tioga.
+	})
+}
+
+// handleSetGlobal changes the cluster power bound at runtime.
+func (m *Manager) handleSetGlobal(req *broker.Request) {
+	var body struct {
+		Watts float64 `json:"watts"`
+	}
+	if err := req.Msg.Unmarshal(&body); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	if body.Watts < 0 {
+		_ = req.Fail(msg.EINVAL, "powermgr: negative global cap")
+		return
+	}
+	m.mu.Lock()
+	m.cfg.GlobalCapW = body.Watts
+	maxPerNode := m.maxNodePower()
+	totalNodes := 0
+	for _, a := range m.allocs {
+		totalNodes += len(a.Ranks)
+	}
+	var push []*Allocation
+	if totalNodes > 0 {
+		perNode := maxPerNode
+		if body.Watts > 0 {
+			perNode = body.Watts / float64(totalNodes)
+			if perNode > maxPerNode {
+				perNode = maxPerNode
+			}
+		}
+		for _, a := range m.allocs {
+			a.PerNodeW = perNode
+			push = append(push, a)
+		}
+	}
+	m.mu.Unlock()
+	sort.Slice(push, func(i, j int) bool { return push[i].JobID < push[j].JobID })
+	for _, a := range push {
+		m.pushAllocation(a)
+	}
+	_ = req.Respond(map[string]float64{"watts": body.Watts})
+}
+
+// handleStatus reports current allocations.
+func (m *Manager) handleStatus(req *broker.Request) {
+	m.mu.Lock()
+	out := make([]Allocation, 0, len(m.allocs))
+	for _, a := range m.allocs {
+		out = append(out, *a)
+	}
+	global := m.cfg.GlobalCapW
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	_ = req.Respond(map[string]any{
+		"policy":       m.cfg.Policy,
+		"global_cap_w": global,
+		"allocations":  out,
+	})
+}
+
+// ---- Node-level manager (every rank) ----
+
+func (m *Manager) handleNode(req *broker.Request) {
+	switch req.Msg.Topic {
+	case "power-manager.node.setlimit":
+		m.handleSetLimit(req)
+	case "power-manager.node.info":
+		m.handleNodeInfo(req)
+	default:
+		_ = req.Fail(msg.ENOSYS, fmt.Sprintf("powermgr: unknown operation %q", req.Msg.Topic))
+	}
+}
+
+func (m *Manager) handleSetLimit(req *broker.Request) {
+	var body nodeLimitRequest
+	if err := req.Msg.Unmarshal(&body); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	policy := body.Policy
+	if policy == "" {
+		policy = m.cfg.Policy
+	}
+	m.mu.Lock()
+	err := m.enforceLocked(body.LimitW, policy)
+	m.mu.Unlock()
+	if err != nil {
+		_ = req.Fail(msg.EPERM, err.Error())
+		return
+	}
+	_ = req.Respond(map[string]any{"rank": m.ctx.Rank(), "limit_w": body.LimitW})
+}
+
+// enforceLocked applies a node-level power limit (0 releases) under the
+// given policy — per-job, so two jobs on one cluster can run different
+// dynamic policies.
+func (m *Manager) enforceLocked(limitW float64, policy Policy) error {
+	m.nodeLimitW = limitW
+	m.nodePolicy = policy
+	caps := variorum.QueryCapabilities(m.node)
+	if limitW == 0 {
+		m.clearCapsLocked()
+		return nil
+	}
+	switch policy {
+	case PolicyStatic:
+		// Vendor mechanism only: one node-level cap, firmware derives
+		// the GPU caps (the conservative IBM behaviour under test).
+		m.capWrites++
+		return variorum.CapBestEffortNodePowerLimit(m.node, limitW)
+	case PolicyProportional, PolicyFPP:
+		// A limit at (or above) the node's peak is the unconstrained case:
+		// "it allocates the theoretical peak power to each node and
+		// performs no power capping" (§III-B).
+		if limitW >= m.maxNodePower() {
+			m.clearCapsLocked()
+			return nil
+		}
+		if caps.NodeCap {
+			backstop := m.cfg.BackstopNodeCapW
+			if backstop > caps.NodeMaxW {
+				backstop = caps.NodeMaxW
+			}
+			if backstop > 0 {
+				m.capWrites++
+				if err := m.node.SetNodeCap(backstop); err != nil {
+					return err
+				}
+			}
+		}
+		if !caps.GPUCap {
+			return fmt.Errorf("powermgr: rank %d: GPU capping not available on %s", m.ctx.Rank(), caps.Arch)
+		}
+		gpuCap := m.deriveGPUCap(limitW, caps)
+		if policy == PolicyFPP {
+			return m.startFPPLocked(gpuCap, caps)
+		}
+		m.fppCtrls = nil
+		for g := 0; g < caps.GPUs; g++ {
+			if err := m.writeGPUCapVerified(g, gpuCap); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// deriveGPUCap turns a node-level limit into the manager's per-GPU cap:
+// (limit - idle reserve) / #GPUs, clamped to the device range.
+func (m *Manager) deriveGPUCap(limitW float64, caps variorum.Capabilities) float64 {
+	if caps.GPUs == 0 {
+		return 0
+	}
+	w := (limitW - m.cfg.IdleReserveW) / float64(caps.GPUs)
+	if w > caps.GPUMaxW {
+		w = caps.GPUMaxW
+	}
+	if w < caps.GPUMinW {
+		w = caps.GPUMinW
+	}
+	return w
+}
+
+// writeGPUCapVerified issues an NVML cap write and verifies it took
+// effect, retrying on silent failure. Section V reports that on some
+// Lassen nodes GPU cap writes intermittently failed, "either picking up
+// the last set power cap or defaulting to the maximum power cap" — a
+// production-grade manager cannot trust a successful return code alone.
+// Verification reads the device-reported cap back (what nvidia-smi
+// shows) and compares it with the request.
+func (m *Manager) writeGPUCapVerified(gpu int, watts float64) error {
+	const maxAttempts = 3
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		m.capWrites++
+		if err := variorum.CapGPUPowerLimit(m.node, gpu, watts); err != nil {
+			return err
+		}
+		if m.node.ReportedGPUCap(gpu) == watts {
+			return nil
+		}
+		m.capRetries++
+	}
+	m.capFailures++
+	return nil // keep managing the other GPUs; the failure is reported via node.info
+}
+
+// startFPPLocked (re)initializes per-GPU controllers at the derived cap.
+func (m *Manager) startFPPLocked(gpuCap float64, caps variorum.Capabilities) error {
+	fppCfg := m.cfg.FPP
+	if fppCfg.MaxGPUCapW == 0 {
+		fppCfg.MaxGPUCapW = caps.GPUMaxW
+	}
+	if fppCfg.MinGPUCapW == 0 {
+		fppCfg.MinGPUCapW = caps.GPUMinW
+	}
+	if fppCfg.SampleIntervalSec == 0 {
+		fppCfg.SampleIntervalSec = m.cfg.SampleInterval.Seconds()
+	}
+	if len(m.fppCtrls) != caps.GPUs {
+		m.fppCtrls = make([]*fpp.Controller, caps.GPUs)
+	}
+	for g := 0; g < caps.GPUs; g++ {
+		if m.fppCtrls[g] == nil {
+			ctrl, err := fpp.New(fppCfg, gpuCap)
+			if err != nil {
+				return err
+			}
+			m.fppCtrls[g] = ctrl
+		} else {
+			m.fppCtrls[g].SetLimit(gpuCap)
+		}
+		if err := m.writeGPUCapVerified(g, m.fppCtrls[g].Cap()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clearCapsLocked removes everything this manager installed.
+func (m *Manager) clearCapsLocked() {
+	cfg := m.node.Config()
+	if cfg.NodeCapSupported {
+		m.capWrites++
+		_ = m.node.SetNodeCap(0)
+	}
+	if cfg.GPUCapSupported {
+		for g := 0; g < cfg.GPUs; g++ {
+			m.capWrites++
+			_ = m.node.SetGPUCap(g, 0)
+		}
+	}
+	m.fppCtrls = nil
+}
+
+// onSample feeds the FPP controllers with per-GPU telemetry.
+func (m *Manager) onSample(now simtime.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.fppCtrls) == 0 {
+		return
+	}
+	r := m.node.Read(now)
+	per := r.GPUsPerSensor
+	if per <= 0 {
+		per = 1
+	}
+	for g, ctrl := range m.fppCtrls {
+		if ctrl == nil {
+			continue
+		}
+		sensor := g / per
+		if sensor < len(r.GPUW) {
+			ctrl.Observe(r.GPUW[sensor] / float64(per))
+		}
+	}
+}
+
+// onFPPInterval runs Algorithm 1's MAIN loop pass on each GPU.
+func (m *Manager) onFPPInterval(now simtime.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.nodeLimitW == 0 {
+		return
+	}
+	for g, ctrl := range m.fppCtrls {
+		if ctrl == nil {
+			continue
+		}
+		capW, changed := ctrl.Interval()
+		if changed {
+			_ = m.writeGPUCapVerified(g, capW)
+		}
+	}
+}
+
+func (m *Manager) handleNodeInfo(req *broker.Request) {
+	m.mu.Lock()
+	info := map[string]any{
+		"rank":         m.ctx.Rank(),
+		"limit_w":      m.nodeLimitW,
+		"policy":       m.nodePolicy,
+		"cap_writes":   m.capWrites,
+		"cap_retries":  m.capRetries,
+		"cap_failures": m.capFailures,
+		"node_cap_w":   m.node.NodeCap(),
+	}
+	var gpuCaps []float64
+	cfg := m.node.Config()
+	for g := 0; g < cfg.GPUs; g++ {
+		gpuCaps = append(gpuCaps, m.node.EffectiveGPUCap(g))
+	}
+	info["gpu_caps_w"] = gpuCaps
+	var fppCaps []float64
+	var fppConv []bool
+	for _, ctrl := range m.fppCtrls {
+		if ctrl != nil {
+			fppCaps = append(fppCaps, ctrl.Cap())
+			fppConv = append(fppConv, ctrl.Converged())
+		}
+	}
+	if fppCaps != nil {
+		info["fpp_caps_w"] = fppCaps
+		info["fpp_converged"] = fppConv
+	}
+	m.mu.Unlock()
+	_ = req.Respond(info)
+}
+
+// Client wraps the manager's rank-0 services.
+type Client struct {
+	b *broker.Broker
+}
+
+// NewClient attaches a power-manager client.
+func NewClient(b *broker.Broker) *Client { return &Client{b: b} }
+
+// Status returns the cluster-level allocation table.
+func (c *Client) Status() (policy Policy, globalW float64, allocs []Allocation, err error) {
+	resp, err := c.b.Call(msg.NodeAny, "power-manager.status", nil)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	var body struct {
+		Policy      Policy       `json:"policy"`
+		GlobalCapW  float64      `json:"global_cap_w"`
+		Allocations []Allocation `json:"allocations"`
+	}
+	if err := resp.Unmarshal(&body); err != nil {
+		return "", 0, nil, err
+	}
+	return body.Policy, body.GlobalCapW, body.Allocations, nil
+}
+
+// SetGlobalCap changes the cluster power bound.
+func (c *Client) SetGlobalCap(watts float64) error {
+	_, err := c.b.Call(msg.NodeAny, "power-manager.setglobal", map[string]float64{"watts": watts})
+	return err
+}
+
+// NodeInfo fetches a node-level manager's state.
+func (c *Client) NodeInfo(rank int32) (map[string]any, error) {
+	resp, err := c.b.Call(rank, "power-manager.node.info", nil)
+	if err != nil {
+		return nil, err
+	}
+	var body map[string]any
+	if err := resp.Unmarshal(&body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

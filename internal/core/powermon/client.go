@@ -1,0 +1,167 @@
+package powermon
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/msg"
+	"fluxpower/internal/stats"
+	"fluxpower/internal/variorum"
+)
+
+// Client is the external telemetry client — the role the paper's Python
+// script plays: given a job identifier, fetch the job's aggregated power
+// data from the root-agent and render it as a CSV.
+//
+// In the simulation the client attaches to a broker directly (normally
+// rank 0, like a client connecting to the system instance's local socket).
+type Client struct {
+	b *broker.Broker
+}
+
+// NewClient attaches a telemetry client to a broker.
+func NewClient(b *broker.Broker) *Client { return &Client{b: b} }
+
+// Query fetches a job's power data.
+func (c *Client) Query(jobID uint64) (JobPower, error) {
+	resp, err := c.b.Call(msg.NodeAny, "power-monitor.query", map[string]uint64{"jobid": jobID})
+	if err != nil {
+		return JobPower{}, err
+	}
+	var jp JobPower
+	if err := resp.Unmarshal(&jp); err != nil {
+		return JobPower{}, err
+	}
+	return jp, nil
+}
+
+// CSVHeader is the column layout of WriteCSV.
+var CSVHeader = []string{
+	"jobid", "app", "rank", "hostname", "timestamp_sec",
+	"node_power_watts", "cpu_power_watts", "mem_power_watts", "gpu_power_watts",
+	"gpu_devices", "complete",
+}
+
+// WriteCSV renders the job power data as the paper's client does: one row
+// per (node, sample), with a completeness column saying whether that
+// node's buffer still held the job's full window. Sensors the platform
+// lacks render as -1 (the Variorum convention).
+func WriteCSV(w io.Writer, jp JobPower) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	for _, node := range jp.Nodes {
+		for _, s := range node.Samples {
+			gpuList := ""
+			for i, g := range s.GPUWatts {
+				if i > 0 {
+					gpuList += ";"
+				}
+				gpuList += strconv.FormatFloat(g, 'f', 1, 64)
+			}
+			row := []string{
+				strconv.FormatUint(jp.JobID, 10),
+				jp.App,
+				strconv.FormatInt(int64(node.Rank), 10),
+				node.Hostname,
+				f(s.Timestamp),
+				f(s.NodeWatts),
+				f(s.CPUWatts()),
+				f(s.MemWatts()),
+				f(s.TotalGPUWatts()),
+				gpuList,
+				strconv.FormatBool(node.Complete),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary condenses a JobPower into the per-job figures the paper's
+// tables report: averaged per-node power and energy over the sampled
+// window.
+type Summary struct {
+	JobID       uint64
+	App         string
+	NodeCount   int
+	DurationSec float64
+	// AvgNodePowerW averages each node's mean measured power.
+	AvgNodePowerW float64
+	// MaxNodePowerW is the peak single-sample node power across nodes.
+	MaxNodePowerW float64
+	// AvgEnergyPerNodeJ integrates each node's power over the window and
+	// averages across nodes (Table II's "Avg. Energy (per-node)").
+	AvgEnergyPerNodeJ float64
+	// Per-component averages across nodes and samples; -1 where the
+	// platform cannot measure (Tioga memory).
+	AvgCPUW, AvgMemW, AvgGPUW float64
+	Complete                  bool
+}
+
+// Summarize reduces the per-sample data. It returns an error when no node
+// contributed any samples (job shorter than a sampling interval).
+func Summarize(jp JobPower) (Summary, error) {
+	s := Summary{JobID: jp.JobID, App: jp.App, NodeCount: len(jp.Nodes), Complete: jp.Complete()}
+	end := jp.EndSec
+	if end > jp.StartSec {
+		s.DurationSec = end - jp.StartSec
+	}
+	var nodeMeans, nodeEnergies, cpuMeans, memMeans, gpuMeans []float64
+	for _, node := range jp.Nodes {
+		if len(node.Samples) == 0 {
+			continue
+		}
+		var ts, pw, cw, mw, gw []float64
+		memSupported := true
+		for _, p := range node.Samples {
+			ts = append(ts, p.Timestamp)
+			pw = append(pw, p.TotalWatts())
+			cw = append(cw, p.CPUWatts())
+			if p.MemWatts() == variorum.Unsupported {
+				memSupported = false
+			} else {
+				mw = append(mw, p.MemWatts())
+			}
+			gw = append(gw, p.TotalGPUWatts())
+			if p.TotalWatts() > s.MaxNodePowerW {
+				s.MaxNodePowerW = p.TotalWatts()
+			}
+		}
+		nodeMeans = append(nodeMeans, stats.MustMean(pw))
+		cpuMeans = append(cpuMeans, stats.MustMean(cw))
+		if memSupported && len(mw) > 0 {
+			memMeans = append(memMeans, stats.MustMean(mw))
+		}
+		gpuMeans = append(gpuMeans, stats.MustMean(gw))
+		if len(ts) >= 2 {
+			e, err := stats.TrapezoidIntegral(ts, pw)
+			if err == nil {
+				nodeEnergies = append(nodeEnergies, e)
+			}
+		}
+	}
+	if len(nodeMeans) == 0 {
+		return s, fmt.Errorf("powermon: job %d produced no samples", jp.JobID)
+	}
+	s.AvgNodePowerW = stats.MustMean(nodeMeans)
+	s.AvgCPUW = stats.MustMean(cpuMeans)
+	s.AvgGPUW = stats.MustMean(gpuMeans)
+	if len(memMeans) > 0 {
+		s.AvgMemW = stats.MustMean(memMeans)
+	} else {
+		s.AvgMemW = variorum.Unsupported
+	}
+	if len(nodeEnergies) > 0 {
+		s.AvgEnergyPerNodeJ = stats.MustMean(nodeEnergies)
+	}
+	return s, nil
+}

@@ -1,0 +1,68 @@
+package powermon
+
+import (
+	"testing"
+	"time"
+
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/hw"
+)
+
+// TestLiveModeSampling runs the unmodified monitor module on a live TCP
+// TBON with wall-clock timers — the deployment shape of the paper's
+// production system. The node-agents sample concurrently on real timers;
+// a collect RPC crosses real sockets.
+func TestLiveModeSampling(t *testing.T) {
+	nodes := make([]*hw.Node, 3)
+	for i := range nodes {
+		n, err := hw.NewNode("live", hw.LassenConfig(), int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.SetDemand(hw.Demand{
+			CPUW: []float64{150, 150},
+			MemW: 80,
+			GPUW: []float64{200, 200, 200, 200},
+		})
+		nodes[i] = n
+	}
+	li, err := broker.NewLiveInstance(broker.InstanceOptions{
+		Size:  3,
+		Local: func(rank int32) any { return nodes[rank] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+	if err := li.LoadModuleAll(func(rank int32) broker.Module {
+		return New(Config{SampleInterval: 10 * time.Millisecond})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(200 * time.Millisecond) // real time: ~20 samples per node
+
+	for rank := int32(0); rank < 3; rank++ {
+		resp, err := broker.CallWait(li.Root(), rank, "power-monitor.collect",
+			map[string]float64{"start_sec": 0, "end_sec": 3600}, 5*time.Second)
+		if err != nil {
+			t.Fatalf("rank %d collect over TCP: %v", rank, err)
+		}
+		var ns NodeSamples
+		if err := resp.Unmarshal(&ns); err != nil {
+			t.Fatal(err)
+		}
+		if len(ns.Samples) < 5 {
+			t.Fatalf("rank %d collected %d samples in 200ms at 10ms interval", rank, len(ns.Samples))
+		}
+		if !ns.Complete {
+			t.Fatal("fresh ring reported partial")
+		}
+		// 2x150 CPU + 80 mem + 4x200 GPU + 100 uncore = 1280 W.
+		for _, s := range ns.Samples {
+			if s.TotalWatts() < 1270 || s.TotalWatts() > 1290 {
+				t.Fatalf("live sample %v W, want 1280", s.TotalWatts())
+			}
+		}
+	}
+}

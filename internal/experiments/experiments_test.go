@@ -1,0 +1,607 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/stats"
+)
+
+// The experiment tests pin the paper's qualitative results: orderings,
+// crossovers and rough factors, per the reproduction brief. Absolute
+// tolerances are generous where the paper's own numbers scatter.
+
+func TestFig1Timelines(t *testing.T) {
+	res, err := Fig1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LAMMPS) < 20 || len(res.Quicksilver) < 20 {
+		t.Fatalf("timeline lengths: lammps=%d qs=%d", len(res.LAMMPS), len(res.Quicksilver))
+	}
+	// LAMMPS: flat and high (compute bound). Coefficient of variation of
+	// node power must be small; mean ~1620 W on one node.
+	var lam []float64
+	for _, p := range res.LAMMPS {
+		lam = append(lam, p.NodeW)
+	}
+	lamMean := stats.MustMean(lam)
+	lamSD, _ := stats.StdDev(lam)
+	if lamMean < 1400 || lamMean > 1800 {
+		t.Fatalf("LAMMPS 1-node mean power %.0f", lamMean)
+	}
+	if lamSD/lamMean > 0.05 {
+		t.Fatalf("LAMMPS power not flat: cv=%.3f", lamSD/lamMean)
+	}
+	// Quicksilver: pronounced swings between a low (~480 W) and a high
+	// (~940 W) level.
+	var qs []float64
+	for _, p := range res.Quicksilver {
+		qs = append(qs, p.NodeW)
+	}
+	qsMin, _ := stats.Min(qs)
+	qsMax, _ := stats.Max(qs)
+	if qsMax-qsMin < 300 {
+		t.Fatalf("Quicksilver swings too small: %.0f..%.0f", qsMin, qsMax)
+	}
+	if r := res.Render(); !strings.Contains(r, "Fig 1a") || !strings.Contains(r, "Fig 1b") {
+		t.Fatal("render missing sections")
+	}
+}
+
+func TestFig2ScalingShapes(t *testing.T) {
+	res, err := Fig2(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weak-scaled apps hold per-node power flat across node counts.
+	for _, app := range []string{"gemm", "quicksilver", "laghos"} {
+		r1, ok1 := res.Row(cluster.Lassen, app, 1)
+		r8, ok8 := res.Row(cluster.Lassen, app, 8)
+		if !ok1 || !ok8 {
+			t.Fatalf("%s rows missing", app)
+		}
+		if !stats.WithinPercent(r1.NodeW, r8.NodeW, 5) {
+			t.Fatalf("%s weak scaling: %0.f W @1 node vs %.0f W @8", app, r1.NodeW, r8.NodeW)
+		}
+	}
+	// LAMMPS (strong) draws less per-node power at higher node counts,
+	// and the reduction comes from the GPU level (§IV-A).
+	l1, _ := res.Row(cluster.Lassen, "lammps", 1)
+	l8, _ := res.Row(cluster.Lassen, "lammps", 8)
+	if l8.NodeW >= l1.NodeW {
+		t.Fatalf("lammps power did not decline: %.0f → %.0f", l1.NodeW, l8.NodeW)
+	}
+	if l8.GPUW >= l1.GPUW {
+		t.Fatalf("lammps GPU power did not decline: %.0f → %.0f", l1.GPUW, l8.GPUW)
+	}
+	// Tioga consumes more absolute power than Lassen for the same app and
+	// node count (8 GPUs vs 4, §IV-A).
+	for _, app := range []string{"lammps", "gemm", "quicksilver"} {
+		lassen, _ := res.Row(cluster.Lassen, app, 4)
+		tioga, ok := res.Row(cluster.Tioga, app, 4)
+		if !ok {
+			continue
+		}
+		if tioga.NodeW <= lassen.NodeW {
+			t.Fatalf("%s: tioga %.0f W not above lassen %.0f W", app, tioga.NodeW, lassen.NodeW)
+		}
+	}
+	// Tioga cannot measure memory power.
+	tr, _ := res.Row(cluster.Tioga, "lammps", 4)
+	if tr.MemW != -1 {
+		t.Fatalf("tioga memory power should be -1, got %v", tr.MemW)
+	}
+}
+
+func TestTable2PaperValues(t *testing.T) {
+	res, err := Table2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(app string, nodes int, lassenSec, tiogaSec, lassenW, tiogaW, tolPct float64) {
+		t.Helper()
+		row, ok := res.Row(app, nodes)
+		if !ok {
+			t.Fatalf("%s@%d missing", app, nodes)
+		}
+		for _, c := range []struct {
+			name      string
+			got, want float64
+		}{
+			{"lassen_s", row.LassenSec, lassenSec},
+			{"tioga_s", row.TiogaSec, tiogaSec},
+			{"lassen_W", row.LassenAvgW, lassenW},
+			{"tioga_W", row.TiogaAvgW, tiogaW},
+		} {
+			if !stats.WithinPercent(c.want, c.got, tolPct) {
+				t.Fatalf("%s@%d %s: got %.2f, want %.2f ±%.0f%%", app, nodes, c.name, c.got, c.want, tolPct)
+			}
+		}
+	}
+	// Paper Table II values.
+	check("lammps", 4, 77.17, 51.00, 1283.74, 1552.40, 6)
+	check("lammps", 8, 46.33, 29.67, 1155.08, 1388.99, 8)
+	check("laghos", 4, 12.55, 26.71, 472.91, 530.87, 8)
+	check("laghos", 8, 12.62, 26.81, 469.59, 532.28, 8)
+	check("quicksilver", 4, 12.78, 102.03, 546.99, 915.82, 8)
+	check("quicksilver", 8, 13.63, 106.15, 559.64, 924.85, 10)
+
+	// LAMMPS energy improves on Tioga (paper: −21.5%); Laghos energy is
+	// higher on Tioga (doubled task count).
+	lam, _ := res.Row("lammps", 4)
+	if lam.TiogaEnergyKJ >= lam.LassenEnergyKJ {
+		t.Fatalf("lammps energy should improve on Tioga: %.1f vs %.1f", lam.TiogaEnergyKJ, lam.LassenEnergyKJ)
+	}
+	saving := (lam.LassenEnergyKJ - lam.TiogaEnergyKJ) / lam.LassenEnergyKJ * 100
+	if saving < 10 || saving > 35 {
+		t.Fatalf("lammps Tioga energy saving %.1f%%, paper ~21.5%%", saving)
+	}
+	lag, _ := res.Row("laghos", 4)
+	if lag.TiogaEnergyKJ <= lag.LassenEnergyKJ {
+		t.Fatal("laghos energy should increase on Tioga")
+	}
+	// Quicksilver energy flagged incomparable (HIP anomaly).
+	qs, _ := res.Row("quicksilver", 4)
+	if qs.EnergyComparable {
+		t.Fatal("quicksilver energy should be flagged incomparable")
+	}
+	if !strings.Contains(res.Render(), "HIP") {
+		t.Fatal("render should carry the HIP footnote")
+	}
+}
+
+func TestFig3OverheadHeadline(t *testing.T) {
+	res, err := Fig3(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Headline: low average overhead on both systems. The paper reports
+	// 1.2% (Lassen, jitter-dominated) and 0.04% (Tioga); with finite
+	// repetitions the estimate is noisy, so bound loosely.
+	lassen := res.AverageOverhead(cluster.Lassen)
+	tioga := res.AverageOverhead(cluster.Tioga)
+	if math.Abs(lassen) > 4 {
+		t.Fatalf("lassen average overhead %.2f%%, want small", lassen)
+	}
+	if math.Abs(tioga) > 0.5 {
+		t.Fatalf("tioga average overhead %.2f%%, want ~0.04%%", tioga)
+	}
+	if !strings.Contains(res.Render(), "average overhead") {
+		t.Fatal("render missing summary")
+	}
+}
+
+func TestFig4VariabilityAtLowNodeCounts(t *testing.T) {
+	f3, err := Fig3(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4, err := Fig4(f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f4.Rows) == 0 {
+		t.Fatal("no box plots")
+	}
+	// The paper observed >20% spread for Laghos/Quicksilver at 1-2 Lassen
+	// nodes even without the monitor.
+	if f4.MaxSpreadPercent() < 15 {
+		t.Fatalf("max run-to-run spread %.1f%%, want >15%%", f4.MaxSpreadPercent())
+	}
+	for _, row := range f4.Rows {
+		if row.Box.Min > row.Box.Median || row.Box.Median > row.Box.Max {
+			t.Fatalf("invalid box: %+v", row)
+		}
+	}
+	_ = f4.Render()
+}
+
+func TestTable3IBMConservatism(t *testing.T) {
+	res, err := Table3(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derived GPU caps match the paper exactly: 300/100/216/253.
+	for _, c := range []struct{ nodeCap, gpuCap float64 }{
+		{3050, 300}, {1200, 100}, {1800, 216}, {1950, 253},
+	} {
+		row, ok := res.Row(c.nodeCap)
+		if !ok {
+			t.Fatalf("row %v missing", c.nodeCap)
+		}
+		if math.Abs(row.DerivedGPUCapW-c.gpuCap) > 1 {
+			t.Fatalf("node cap %v: derived GPU cap %.1f, want %v", c.nodeCap, row.DerivedGPUCapW, c.gpuCap)
+		}
+	}
+	// Unconstrained: max usage far below the 24.4 kW worst case (paper
+	// measured 10.66 kW).
+	unc, _ := res.Row(3050)
+	if unc.MaxClusterKW > 12 || unc.MaxClusterKW < 9 {
+		t.Fatalf("unconstrained max %.2f kW, paper 10.66", unc.MaxClusterKW)
+	}
+	// IBM's 1200 W cap is extremely conservative: max usage well below
+	// the 9.6 kW bound (paper 6.05 kW).
+	r1200, _ := res.Row(1200)
+	if r1200.MaxClusterKW > 7 {
+		t.Fatalf("1200 W cap max %.2f kW, want ≪9.6 (paper 6.05)", r1200.MaxClusterKW)
+	}
+	// 1950 W brings usage close to the bound (paper 9.5 kW).
+	r1950, _ := res.Row(1950)
+	if r1950.MaxClusterKW < 9 || r1950.MaxClusterKW > 10.6 {
+		t.Fatalf("1950 W cap max %.2f kW, paper 9.5", r1950.MaxClusterKW)
+	}
+	// Monotone: deeper caps, less power.
+	r1800, _ := res.Row(1800)
+	if !(r1200.MaxClusterKW < r1800.MaxClusterKW && r1800.MaxClusterKW < r1950.MaxClusterKW && r1950.MaxClusterKW <= unc.MaxClusterKW) {
+		t.Fatalf("max power not monotone: %v %v %v %v", r1200.MaxClusterKW, r1800.MaxClusterKW, r1950.MaxClusterKW, unc.MaxClusterKW)
+	}
+	// The 1800 W sweet spot: GEMM energy lower than at 1950 W (§IV-C).
+	if r1800.GEMMEnergyPerNodeKJ >= r1950.GEMMEnergyPerNodeKJ {
+		t.Fatalf("1800 W not energy-optimal: %.0f vs %.0f kJ", r1800.GEMMEnergyPerNodeKJ, r1950.GEMMEnergyPerNodeKJ)
+	}
+	_ = res.Render()
+}
+
+func TestTable4PolicyComparison(t *testing.T) {
+	res, err := Table4(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unc, _ := res.Row(CaseUnconstrained)
+	ibm, _ := res.Row(CaseIBMDefault)
+	st, _ := res.Row(CaseStatic1950)
+	prop, _ := res.Row(CaseProportional)
+	fpp, _ := res.Row(CaseFPP)
+
+	// Paper values: unconstrained GEMM 548 s / 726 kJ; IBM default slows
+	// GEMM ~2.1x.
+	if !stats.WithinPercent(548, unc.GEMMSec, 4) {
+		t.Fatalf("unconstrained GEMM %.0f s, want 548", unc.GEMMSec)
+	}
+	if !stats.WithinPercent(726, unc.GEMMEnergyKJ, 5) {
+		t.Fatalf("unconstrained GEMM %.0f kJ, want 726", unc.GEMMEnergyKJ)
+	}
+	if !stats.WithinPercent(1145, ibm.GEMMSec, 6) {
+		t.Fatalf("IBM-default GEMM %.0f s, want 1145", ibm.GEMMSec)
+	}
+	// Quicksilver is barely affected by any policy (≤6% spread).
+	for _, row := range res.Rows {
+		if !stats.WithinPercent(unc.QSSec, row.QSSec, 6) {
+			t.Fatalf("%s QS time %.0f s, unconstrained %.0f", row.Case, row.QSSec, unc.QSSec)
+		}
+	}
+	// Energy ordering (paper: IBM 805 > unconstrained 726 > static 652 >
+	// prop 612 ≥ FPP 598).
+	if !(ibm.GEMMEnergyKJ > unc.GEMMEnergyKJ &&
+		unc.GEMMEnergyKJ > st.GEMMEnergyKJ &&
+		st.GEMMEnergyKJ > prop.GEMMEnergyKJ) {
+		t.Fatalf("GEMM energy ordering broken: ibm=%.0f unc=%.0f static=%.0f prop=%.0f",
+			ibm.GEMMEnergyKJ, unc.GEMMEnergyKJ, st.GEMMEnergyKJ, prop.GEMMEnergyKJ)
+	}
+	// FPP tracks proportional closely (paper's delta is 1.2%, within its
+	// own run variance; see EXPERIMENTS.md).
+	if !stats.WithinPercent(prop.GEMMEnergyKJ, fpp.GEMMEnergyKJ, 2.5) {
+		t.Fatalf("FPP GEMM energy %.0f diverges from prop %.0f", fpp.GEMMEnergyKJ, prop.GEMMEnergyKJ)
+	}
+	if !stats.WithinPercent(prop.GEMMSec, fpp.GEMMSec, 2.5) {
+		t.Fatalf("FPP GEMM time %.0f diverges from prop %.0f", fpp.GEMMSec, prop.GEMMSec)
+	}
+	// Headline: vs IBM default, the dynamic policies save ~20% energy
+	// with a large speedup (paper: 19-20%, 1.58-1.59x).
+	saving := (ibm.GEMMEnergyKJ - prop.GEMMEnergyKJ) / ibm.GEMMEnergyKJ * 100
+	if saving < 12 || saving > 30 {
+		t.Fatalf("prop vs IBM energy saving %.1f%%, paper ~19%%", saving)
+	}
+	speedup := ibm.GEMMSec / fpp.GEMMSec
+	if speedup < 1.4 || speedup > 2.3 {
+		t.Fatalf("FPP vs IBM speedup %.2fx, paper ~1.58x", speedup)
+	}
+	// Max node power: GEMM under the 1950 W policies peaks at the
+	// firmware-derived 253 W GPU ceiling (paper 1325-1343 W).
+	for _, row := range []Table4Row{st, prop, fpp} {
+		if row.GEMMMaxNodeW < 1250 || row.GEMMMaxNodeW > 1450 {
+			t.Fatalf("%s GEMM max node power %.0f W, paper ~1330", row.Case, row.GEMMMaxNodeW)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestFig5ProportionalReclaim(t *testing.T) {
+	res, err := Table4(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gemmTL, qsTL, err := Fig5(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gemmTL) < 50 || len(qsTL) < 50 {
+		t.Fatalf("timeline lengths: %d %d", len(gemmTL), len(qsTL))
+	}
+	// GEMM receives additional power once Quicksilver exits: average
+	// node power after t=360 s must exceed the average before t=340 s.
+	prop, _ := res.Row(CaseProportional)
+	var before, after []float64
+	for _, p := range gemmTL {
+		switch {
+		case p.TimeSec < prop.QSSec-10:
+			before = append(before, p.NodeW)
+		case p.TimeSec > prop.QSSec+10:
+			after = append(after, p.NodeW)
+		}
+	}
+	if len(before) == 0 || len(after) == 0 {
+		t.Fatal("timeline windows empty")
+	}
+	mBefore := stats.MustMean(before)
+	mAfter := stats.MustMean(after)
+	if mAfter <= mBefore+50 {
+		t.Fatalf("GEMM power did not step up on reclaim: %.0f → %.0f W", mBefore, mAfter)
+	}
+	_ = RenderTimelines("Fig 5", gemmTL, qsTL)
+}
+
+func TestFig6FPPTimeline(t *testing.T) {
+	res, err := Table4(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gemmTL, qsTL, err := Fig6(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gemmTL) < 50 || len(qsTL) < 20 {
+		t.Fatalf("timeline lengths: %d %d", len(gemmTL), len(qsTL))
+	}
+	// Quicksilver under FPP keeps its periodic swings (FPP converges
+	// without squeezing it).
+	var qsP []float64
+	for _, p := range qsTL {
+		qsP = append(qsP, p.NodeW)
+	}
+	qsMin, _ := stats.Min(qsP)
+	qsMax, _ := stats.Max(qsP)
+	if qsMax-qsMin < 250 {
+		t.Fatalf("QS swings flattened under FPP: %.0f..%.0f", qsMin, qsMax)
+	}
+}
+
+func TestFig7NonMPICapping(t *testing.T) {
+	res, err := Fig7(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GEMM power drops when the Charm++ job enters (§IV-F).
+	if res.GEMMPowerDuringW >= res.GEMMPowerBeforeW-30 {
+		t.Fatalf("GEMM power did not drop: %.0f → %.0f W", res.GEMMPowerBeforeW, res.GEMMPowerDuringW)
+	}
+	if res.NQueensStartSec < 100 {
+		t.Fatalf("NQueens entered too early: %.0f s", res.NQueensStartSec)
+	}
+	if len(res.NQueensTimeline) == 0 {
+		t.Fatal("NQueens timeline empty")
+	}
+	// NQueens is CPU-only: its node GPU power stays near idle (4x35 W).
+	for _, p := range res.NQueensTimeline {
+		if p.TotalGPU > 200 {
+			t.Fatalf("NQueens node GPU power %.0f W, should stay near idle", p.TotalGPU)
+		}
+	}
+	if !strings.Contains(res.Render(), "NQueens") {
+		t.Fatal("render missing NQueens")
+	}
+}
+
+func TestQueueMakespanAndEnergy(t *testing.T) {
+	res, err := Queue(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §IV-E: identical makespan under both policies.
+	if !stats.WithinPercent(res.Proportional.MakespanSec, res.FPP.MakespanSec, 1) {
+		t.Fatalf("makespans diverge: prop %.0f s vs fpp %.0f s",
+			res.Proportional.MakespanSec, res.FPP.MakespanSec)
+	}
+	if res.Proportional.MakespanSec < 300 {
+		t.Fatalf("queue too short to be meaningful: %.0f s", res.Proportional.MakespanSec)
+	}
+	// FPP's energy within a small band of proportional (paper: 1.26%
+	// improvement; our deterministic run lands within ±2%).
+	improvement := res.EnergyImprovementPercent()
+	if math.Abs(improvement) > 2.5 {
+		t.Fatalf("FPP energy improvement %.2f%%, want |x| ≤ 2.5", improvement)
+	}
+	// All ten jobs ran under both policies.
+	if len(res.Proportional.JobEnergiesKJ) != 10 || len(res.FPP.JobEnergiesKJ) != 10 {
+		t.Fatalf("job counts: %d / %d", len(res.Proportional.JobEnergiesKJ), len(res.FPP.JobEnergiesKJ))
+	}
+	_ = res.Render()
+}
+
+func TestQueueJobMixComposition(t *testing.T) {
+	specs := QueueJobMix(7)
+	if len(specs) != 10 {
+		t.Fatalf("mix size %d", len(specs))
+	}
+	count := map[string]int{}
+	for _, s := range specs {
+		count[s.App]++
+		if s.Nodes < 1 || s.Nodes > 8 {
+			t.Fatalf("node count %d outside 1-8", s.Nodes)
+		}
+	}
+	if count["laghos"] != 3 || count["quicksilver"] != 2 || count["lammps"] != 3 || count["gemm"] != 2 {
+		t.Fatalf("mix composition: %v", count)
+	}
+	// Seeded: same seed, same mix.
+	again := QueueJobMix(7)
+	for i := range specs {
+		if specs[i] != again[i] {
+			t.Fatal("mix not reproducible")
+		}
+	}
+}
+
+func TestBoundSweepCrossover(t *testing.T) {
+	res, err := BoundSweep(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	// GEMM runtime is monotone non-increasing as the bound rises.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].GEMMSec > res.Rows[i-1].GEMMSec+1 {
+			t.Fatalf("GEMM time not monotone: %.0f kW %.0f s -> %.1f kW %.0f s",
+				res.Rows[i-1].BoundKW, res.Rows[i-1].GEMMSec, res.Rows[i].BoundKW, res.Rows[i].GEMMSec)
+		}
+	}
+	// The crossover sits near the workload's natural ~11 kW peak (Table
+	// III): bounds >= ~11.2 kW cost only the manager's 1950 W backstop
+	// (GPUs ceilinged at the firmware-derived 253 W, ~3% on GEMM), 9.6 kW
+	// costs a bit more, 4.8 kW costs a lot.
+	cross, ok := res.Crossover(4)
+	if !ok {
+		t.Fatal("no crossover found")
+	}
+	if cross < 9 || cross > 14 {
+		t.Fatalf("crossover at %.1f kW, want ~11", cross)
+	}
+	tight := res.Rows[0]               // 4.8 kW
+	loose := res.Rows[len(res.Rows)-1] // unconstrained
+	if tight.GEMMSec < loose.GEMMSec*1.3 {
+		t.Fatalf("4.8 kW bound barely hurt GEMM: %.0f vs %.0f s", tight.GEMMSec, loose.GEMMSec)
+	}
+	// Bound enforcement has two documented leaks, both visible here and
+	// both rooted in the paper's own design:
+	//  1. Hardware floor: nodes cannot go below base power plus the
+	//     100 W NVML minimum per GPU (GEMM nodes ~760 W, QS ~680 W →
+	//     ~6.9 kW for this mix; cf. the paper's 1000 W minimum hard
+	//     node cap). Bounds below the floor are unenforceable.
+	//  2. Idle-node draw: §III-B1 allocates P_G across *job* nodes only,
+	//     so after a job finishes the remaining jobs absorb its power
+	//     while the freed nodes still draw ~400 W idle each.
+	const hwFloorKW = 7.0
+	const idleLeakKW = 2 * 0.4 // up to 2 freed nodes at ~400 W idle
+	for _, row := range res.Rows {
+		if row.BoundKW >= hwFloorKW && row.MaxClusterKW > row.BoundKW+idleLeakKW+0.1 {
+			t.Fatalf("bound %.1f kW violated beyond the idle-node allowance: max %.2f kW",
+				row.BoundKW, row.MaxClusterKW)
+		}
+		if row.BoundKW < hwFloorKW && row.MaxClusterKW <= row.BoundKW {
+			t.Fatalf("bound %.1f kW below the hardware floor was reported as held (%.2f kW)",
+				row.BoundKW, row.MaxClusterKW)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestAllTimelinesCharacter(t *testing.T) {
+	results, err := AllTimelines(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("%d timelines", len(results))
+	}
+	spread := func(r *TimelineResult) float64 {
+		// Trim the boundary samples: the first/last can straddle the
+		// job's start/end instants and catch the idle node.
+		pts := r.Points
+		if len(pts) > 4 {
+			pts = pts[1 : len(pts)-1]
+		}
+		var xs []float64
+		for _, p := range pts {
+			xs = append(xs, p.NodeW)
+		}
+		mn, _ := stats.Min(xs)
+		mx, _ := stats.Max(xs)
+		return mx - mn
+	}
+	byApp := map[string]*TimelineResult{}
+	for _, r := range results {
+		byApp[r.App] = r
+	}
+	// §II-D: "GEMM, LAMMPS and NQueens have a relatively flat power
+	// timeline without any swings" — GEMM's fast shallow kernel loop is
+	// modest at 2 s sampling; LAMMPS and NQueens are truly flat.
+	for _, app := range []string{"lammps", "nqueens"} {
+		if s := spread(byApp[app]); s > 60 {
+			t.Fatalf("%s swing %.0f W, should be flat", app, s)
+		}
+	}
+	// "Only Quicksilver depicts periodic phase behavior" — big swings.
+	if s := spread(byApp["quicksilver"]); s < 300 {
+		t.Fatalf("quicksilver swing %.0f W, should be pronounced", s)
+	}
+	// "Laghos has some phase behavior, albeit very minor in terms of the
+	// magnitude of swings".
+	lagS := spread(byApp["laghos"])
+	if lagS < 5 || lagS > 120 {
+		t.Fatalf("laghos swing %.0f W, should be minor but visible", lagS)
+	}
+	// NQueens is CPU-only: GPU power pinned at idle throughout.
+	for _, p := range byApp["nqueens"].Points {
+		if p.TotalGPU > 150 {
+			t.Fatalf("nqueens GPU power %.0f W", p.TotalGPU)
+		}
+	}
+}
+
+// TestFPPTracksProportionalAcrossSeeds backs the EXPERIMENTS.md
+// divergence note statistically: over several seeds, FPP's GEMM energy
+// stays within a small band of proportional sharing's.
+func TestFPPTracksProportionalAcrossSeeds(t *testing.T) {
+	var deltas []float64
+	for seed := int64(1); seed <= 4; seed++ {
+		prop, err := runTable4Case(Options{Seed: seed * 1000}, CaseProportional)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fpp, err := runTable4Case(Options{Seed: seed * 1000}, CaseFPP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltas = append(deltas, stats.PercentChange(prop.GEMMEnergyKJ, fpp.GEMMEnergyKJ))
+	}
+	mean := stats.MustMean(deltas)
+	if math.Abs(mean) > 2 {
+		t.Fatalf("mean FPP-vs-prop energy delta %.2f%% across seeds %v", mean, deltas)
+	}
+	for _, d := range deltas {
+		if math.Abs(d) > 4 {
+			t.Fatalf("seed outlier: deltas %v", deltas)
+		}
+	}
+}
+
+func TestCSVRenderers(t *testing.T) {
+	t3, err := Table3(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := t3.RenderCSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 5 { // header + 4 cap rows
+		t.Fatalf("table3 CSV lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "use_case,node_cap_W,") {
+		t.Fatalf("table3 CSV header: %q", lines[0])
+	}
+	// Cells containing commas are quoted.
+	if !strings.Contains(csv, `"power-constr. 1200 W"`) && !strings.Contains(csv, "power-constr. 1200 W") {
+		t.Fatalf("row content missing: %s", csv)
+	}
+	sweep, err := BoundSweep(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Split(strings.TrimSpace(sweep.RenderCSV()), "\n"); len(got) != 4 {
+		t.Fatalf("sweep CSV lines: %d", len(got))
+	}
+}

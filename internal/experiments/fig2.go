@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/flux/job"
+)
+
+// Fig2Row is one bar group in Figure 2: an application at a node count on
+// one system, with the monitor's per-component power averages.
+type Fig2Row struct {
+	System  cluster.System
+	App     string
+	Nodes   int
+	NodeW   float64 // measured node power (conservative estimate on Tioga)
+	CPUW    float64
+	MemW    float64 // -1 where unsupported
+	GPUW    float64
+	ExecSec float64
+}
+
+// Fig2Result reproduces Figure 2: power for LAMMPS, GEMM, Quicksilver and
+// Laghos scaled 1-32 nodes on Lassen and 1-8 on Tioga.
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// Fig2 runs each (system, app, node count) job on a fresh monitored
+// cluster and aggregates through the flux-power-monitor pipeline.
+func Fig2(opts Options) (*Fig2Result, error) {
+	opts = opts.withDefaults()
+	lassenCounts := []int{1, 2, 4, 8, 16, 32}
+	tiogaCounts := []int{1, 2, 4, 8}
+	if opts.Quick {
+		lassenCounts = []int{1, 4, 8}
+		tiogaCounts = []int{1, 4}
+	}
+	apps := []string{"lammps", "gemm", "quicksilver", "laghos"}
+	res := &Fig2Result{}
+	run := func(system cluster.System, app string, nodes int) error {
+		e, err := newEnv(envConfig{
+			system:      system,
+			nodes:       nodes,
+			seed:        opts.Seed,
+			withMonitor: true,
+		})
+		if err != nil {
+			return err
+		}
+		defer e.close()
+		st, sum, err := e.runJob(job.Spec{App: app, Nodes: nodes}, 60*time.Minute)
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, Fig2Row{
+			System:  system,
+			App:     app,
+			Nodes:   nodes,
+			NodeW:   sum.AvgNodePowerW,
+			CPUW:    sum.AvgCPUW,
+			MemW:    sum.AvgMemW,
+			GPUW:    sum.AvgGPUW,
+			ExecSec: st.ExecSec(),
+		})
+		return nil
+	}
+	for _, app := range apps {
+		for _, n := range lassenCounts {
+			if err := run(cluster.Lassen, app, n); err != nil {
+				return nil, err
+			}
+		}
+		for _, n := range tiogaCounts {
+			if err := run(cluster.Tioga, app, n); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// Row finds a specific measurement.
+func (r *Fig2Result) Row(system cluster.System, app string, nodes int) (Fig2Row, bool) {
+	for _, row := range r.Rows {
+		if row.System == system && row.App == app && row.Nodes == nodes {
+			return row, true
+		}
+	}
+	return Fig2Row{}, false
+}
+
+// Render prints the figure's data as a table.
+func (r *Fig2Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			string(row.System), row.App, f0(float64(row.Nodes)),
+			f1(row.NodeW), f1(row.CPUW), f1(row.MemW), f1(row.GPUW), f2(row.ExecSec),
+		})
+	}
+	return "Fig 2: average per-node component power vs node count\n" +
+		table([]string{"system", "app", "nodes", "node_W", "cpu_W", "mem_W", "gpu_W", "exec_s"}, rows)
+}

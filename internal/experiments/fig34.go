@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/flux/job"
+	"fluxpower/internal/stats"
+)
+
+// Fig3Row is one bar of Figure 3: the monitor's measured slowdown for an
+// application at a node count, averaged over repetitions.
+type Fig3Row struct {
+	System          cluster.System
+	App             string
+	Nodes           int
+	SlowdownPercent float64
+	WithSec         []float64 // raw runtimes, monitor loaded
+	WithoutSec      []float64 // raw runtimes, monitor unloaded
+}
+
+// Fig3Result reproduces Figure 3 (overhead) and carries the raw runtimes
+// Figure 4's box plots are drawn from.
+type Fig3Result struct {
+	Rows []Fig3Row
+	// Reps is the repetition count per configuration (6 in the paper).
+	Reps int
+}
+
+// Fig3 measures execution time with and without the monitor module,
+// repeated with per-repetition seeds so OS jitter varies run to run.
+func Fig3(opts Options) (*Fig3Result, error) {
+	opts = opts.withDefaults()
+	reps := 6
+	lassenCounts := []int{1, 2, 4, 8, 16, 32}
+	tiogaCounts := []int{1, 2, 4, 8}
+	if opts.Quick {
+		reps = 3
+		lassenCounts = []int{1, 2, 8}
+		tiogaCounts = []int{1, 4}
+	}
+	res := &Fig3Result{Reps: reps}
+	apps := []string{"lammps", "laghos", "quicksilver"}
+	measure := func(system cluster.System, app string, nodes int, withMonitor bool, rep int) (float64, error) {
+		e, err := newEnv(envConfig{
+			system:       system,
+			nodes:        nodes,
+			seed:         opts.Seed + int64(rep)*104729 + int64(nodes)*31 + int64(len(app)),
+			jitter:       true,
+			withMonitor:  withMonitor,
+			overheadFrac: -1, // per-system default (§IV-B)
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer e.close()
+		st, _, err := e.runJob(job.Spec{App: app, Nodes: nodes}, 60*time.Minute)
+		if err != nil {
+			return 0, err
+		}
+		return st.ExecSec(), nil
+	}
+	for _, system := range []cluster.System{cluster.Lassen, cluster.Tioga} {
+		counts := lassenCounts
+		if system == cluster.Tioga {
+			counts = tiogaCounts
+		}
+		for _, app := range apps {
+			for _, nodes := range counts {
+				row := Fig3Row{System: system, App: app, Nodes: nodes}
+				for rep := 0; rep < reps; rep++ {
+					with, err := measure(system, app, nodes, true, rep)
+					if err != nil {
+						return nil, err
+					}
+					without, err := measure(system, app, nodes, false, rep+1000)
+					if err != nil {
+						return nil, err
+					}
+					row.WithSec = append(row.WithSec, with)
+					row.WithoutSec = append(row.WithoutSec, without)
+				}
+				mWith := stats.MustMean(row.WithSec)
+				mWithout := stats.MustMean(row.WithoutSec)
+				row.SlowdownPercent = stats.PercentChange(mWithout, mWith)
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+// AverageOverhead returns the mean slowdown across all configurations of
+// one system — the paper's headline per-system overhead.
+func (r *Fig3Result) AverageOverhead(system cluster.System) float64 {
+	var xs []float64
+	for _, row := range r.Rows {
+		if row.System == system {
+			xs = append(xs, row.SlowdownPercent)
+		}
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return stats.MustMean(xs)
+}
+
+// Render prints Figure 3's bars.
+func (r *Fig3Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			string(row.System), row.App, f0(float64(row.Nodes)), f2(row.SlowdownPercent),
+		})
+	}
+	out := "Fig 3: % slowdown with flux-power-monitor loaded (" + f0(float64(r.Reps)) + " reps)\n"
+	out += table([]string{"system", "app", "nodes", "slowdown_pct"}, rows)
+	out += "\naverage overhead: lassen " + f2(r.AverageOverhead(cluster.Lassen)) +
+		"%, tioga " + f2(r.AverageOverhead(cluster.Tioga)) + "%\n"
+	return out
+}
+
+// Fig4Row is one box of Figure 4: the run-to-run spread of raw execution
+// times at low node counts.
+type Fig4Row struct {
+	App         string
+	Nodes       int
+	WithMonitor bool
+	Box         stats.BoxPlot
+	SpreadPct   float64
+}
+
+// Fig4Result reproduces Figure 4 from Fig 3's raw Lassen runtimes.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Fig4 derives the box plots from a Fig3 result (the paper's Figure 4 is
+// the same six repetitions, re-plotted raw).
+func Fig4(f3 *Fig3Result) (*Fig4Result, error) {
+	res := &Fig4Result{}
+	for _, row := range f3.Rows {
+		if row.System != cluster.Lassen || row.Nodes > 2 {
+			continue
+		}
+		if row.App != "laghos" && row.App != "quicksilver" {
+			continue
+		}
+		for _, withMon := range []bool{false, true} {
+			xs := row.WithoutSec
+			if withMon {
+				xs = row.WithSec
+			}
+			box, err := stats.NewBoxPlot(xs)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig4Row{
+				App:         row.App,
+				Nodes:       row.Nodes,
+				WithMonitor: withMon,
+				Box:         box,
+				SpreadPct:   box.SpreadPercent(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// MaxSpreadPercent returns the largest observed spread — the paper reports
+// >20% for Laghos/Quicksilver at low node counts.
+func (r *Fig4Result) MaxSpreadPercent() float64 {
+	max := 0.0
+	for _, row := range r.Rows {
+		if row.SpreadPct > max {
+			max = row.SpreadPct
+		}
+	}
+	return max
+}
+
+// Render prints Figure 4's boxes.
+func (r *Fig4Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		mon := "off"
+		if row.WithMonitor {
+			mon = "on"
+		}
+		rows = append(rows, []string{
+			row.App, f0(float64(row.Nodes)), mon,
+			f2(row.Box.Min), f2(row.Box.Q1), f2(row.Box.Median), f2(row.Box.Q3), f2(row.Box.Max),
+			f1(row.SpreadPct),
+		})
+	}
+	return "Fig 4: run-to-run variability of raw execution time (Lassen, low node counts)\n" +
+		table([]string{"app", "nodes", "monitor", "min_s", "q1_s", "median_s", "q3_s", "max_s", "spread_pct"}, rows)
+}

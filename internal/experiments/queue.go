@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/core/powermgr"
+	"fluxpower/internal/flux/job"
+	"fluxpower/internal/stats"
+)
+
+// QueueJobMix is the §IV-E workload: 10 jobs on a 16-node allocation — 3
+// Laghos, 2 Quicksilver, 3 LAMMPS, 2 GEMM — each requesting 1-8 nodes, in
+// a seeded random order. Size factors lengthen the short Table II inputs
+// so the queue runs for tens of minutes, as the paper's did.
+func QueueJobMix(seed int64) []job.Spec {
+	specs := []job.Spec{
+		{App: "laghos", SizeFactor: 10},
+		{App: "laghos", SizeFactor: 10},
+		{App: "laghos", SizeFactor: 10},
+		{App: "quicksilver", SizeFactor: 10},
+		{App: "quicksilver", SizeFactor: 10},
+		{App: "lammps", RepFactor: 2},
+		{App: "lammps", RepFactor: 2},
+		{App: "lammps", RepFactor: 2},
+		{App: "gemm"},
+		{App: "gemm"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range specs {
+		specs[i].Nodes = 1 + rng.Intn(8)
+		specs[i].Name = fmt.Sprintf("%s-%d", specs[i].App, i)
+	}
+	rng.Shuffle(len(specs), func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
+	return specs
+}
+
+// QueuePolicyResult is one policy's outcome on the job queue.
+type QueuePolicyResult struct {
+	Policy             powermgr.Policy
+	MakespanSec        float64
+	AvgEnergyPerNodeKJ float64 // averaged over jobs (§IV-E's metric)
+	JobEnergiesKJ      map[string]float64
+	JobExecSec         map[string]float64
+}
+
+// QueueResult reproduces §IV-E: the same queue under proportional sharing
+// and FPP.
+type QueueResult struct {
+	Proportional QueuePolicyResult
+	FPP          QueuePolicyResult
+}
+
+// Queue runs the 10-job queue on a 16-node power-constrained Lassen
+// allocation under both dynamic policies.
+func Queue(opts Options) (*QueueResult, error) {
+	opts = opts.withDefaults()
+	const queueNodes = 16
+	const queueBoundW = 16 * 1200 // same per-node budget as Table IV's constrained case
+	res := &QueueResult{}
+	for _, policy := range []powermgr.Policy{powermgr.PolicyProportional, powermgr.PolicyFPP} {
+		e, err := newEnv(envConfig{
+			system:       cluster.Lassen,
+			nodes:        queueNodes,
+			seed:         opts.Seed,
+			sensorNoiseW: 8,
+			withMonitor:  true,
+			manager:      &powermgr.Config{Policy: policy, GlobalCapW: queueBoundW},
+		})
+		if err != nil {
+			return nil, err
+		}
+		specs := QueueJobMix(opts.Seed)
+		ids := make([]uint64, 0, len(specs))
+		var firstSubmit float64
+		for i, spec := range specs {
+			id, err := e.c.Submit(spec)
+			if err != nil {
+				e.close()
+				return nil, fmt.Errorf("queue: submit %s: %w", spec.Name, err)
+			}
+			if i == 0 {
+				firstSubmit = e.c.Now().Seconds()
+			}
+			ids = append(ids, id)
+		}
+		if _, idle := e.c.RunUntilIdle(6 * time.Hour); !idle {
+			e.close()
+			return nil, fmt.Errorf("queue: policy %s did not drain", policy)
+		}
+		pr := QueuePolicyResult{
+			Policy:        policy,
+			JobEnergiesKJ: map[string]float64{},
+			JobExecSec:    map[string]float64{},
+		}
+		var lastEnd float64
+		var energies []float64
+		for i, id := range ids {
+			st, ok := e.c.Stats(id)
+			if !ok {
+				e.close()
+				return nil, fmt.Errorf("queue: job %d has no stats", id)
+			}
+			if st.EndSec > lastEnd {
+				lastEnd = st.EndSec
+			}
+			pr.JobEnergiesKJ[specs[i].Name] = st.EnergyPerNodeJ / 1000
+			pr.JobExecSec[specs[i].Name] = st.ExecSec()
+			energies = append(energies, st.EnergyPerNodeJ/1000)
+		}
+		pr.MakespanSec = lastEnd - firstSubmit
+		pr.AvgEnergyPerNodeKJ = stats.MustMean(energies)
+		e.close()
+		switch policy {
+		case powermgr.PolicyProportional:
+			res.Proportional = pr
+		case powermgr.PolicyFPP:
+			res.FPP = pr
+		}
+	}
+	return res, nil
+}
+
+// EnergyImprovementPercent returns FPP's per-job energy-per-node
+// improvement over proportional sharing (positive = FPP better). The
+// paper reports 1.26%.
+func (r *QueueResult) EnergyImprovementPercent() float64 {
+	return -stats.PercentChange(r.Proportional.AvgEnergyPerNodeKJ, r.FPP.AvgEnergyPerNodeKJ)
+}
+
+// Render prints the §IV-E comparison.
+func (r *QueueResult) Render() string {
+	rows := [][]string{
+		{"proportional", f0(r.Proportional.MakespanSec), f2(r.Proportional.AvgEnergyPerNodeKJ)},
+		{"fpp", f0(r.FPP.MakespanSec), f2(r.FPP.AvgEnergyPerNodeKJ)},
+	}
+	out := "Job queue (10 jobs, 16-node Lassen allocation)\n"
+	out += table([]string{"policy", "makespan_s", "avg_energy_per_node_kJ"}, rows)
+	out += fmt.Sprintf("\nFPP energy-per-node improvement over proportional: %.2f%%\n",
+		r.EnergyImprovementPercent())
+	return out
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/core/powermgr"
+)
+
+// SweepRow is one cluster power bound's outcome for the Table IV
+// workload under proportional sharing.
+type SweepRow struct {
+	BoundKW      float64
+	PerNodeW     float64 // initial per-node allocation with both jobs running
+	GEMMSec      float64
+	QSSec        float64
+	MakespanSec  float64
+	TotalKJ      float64 // whole-cluster energy over the makespan
+	MaxClusterKW float64
+}
+
+// SweepResult is the hardware-overprovisioning study the paper motivates
+// (§IV-C cites [28]): how far can the cluster bound be pushed below the
+// 24.4 kW worst case before performance degrades? The crossover sits
+// where the bound crosses the workload's natural maximum draw (~11 kW,
+// Table III) — bounds above it are free, bounds below trade time for
+// power linearly at first and then steeply once GPUs drop below the DVFS
+// range. Bounds below the hardware floor (node base power plus the NVML
+// 100 W per-GPU minimum — the paper's 1000 W minimum hard node cap) are
+// unenforceable: the sweep reports the violation rather than hiding it.
+type SweepResult struct {
+	Rows []SweepRow
+}
+
+// BoundSweep runs the GEMM+Quicksilver scenario under proportional
+// sharing across a range of cluster power bounds.
+func BoundSweep(opts Options) (*SweepResult, error) {
+	opts = opts.withDefaults()
+	bounds := []float64{4800, 6400, 8000, 9600, 11200, 12800, 24400}
+	if opts.Quick {
+		bounds = []float64{6400, 9600, 12800}
+	}
+	res := &SweepResult{}
+	for _, bound := range bounds {
+		row, err := runSweepCase(opts, bound)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runSweepCase(opts Options, boundW float64) (SweepRow, error) {
+	e, err := newEnv(envConfig{
+		system:      cluster.Lassen,
+		nodes:       scenarioNodes,
+		seed:        opts.Seed,
+		withMonitor: true,
+		manager:     &powermgr.Config{Policy: powermgr.PolicyProportional, GlobalCapW: boundW},
+	})
+	if err != nil {
+		return SweepRow{}, err
+	}
+	defer e.close()
+	sampler := sampleClusterPower(e.c, 2*time.Second)
+	gemmSpec, qsSpec := scenarioJobs()
+	gemmID, err := e.c.Submit(gemmSpec)
+	if err != nil {
+		return SweepRow{}, err
+	}
+	qsID, err := e.c.Submit(qsSpec)
+	if err != nil {
+		return SweepRow{}, err
+	}
+	if _, idle := e.c.RunUntilIdle(6 * time.Hour); !idle {
+		return SweepRow{}, fmt.Errorf("sweep: bound %v W did not drain", boundW)
+	}
+	sampler.stop()
+	maxW, avgW := sampler.maxAvg()
+	gemmStats, _ := e.c.Stats(gemmID)
+	qsStats, _ := e.c.Stats(qsID)
+	makespan := gemmStats.EndSec
+	if qsStats.EndSec > makespan {
+		makespan = qsStats.EndSec
+	}
+	perNode := boundW / float64(scenarioNodes)
+	if perNode > 3050 {
+		perNode = 3050
+	}
+	return SweepRow{
+		BoundKW:      boundW / 1000,
+		PerNodeW:     perNode,
+		GEMMSec:      gemmStats.ExecSec(),
+		QSSec:        qsStats.ExecSec(),
+		MakespanSec:  makespan,
+		TotalKJ:      avgW * makespan / 1000,
+		MaxClusterKW: maxW / 1000,
+	}, nil
+}
+
+// Crossover returns the smallest bound (kW) whose GEMM runtime is within
+// tolPct of the unconstrained runtime — the point beyond which extra
+// provisioned power buys nothing.
+func (r *SweepResult) Crossover(tolPct float64) (float64, bool) {
+	if len(r.Rows) == 0 {
+		return 0, false
+	}
+	unconstrained := r.Rows[len(r.Rows)-1].GEMMSec
+	for _, row := range r.Rows {
+		if (row.GEMMSec-unconstrained)/unconstrained*100 <= tolPct {
+			return row.BoundKW, true
+		}
+	}
+	return 0, false
+}
+
+func (r *SweepResult) tabular() ([]string, [][]string) {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			f1(row.BoundKW), f0(row.PerNodeW), f0(row.GEMMSec), f0(row.QSSec),
+			f0(row.MakespanSec), f0(row.TotalKJ), f2(row.MaxClusterKW),
+		})
+	}
+	return []string{"bound_kW", "per_node_W", "gemm_s", "qs_s", "makespan_s", "total_kJ", "max_kW"}, rows
+}
+
+// Render prints the sweep.
+func (r *SweepResult) Render() string {
+	header, rows := r.tabular()
+	return "Cluster power bound sweep (proportional sharing, GEMM+Quicksilver)\n" +
+		table(header, rows)
+}
+
+// RenderCSV emits the sweep as CSV for plotting.
+func (r *SweepResult) RenderCSV() string {
+	header, rows := r.tabular()
+	return csvTable(header, rows)
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/flux/job"
+)
+
+// Table2Row mirrors one row of Table II: an application at a node count,
+// compared across Lassen and Tioga.
+type Table2Row struct {
+	App        string
+	Nodes      int
+	LassenSec  float64
+	TiogaSec   float64
+	LassenAvgW float64
+	TiogaAvgW  float64
+	// Energies are per-node kJ; Quicksilver's Tioga energy is omitted
+	// (EnergyComparable=false) because of the HIP anomaly, as in the
+	// paper's footnote.
+	LassenEnergyKJ   float64
+	TiogaEnergyKJ    float64
+	EnergyComparable bool
+}
+
+// Table2Result reproduces Table II.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 runs LAMMPS, Laghos and Quicksilver at 4 and 8 nodes on both
+// systems (Lassen task counts 16/32, Tioga 32/64 — captured by the
+// application models' per-system variants).
+func Table2(opts Options) (*Table2Result, error) {
+	opts = opts.withDefaults()
+	res := &Table2Result{}
+	for _, app := range []string{"lammps", "laghos", "quicksilver"} {
+		for _, nodes := range []int{4, 8} {
+			row := Table2Row{App: app, Nodes: nodes, EnergyComparable: app != "quicksilver"}
+			for _, system := range []cluster.System{cluster.Lassen, cluster.Tioga} {
+				e, err := newEnv(envConfig{
+					system:      system,
+					nodes:       nodes,
+					seed:        opts.Seed,
+					withMonitor: true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				st, sum, err := e.runJob(job.Spec{App: app, Nodes: nodes}, 60*time.Minute)
+				e.close()
+				if err != nil {
+					return nil, err
+				}
+				switch system {
+				case cluster.Lassen:
+					row.LassenSec = st.ExecSec()
+					row.LassenAvgW = sum.AvgNodePowerW
+					row.LassenEnergyKJ = st.EnergyPerNodeJ / 1000
+				case cluster.Tioga:
+					row.TiogaSec = st.ExecSec()
+					row.TiogaAvgW = sum.AvgNodePowerW
+					row.TiogaEnergyKJ = st.EnergyPerNodeJ / 1000
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Row finds a table entry.
+func (r *Table2Result) Row(app string, nodes int) (Table2Row, bool) {
+	for _, row := range r.Rows {
+		if row.App == app && row.Nodes == nodes {
+			return row, true
+		}
+	}
+	return Table2Row{}, false
+}
+
+func (r *Table2Result) tabular() ([]string, [][]string) {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		le, te := f2(row.LassenEnergyKJ), f2(row.TiogaEnergyKJ)
+		if !row.EnergyComparable {
+			le, te = "-", "-*"
+		}
+		rows = append(rows, []string{
+			row.App, f0(float64(row.Nodes)),
+			f2(row.LassenSec), f2(row.TiogaSec),
+			f2(row.LassenAvgW), f2(row.TiogaAvgW),
+			le, te,
+		})
+	}
+	return []string{"app", "nodes", "lassen_s", "tioga_s", "lassen_W", "tioga_W", "lassen_kJ", "tioga_kJ"}, rows
+}
+
+// Render prints Table II's layout.
+func (r *Table2Result) Render() string {
+	header, rows := r.tabular()
+	return "Table II: runtime / avg node power / avg per-node energy, Lassen vs Tioga\n" +
+		table(header, rows) +
+		"* Quicksilver energy not compared due to the anomalous HIP-variant runtime (§IV-A).\n"
+}
+
+// RenderCSV emits the table as CSV for plotting.
+func (r *Table2Result) RenderCSV() string {
+	header, rows := r.tabular()
+	return csvTable(header, rows)
+}

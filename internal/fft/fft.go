@@ -1,0 +1,168 @@
+// Package fft implements the Fast Fourier Transform and the power-signal
+// period detection that drives the paper's FFT-based power policy (FPP,
+// Algorithm 1).
+//
+// FPP's FFT-GET-PERIOD procedure buffers node/GPU power samples and asks
+// "what is the dominant period of this signal?" every 30 seconds. The
+// answer is the location of the strongest non-DC spectral peak. The
+// transform itself is built from scratch: an iterative radix-2
+// decimation-in-time FFT for power-of-two lengths, extended to arbitrary
+// lengths with Bluestein's chirp-z algorithm (so the policy never has to
+// truncate its sample window to a power of two).
+package fft
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// ErrEmpty is returned when a transform or detector receives no samples.
+var ErrEmpty = errors.New("fft: empty input")
+
+// FFT returns the discrete Fourier transform of x. The input is not
+// modified. Any length is accepted: powers of two use the radix-2 path,
+// other lengths use Bluestein's algorithm.
+func FFT(x []complex128) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	out := append([]complex128(nil), x...)
+	if isPow2(len(out)) {
+		radix2(out, false)
+		return out, nil
+	}
+	return bluestein(out, false), nil
+}
+
+// IFFT returns the inverse discrete Fourier transform of x, normalized by
+// 1/N so that IFFT(FFT(x)) == x.
+func IFFT(x []complex128) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	out := append([]complex128(nil), x...)
+	if isPow2(len(out)) {
+		radix2(out, true)
+	} else {
+		out = bluestein(out, true)
+	}
+	n := complex(float64(len(out)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out, nil
+}
+
+// FFTReal transforms a real-valued signal.
+func FFTReal(x []float64) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	if isPow2(len(cx)) {
+		radix2(cx, false)
+		return cx, nil
+	}
+	return bluestein(cx, false), nil
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// radix2 performs an in-place iterative Cooley-Tukey FFT on x, whose length
+// must be a power of two. inverse selects the conjugate transform (without
+// normalization).
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// bluestein computes the DFT of x for arbitrary length via the chirp-z
+// transform: re-express the DFT as a convolution, evaluate the convolution
+// with zero-padded radix-2 FFTs.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign * i*pi*k^2/n). Use k^2 mod 2n to keep the
+	// angle argument bounded for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := nextPow2(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	mInv := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * mInv * chirp[k]
+	}
+	return out
+}
+
+// Magnitudes returns |X[k]| for each bin.
+func Magnitudes(x []complex128) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package fft
+
+import (
+	"math"
+	"testing"
+)
+
+func benchSignal(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 500 + 200*math.Sin(float64(i)*0.4) + 30*math.Sin(float64(i)*2.1)
+	}
+	return out
+}
+
+func BenchmarkFFTRadix2_1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFTBluestein_1000(b *testing.B) {
+	x := make([]complex128, 1000)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFT(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPeriodDetector compares the two period detectors
+// (DESIGN.md decision 3) on the FPP window size: 45 samples of a noisy
+// square wave.
+func BenchmarkAblationPeriodDetector(b *testing.B) {
+	samples := SquareWave(45, 2.0, 12.0, 0.3, 300, 700, 20)
+	b.Run("spectral", func(b *testing.B) {
+		det := SpectralDetector{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := det.DetectPeriod(samples, 2.0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("autocorrelation", func(b *testing.B) {
+		det := AutocorrelationDetector{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := det.DetectPeriod(samples, 2.0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSpectralDetectorLongWindow(b *testing.B) {
+	// A day of 2 s samples: the largest plausible detection window.
+	samples := benchSignal(43200)
+	det := SpectralDetector{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := det.DetectPeriod(samples, 2.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n^2) reference implementation tests compare against.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Rect(1, angle)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func complexClose(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFFTEmptyInput(t *testing.T) {
+	if _, err := FFT(nil); err != ErrEmpty {
+		t.Fatalf("FFT(nil) err=%v, want ErrEmpty", err)
+	}
+	if _, err := IFFT(nil); err != ErrEmpty {
+		t.Fatalf("IFFT(nil) err=%v", err)
+	}
+	if _, err := FFTReal(nil); err != ErrEmpty {
+		t.Fatalf("FFTReal(nil) err=%v", err)
+	}
+}
+
+func TestFFTSingleElement(t *testing.T) {
+	got, err := FFT([]complex128{3 + 4i})
+	if err != nil || len(got) != 1 || got[0] != 3+4i {
+		t.Fatalf("FFT singleton=%v err=%v", got, err)
+	}
+}
+
+func TestFFTMatchesNaiveDFTPow2(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(math.Sin(float64(i)*0.7), math.Cos(float64(i)*1.3))
+		}
+		got, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveDFT(x)
+		if !complexClose(got, want, 1e-8*float64(n)) {
+			t.Fatalf("n=%d radix-2 FFT disagrees with naive DFT", n)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFTArbitraryN(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7, 12, 15, 33, 100, 255} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(math.Sin(float64(i)*0.41), math.Cos(float64(i)*2.2))
+		}
+		got, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveDFT(x)
+		if !complexClose(got, want, 1e-7*float64(n)) {
+			t.Fatalf("n=%d bluestein FFT disagrees with naive DFT", n)
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 60, 128} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(float64(i%5)-2, float64(i%3))
+		}
+		fx, err := FFT(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := IFFT(fx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !complexClose(back, x, 1e-8*float64(n)) {
+			t.Fatalf("n=%d IFFT(FFT(x)) != x", n)
+		}
+	}
+}
+
+func TestParsevalTheorem(t *testing.T) {
+	// sum |x|^2 == (1/N) sum |X|^2 — an FFT correctness invariant.
+	n := 128
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), 0)
+	}
+	fx, _ := FFT(x)
+	var tEnergy, fEnergy float64
+	for i := range x {
+		tEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		fEnergy += real(fx[i])*real(fx[i]) + imag(fx[i])*imag(fx[i])
+	}
+	fEnergy /= float64(n)
+	if math.Abs(tEnergy-fEnergy) > 1e-6 {
+		t.Fatalf("Parseval violated: time=%v freq=%v", tEnergy, fEnergy)
+	}
+}
+
+func TestFFTRealPureTone(t *testing.T) {
+	// A pure cosine at bin k must put (nearly) all energy in bins k, n-k.
+	n, k := 64, 5
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * float64(k) * float64(i) / float64(n))
+	}
+	fx, err := FFTReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mags := Magnitudes(fx)
+	for bin, m := range mags {
+		if bin == k || bin == n-k {
+			if math.Abs(m-float64(n)/2) > 1e-8 {
+				t.Fatalf("bin %d magnitude %v, want %v", bin, m, float64(n)/2)
+			}
+		} else if m > 1e-8 {
+			t.Fatalf("leakage at bin %d: %v", bin, m)
+		}
+	}
+}
+
+func TestFFTDoesNotMutateInput(t *testing.T) {
+	x := []complex128{1, 2, 3, 4, 5} // non-pow2 triggers Bluestein
+	orig := append([]complex128(nil), x...)
+	if _, err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("FFT mutated its input")
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Fatalf("nextPow2(%d)=%d, want %d", in, got, want)
+		}
+	}
+}
+
+// Property: linearity — FFT(a*x + y) == a*FFT(x) + FFT(y).
+func TestQuickFFTLinearity(t *testing.T) {
+	f := func(raw []float64, scaleRaw int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		n := len(raw)
+		a := complex(float64(scaleRaw)/16, 0)
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		combo := make([]complex128, n)
+		for i, v := range raw {
+			x[i] = complex(v, 0)
+			y[i] = complex(float64(i), -v)
+			combo[i] = a*x[i] + y[i]
+		}
+		fc, err1 := FFT(combo)
+		fx, err2 := FFT(x)
+		fy, err3 := FFT(y)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range fc {
+			if cmplx.Abs(fc[i]-(a*fx[i]+fy[i])) > 1e-6*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: round-trip IFFT(FFT(x)) == x for arbitrary finite real input.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 100 {
+			raw = raw[:100]
+		}
+		x := make([]complex128, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return true
+			}
+			x[i] = complex(v, 0)
+		}
+		fx, err := FFT(x)
+		if err != nil {
+			return false
+		}
+		back, err := IFFT(fx)
+		if err != nil {
+			return false
+		}
+		return complexClose(back, x, 1e-6*float64(len(x)+1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package fft
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpectralDetectsSquareWavePeriod(t *testing.T) {
+	// Quicksilver-like signal: ~20 s period square wave sampled at 2 s
+	// (the monitor's default sampling interval) over a 2-minute window.
+	samples := SquareWave(60, 2.0, 20.0, 0.5, 300, 700, 0)
+	period, ok, err := SpectralDetector{}.DetectPeriod(samples, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("square wave not detected as periodic")
+	}
+	if math.Abs(period-20) > 2 {
+		t.Fatalf("detected period %.2f s, want ~20 s", period)
+	}
+}
+
+func TestSpectralSurvivesNoise(t *testing.T) {
+	// 30 W of sensor noise on a 400 W swing must not break detection.
+	samples := SquareWave(90, 2.0, 30.0, 0.5, 300, 700, 30)
+	period, ok, err := SpectralDetector{}.DetectPeriod(samples, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("noisy square wave not detected")
+	}
+	if math.Abs(period-30) > 3 {
+		t.Fatalf("noisy period %.2f s, want ~30 s", period)
+	}
+}
+
+func TestSpectralRejectsFlatSignal(t *testing.T) {
+	// GEMM/LAMMPS-style flat power draw: no periodic component.
+	flat := make([]float64, 64)
+	for i := range flat {
+		flat[i] = 1500
+	}
+	_, ok, err := SpectralDetector{}.DetectPeriod(flat, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("flat signal wrongly detected as periodic")
+	}
+}
+
+func TestSpectralRejectsWhiteNoise(t *testing.T) {
+	noise := SquareWave(128, 2.0, 1e9, 0.5, 500, 500, 40) // pure noise around 500 W
+	_, ok, err := SpectralDetector{}.DetectPeriod(noise, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("white noise wrongly detected as periodic")
+	}
+}
+
+func TestSpectralErrors(t *testing.T) {
+	if _, _, err := (SpectralDetector{}).DetectPeriod(nil, 2.0); err != ErrEmpty {
+		t.Fatalf("empty err=%v", err)
+	}
+	if _, _, err := (SpectralDetector{}).DetectPeriod([]float64{1, 2, 3, 4}, 0); err == nil {
+		t.Fatal("zero dt should error")
+	}
+	if _, ok, err := (SpectralDetector{}).DetectPeriod([]float64{1, 2}, 1); err != nil || ok {
+		t.Fatalf("too-short input: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSpectralPeriodScalesWithSlowdown(t *testing.T) {
+	// The FPP feedback loop depends on this: when a power cap slows the
+	// application down, its phase period stretches, and the detector must
+	// report the longer period.
+	base := SquareWave(120, 2.0, 24.0, 0.5, 300, 700, 10)
+	slowed := SquareWave(120, 2.0, 36.0, 0.5, 300, 700, 10) // 1.5x slower
+	p1, ok1, _ := SpectralDetector{}.DetectPeriod(base, 2.0)
+	p2, ok2, _ := SpectralDetector{}.DetectPeriod(slowed, 2.0)
+	if !ok1 || !ok2 {
+		t.Fatal("detection failed")
+	}
+	ratio := p2 / p1
+	if ratio < 1.3 || ratio > 1.7 {
+		t.Fatalf("period ratio %.2f, want ~1.5", ratio)
+	}
+}
+
+func TestAutocorrelationDetectsPeriod(t *testing.T) {
+	samples := SquareWave(90, 2.0, 20.0, 0.5, 300, 700, 10)
+	period, ok, err := AutocorrelationDetector{}.DetectPeriod(samples, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("autocorrelation missed square wave")
+	}
+	if math.Abs(period-20) > 4 {
+		t.Fatalf("autocorrelation period %.2f, want ~20", period)
+	}
+}
+
+func TestAutocorrelationRejectsFlat(t *testing.T) {
+	flat := make([]float64, 64)
+	for i := range flat {
+		flat[i] = 900
+	}
+	_, ok, err := AutocorrelationDetector{}.DetectPeriod(flat, 2.0)
+	if err != nil || ok {
+		t.Fatalf("flat: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, _, err := (AutocorrelationDetector{}).DetectPeriod(nil, 1); err != ErrEmpty {
+		t.Fatalf("empty err=%v", err)
+	}
+	if _, _, err := (AutocorrelationDetector{}).DetectPeriod([]float64{1, 2, 3, 4}, -1); err == nil {
+		t.Fatal("negative dt should error")
+	}
+}
+
+func TestDetectorsAgreeOnCleanSignal(t *testing.T) {
+	// Ablation sanity (DESIGN.md decision 3): the two detectors should
+	// agree within a sample interval on a clean periodic input.
+	samples := SquareWave(120, 2.0, 16.0, 0.5, 200, 800, 0)
+	p1, ok1, _ := SpectralDetector{}.DetectPeriod(samples, 2.0)
+	p2, ok2, _ := AutocorrelationDetector{}.DetectPeriod(samples, 2.0)
+	if !ok1 || !ok2 {
+		t.Fatalf("detection failed: spectral=%v autocorr=%v", ok1, ok2)
+	}
+	if math.Abs(p1-p2) > 2.0 {
+		t.Fatalf("detectors disagree: spectral=%.2f autocorr=%.2f", p1, p2)
+	}
+}
+
+func TestSquareWaveShape(t *testing.T) {
+	w := SquareWave(10, 1.0, 4.0, 0.5, 0, 100, 0)
+	want := []float64{100, 100, 0, 0, 100, 100, 0, 0, 100, 100}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("SquareWave=%v, want %v", w, want)
+		}
+	}
+}

@@ -1,0 +1,707 @@
+// Package broker implements the Flux message broker daemon and the
+// tree-based overlay network (TBON) the paper's power modules run on.
+//
+// A Flux instance is a set of flux-broker processes, one per node, forming
+// a k-ary tree rooted at rank 0 (§II-B). Messages are routed over the tree:
+// requests travel toward their destination rank (or upstream until a broker
+// implements the requested service), responses retrace the path to the
+// requester, and events funnel to rank 0 and broadcast back down.
+//
+// Services are dynamically loaded broker plugins — modules (RFC 5). Both
+// flux-power-monitor and flux-power-manager are implemented as modules:
+// they register message handlers, subscribe to events, and arm periodic
+// timers, exactly as the paper describes (§III).
+//
+// The broker is transport-agnostic. In the tick-driven simulation, links
+// are in-memory and delivery is synchronous; in live mode the same broker
+// runs over TCP links. State is guarded by a mutex that is never held
+// across a handler call or a link send, so synchronous in-memory delivery
+// cannot deadlock.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fluxpower/internal/flux/msg"
+	"fluxpower/internal/flux/transport"
+	"fluxpower/internal/simtime"
+)
+
+// Handler processes a request delivered to a registered service.
+type Handler func(req *Request)
+
+// EventHandler processes a broadcast event.
+type EventHandler func(ev *msg.Message)
+
+// ResponseHandler receives the response to an RPC.
+type ResponseHandler func(resp *msg.Message)
+
+// Errors.
+var (
+	ErrNoRoute     = errors.New("broker: no route to destination")
+	ErrNoService   = errors.New("broker: no such service")
+	ErrDupService  = errors.New("broker: service already registered")
+	ErrDupModule   = errors.New("broker: module already loaded")
+	ErrNoSyncReply = errors.New("broker: no synchronous reply (asynchronous responder?)")
+)
+
+// Broker is one flux-broker daemon.
+type Broker struct {
+	rank int32
+	size int32
+	k    int // TBON fan-out
+
+	clock  simtime.Clock
+	timers simtime.TimerProvider // timer source for modules; nil if unavailable
+
+	mu       sync.Mutex
+	parent   transport.Link
+	children map[int32]transport.Link
+	services map[string]Handler
+	pending  map[uint32]ResponseHandler
+	nextTag  uint32
+	subs     []subscription
+	eventSeq uint64
+	modules  map[string]Module
+	modUndo  map[string][]func()
+	local    any
+
+	stats Stats
+}
+
+type subscription struct {
+	pattern string
+	fn      EventHandler
+}
+
+// Stats counts broker activity; exposed via the builtin broker.stats
+// service and used by overhead benchmarks.
+type Stats struct {
+	RequestsHandled uint64 `json:"requests_handled"`
+	RequestsRouted  uint64 `json:"requests_routed"`
+	ResponsesRouted uint64 `json:"responses_routed"`
+	EventsPublished uint64 `json:"events_published"`
+	EventsDelivered uint64 `json:"events_delivered"`
+	RPCsIssued      uint64 `json:"rpcs_issued"`
+	RoutingErrors   uint64 `json:"routing_errors"`
+}
+
+// Options configures a broker.
+type Options struct {
+	Rank int32
+	Size int32
+	// Fanout is the TBON arity k (Flux defaults to 2). Must be >= 1.
+	Fanout int
+	// Clock provides time to modules. Required.
+	Clock simtime.Clock
+	// Timers provides module timers: the deterministic Scheduler in
+	// simulation mode, a simtime.Wall in live mode. Optional (modules
+	// needing timers fail to load without one).
+	Timers simtime.TimerProvider
+	// Local carries per-node resources (the simulated hw.Node) that
+	// modules access through Context.Local.
+	Local any
+}
+
+// New creates an unwired broker. Links are attached with SetParent /
+// AddChild (or the tree helpers in this package).
+func New(opts Options) (*Broker, error) {
+	if opts.Size <= 0 {
+		return nil, fmt.Errorf("broker: instance size %d must be positive", opts.Size)
+	}
+	if opts.Rank < 0 || opts.Rank >= opts.Size {
+		return nil, fmt.Errorf("broker: rank %d outside [0,%d)", opts.Rank, opts.Size)
+	}
+	if opts.Fanout < 1 {
+		return nil, fmt.Errorf("broker: fanout %d must be >= 1", opts.Fanout)
+	}
+	if opts.Clock == nil {
+		return nil, errors.New("broker: Clock is required")
+	}
+	b := &Broker{
+		rank:     opts.Rank,
+		size:     opts.Size,
+		k:        opts.Fanout,
+		clock:    opts.Clock,
+		timers:   opts.Timers,
+		children: make(map[int32]transport.Link),
+		services: make(map[string]Handler),
+		pending:  make(map[uint32]ResponseHandler),
+		modules:  make(map[string]Module),
+		modUndo:  make(map[string][]func()),
+		local:    opts.Local,
+	}
+	b.registerBuiltins()
+	return b, nil
+}
+
+// Rank returns this broker's TBON rank.
+func (b *Broker) Rank() int32 { return b.rank }
+
+// Size returns the instance size (broker count).
+func (b *Broker) Size() int32 { return b.size }
+
+// Fanout returns the TBON arity.
+func (b *Broker) Fanout() int { return b.k }
+
+// Clock returns the broker's time source.
+func (b *Broker) Clock() simtime.Clock { return b.clock }
+
+// Local returns the per-node resources installed at construction.
+func (b *Broker) Local() any { return b.local }
+
+// Stats returns a snapshot of activity counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// SetParent attaches the upstream link (toward rank 0).
+func (b *Broker) SetParent(l transport.Link) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.parent = l
+}
+
+// AddChild attaches a downstream link for the direct child childRank.
+func (b *Broker) AddChild(childRank int32, l transport.Link) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.children[childRank] = l
+}
+
+// ParentRank returns the TBON parent of rank r for arity k (r=0 has none).
+func ParentRank(r int32, k int) int32 {
+	if r == 0 {
+		return -1
+	}
+	return (r - 1) / int32(k)
+}
+
+// ChildRanks returns the direct children of rank r in a k-ary tree of the
+// given size.
+func ChildRanks(r int32, k int, size int32) []int32 {
+	var out []int32
+	for i := 1; i <= k; i++ {
+		c := r*int32(k) + int32(i)
+		if c < size {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TreeDepth returns the depth of rank r (root = 0).
+func TreeDepth(r int32, k int) int {
+	d := 0
+	for r > 0 {
+		r = ParentRank(r, k)
+		d++
+	}
+	return d
+}
+
+// nextHop computes the link to forward a message destined for target:
+// the child whose subtree contains target, else the parent.
+func (b *Broker) nextHop(target int32) (transport.Link, error) {
+	if target < 0 || target >= b.size {
+		return nil, fmt.Errorf("%w: rank %d of %d", ErrNoRoute, target, b.size)
+	}
+	// Walk target's ancestor chain; if it passes through us, the node
+	// just below us on the chain is the child to use.
+	cur := target
+	prev := int32(-1)
+	for cur != -1 {
+		if cur == b.rank {
+			break
+		}
+		prev = cur
+		cur = ParentRank(cur, b.k)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cur == b.rank && prev != -1 {
+		l, ok := b.children[prev]
+		if !ok {
+			return nil, fmt.Errorf("%w: child %d not connected", ErrNoRoute, prev)
+		}
+		return l, nil
+	}
+	if cur == b.rank && prev == -1 {
+		return nil, nil // target is us
+	}
+	if b.parent == nil {
+		return nil, fmt.Errorf("%w: no parent link from rank %d", ErrNoRoute, b.rank)
+	}
+	return b.parent, nil
+}
+
+// RegisterService installs a handler for a topic prefix. A handler
+// registered as "power.monitor" receives "power.monitor" and every topic
+// under it ("power.monitor.collect", ...). Longest-prefix wins on dispatch.
+func (b *Broker) RegisterService(prefix string, h Handler) error {
+	if err := msg.ValidateTopic(prefix); err != nil {
+		return err
+	}
+	if h == nil {
+		return errors.New("broker: nil service handler")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.services[prefix]; dup {
+		return fmt.Errorf("%w: %q", ErrDupService, prefix)
+	}
+	b.services[prefix] = h
+	return nil
+}
+
+// UnregisterService removes a service registration.
+func (b *Broker) UnregisterService(prefix string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.services, prefix)
+}
+
+// lookupService finds the longest registered prefix of topic.
+func (b *Broker) lookupService(topic string) (Handler, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	probe := topic
+	for {
+		if h, ok := b.services[probe]; ok {
+			return h, true
+		}
+		i := strings.LastIndex(probe, ".")
+		if i < 0 {
+			return nil, false
+		}
+		probe = probe[:i]
+	}
+}
+
+// Subscribe registers fn for events whose topic matches pattern (exact or
+// "prefix.*" glob). It returns an unsubscribe function.
+func (b *Broker) Subscribe(pattern string, fn EventHandler) func() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sub := subscription{pattern: pattern, fn: fn}
+	b.subs = append(b.subs, sub)
+	idx := len(b.subs) - 1
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if idx < len(b.subs) {
+			b.subs[idx].fn = nil
+		}
+	}
+}
+
+// Publish emits an event. From a non-root broker the event travels
+// upstream to rank 0, which assigns a sequence number and broadcasts it to
+// the whole instance (including the publisher).
+func (b *Broker) Publish(topic string, payload any) error {
+	ev, err := msg.NewEvent(topic, b.rank, 0, payload)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.stats.EventsPublished++
+	b.mu.Unlock()
+	return b.routeEvent(ev, true)
+}
+
+// routeEvent handles event flow. fromBelow marks events moving upstream
+// (from the publisher toward root); once sequenced at root they flood
+// downward with fromBelow=false.
+func (b *Broker) routeEvent(ev *msg.Message, fromBelow bool) error {
+	if fromBelow && b.rank != 0 {
+		b.mu.Lock()
+		parent := b.parent
+		b.mu.Unlock()
+		if parent == nil {
+			return fmt.Errorf("%w: cannot publish without parent", ErrNoRoute)
+		}
+		return parent.Send(ev)
+	}
+	if b.rank == 0 && fromBelow {
+		b.mu.Lock()
+		b.eventSeq++
+		ev = ev.Copy()
+		ev.Seq = b.eventSeq
+		b.mu.Unlock()
+	}
+	// Deliver locally, then flood downward.
+	b.deliverEvent(ev)
+	b.mu.Lock()
+	links := make([]transport.Link, 0, len(b.children))
+	for _, l := range b.children {
+		links = append(links, l)
+	}
+	b.mu.Unlock()
+	for _, l := range links {
+		if err := l.Send(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Broker) deliverEvent(ev *msg.Message) {
+	b.mu.Lock()
+	var fns []EventHandler
+	for _, s := range b.subs {
+		if s.fn != nil && msg.MatchGlob(s.pattern, ev.Topic) {
+			fns = append(fns, s.fn)
+		}
+	}
+	b.stats.EventsDelivered++
+	b.mu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+}
+
+// RPC sends a request to nodeID (msg.NodeAny routes upstream to the
+// nearest broker providing the service) and invokes cb with the response.
+// With in-memory links and a synchronous responder, cb runs before RPC
+// returns.
+func (b *Broker) RPC(nodeID int32, topic string, payload any, cb ResponseHandler) error {
+	b.mu.Lock()
+	b.nextTag++
+	tag := b.nextTag
+	if cb != nil {
+		b.pending[tag] = cb
+	}
+	b.stats.RPCsIssued++
+	b.mu.Unlock()
+	req, err := msg.NewRequest(topic, nodeID, b.rank, tag, payload)
+	if err != nil {
+		b.mu.Lock()
+		delete(b.pending, tag)
+		b.mu.Unlock()
+		return err
+	}
+	b.Deliver(req)
+	return nil
+}
+
+// Call is the synchronous convenience used by simulation-side clients: it
+// issues the RPC and requires the response to arrive before it returns
+// (guaranteed with in-memory links and synchronous services). It fails
+// with ErrNoSyncReply otherwise.
+func (b *Broker) Call(nodeID int32, topic string, payload any) (*msg.Message, error) {
+	var resp *msg.Message
+	if err := b.RPC(nodeID, topic, payload, func(m *msg.Message) { resp = m }); err != nil {
+		return nil, err
+	}
+	if resp == nil {
+		return nil, ErrNoSyncReply
+	}
+	if err := resp.Err(); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// Deliver injects a message into this broker, as a transport would. It
+// routes or dispatches as appropriate.
+func (b *Broker) Deliver(m *msg.Message) {
+	switch m.Type {
+	case msg.TypeRequest:
+		b.deliverRequest(m)
+	case msg.TypeResponse:
+		b.deliverResponse(m)
+	case msg.TypeEvent:
+		// An unsequenced event (Seq == 0) is still moving upstream toward
+		// root; sequenced events are flooding downward.
+		_ = b.routeEvent(m, m.Seq == 0)
+	case msg.TypeControl:
+		// Control messages are point-to-point broker internals; only
+		// ping/shutdown would use them. Ignored for now.
+	default:
+		b.mu.Lock()
+		b.stats.RoutingErrors++
+		b.mu.Unlock()
+	}
+}
+
+func (b *Broker) deliverRequest(m *msg.Message) {
+	// NodeAny: serve locally if we can, else walk upstream.
+	if m.NodeID == msg.NodeAny {
+		if h, ok := b.lookupService(m.Topic); ok {
+			b.dispatch(h, m)
+			return
+		}
+		if b.rank == 0 {
+			b.respondErr(m, msg.ENOSYS, fmt.Sprintf("service for %q not found on instance", m.Topic))
+			return
+		}
+		b.mu.Lock()
+		parent := b.parent
+		b.stats.RequestsRouted++
+		b.mu.Unlock()
+		if parent == nil {
+			b.respondErr(m, msg.EHOSTUNREACH, "no parent link")
+			return
+		}
+		if err := parent.Send(m); err != nil {
+			b.respondErr(m, msg.EHOSTUNREACH, err.Error())
+		}
+		return
+	}
+	// Addressed request.
+	hop, err := b.nextHop(m.NodeID)
+	if err != nil {
+		b.respondErr(m, msg.EHOSTUNREACH, err.Error())
+		return
+	}
+	if hop == nil { // we are the destination
+		if h, ok := b.lookupService(m.Topic); ok {
+			b.dispatch(h, m)
+			return
+		}
+		b.respondErr(m, msg.ENOSYS, fmt.Sprintf("rank %d has no service for %q", b.rank, m.Topic))
+		return
+	}
+	b.mu.Lock()
+	b.stats.RequestsRouted++
+	b.mu.Unlock()
+	if err := hop.Send(m); err != nil {
+		b.respondErr(m, msg.EHOSTUNREACH, err.Error())
+	}
+}
+
+func (b *Broker) deliverResponse(m *msg.Message) {
+	if m.NodeID == b.rank {
+		b.mu.Lock()
+		cb, ok := b.pending[m.Matchtag]
+		if ok {
+			delete(b.pending, m.Matchtag)
+		}
+		b.mu.Unlock()
+		if ok && cb != nil {
+			cb(m)
+		}
+		return
+	}
+	hop, err := b.nextHop(m.NodeID)
+	if err != nil || hop == nil {
+		b.mu.Lock()
+		b.stats.RoutingErrors++
+		b.mu.Unlock()
+		return // response to an unreachable requester is dropped
+	}
+	b.mu.Lock()
+	b.stats.ResponsesRouted++
+	b.mu.Unlock()
+	_ = hop.Send(m)
+}
+
+func (b *Broker) dispatch(h Handler, m *msg.Message) {
+	b.mu.Lock()
+	b.stats.RequestsHandled++
+	b.mu.Unlock()
+	h(&Request{Msg: m, broker: b})
+}
+
+// respondErr sends an error response back toward the requester. Requests
+// originated by this broker short-circuit to the local pending table.
+func (b *Broker) respondErr(req *msg.Message, errnum int, errstr string) {
+	resp := msg.NewErrorResponse(req, b.rank, errnum, errstr)
+	b.Deliver(resp)
+}
+
+// Request is a dispatched request with its response plumbing.
+type Request struct {
+	Msg    *msg.Message
+	broker *Broker
+}
+
+// Respond sends a success response with the given payload.
+func (r *Request) Respond(payload any) error {
+	resp, err := msg.NewResponse(r.Msg, r.broker.rank, payload)
+	if err != nil {
+		return err
+	}
+	r.broker.Deliver(resp)
+	return nil
+}
+
+// Fail sends an error response.
+func (r *Request) Fail(errnum int, errstr string) error {
+	r.broker.Deliver(msg.NewErrorResponse(r.Msg, r.broker.rank, errnum, errstr))
+	return nil
+}
+
+// Broker returns the broker the request was dispatched on.
+func (r *Request) Broker() *Broker { return r.broker }
+
+// registerBuiltins installs the broker's own services.
+func (b *Broker) registerBuiltins() {
+	// broker.ping: liveness and identity probe.
+	_ = b.RegisterService("broker.ping", func(req *Request) {
+		_ = req.Respond(map[string]any{
+			"rank": b.rank,
+			"size": b.size,
+			"time": b.clock.Now().Seconds(),
+		})
+	})
+	// broker.stats: activity counters.
+	_ = b.RegisterService("broker.stats", func(req *Request) {
+		_ = req.Respond(b.Stats())
+	})
+	// broker.services: registry listing, for debugging.
+	_ = b.RegisterService("broker.services", func(req *Request) {
+		b.mu.Lock()
+		names := make([]string, 0, len(b.services))
+		for name := range b.services {
+			names = append(names, name)
+		}
+		b.mu.Unlock()
+		sort.Strings(names)
+		_ = req.Respond(map[string]any{"services": names})
+	})
+}
+
+// Module is a dynamically loaded broker plugin (Flux RFC 5). Modules have
+// their own identity, register services against the broker, and are torn
+// down on unload.
+type Module interface {
+	// Name identifies the module ("power-monitor", "power-manager").
+	Name() string
+	// Init wires the module into the broker. Returning an error aborts
+	// the load.
+	Init(ctx *Context) error
+	// Shutdown releases module resources. Called on unload.
+	Shutdown() error
+}
+
+// Context is the capability surface handed to a module at load time.
+type Context struct {
+	broker *Broker
+	module string
+	undo   []func()
+}
+
+// Rank returns the hosting broker's rank.
+func (c *Context) Rank() int32 { return c.broker.rank }
+
+// Size returns the instance size.
+func (c *Context) Size() int32 { return c.broker.size }
+
+// Clock returns simulated time.
+func (c *Context) Clock() simtime.Clock { return c.broker.clock }
+
+// Local returns the per-node resources (the simulated hw.Node).
+func (c *Context) Local() any { return c.broker.local }
+
+// Broker exposes the hosting broker for advanced use (RPC fan-out).
+func (c *Context) Broker() *Broker { return c.broker }
+
+// RegisterService installs a service handler that is removed on unload.
+func (c *Context) RegisterService(prefix string, h Handler) error {
+	if err := c.broker.RegisterService(prefix, h); err != nil {
+		return err
+	}
+	c.undo = append(c.undo, func() { c.broker.UnregisterService(prefix) })
+	return nil
+}
+
+// Subscribe registers an event handler that is removed on unload.
+func (c *Context) Subscribe(pattern string, fn EventHandler) {
+	unsub := c.broker.Subscribe(pattern, fn)
+	c.undo = append(c.undo, unsub)
+}
+
+// Publish emits an event into the instance.
+func (c *Context) Publish(topic string, payload any) error {
+	return c.broker.Publish(topic, payload)
+}
+
+// RPC issues a request from this broker.
+func (c *Context) RPC(nodeID int32, topic string, payload any, cb ResponseHandler) error {
+	return c.broker.RPC(nodeID, topic, payload, cb)
+}
+
+// Every arms a periodic timer that is stopped on unload. In simulation
+// mode callbacks run deterministically on the engine's goroutine; in live
+// mode (simtime.Wall) they run on their own goroutines.
+func (c *Context) Every(period time.Duration, fn simtime.TimerFunc) (simtime.TimerHandle, error) {
+	if c.broker.timers == nil {
+		return nil, errors.New("broker: no timer provider available for module timers")
+	}
+	t := c.broker.timers.Every(period, fn)
+	c.undo = append(c.undo, t.Stop)
+	return t, nil
+}
+
+// After arms a one-shot timer that is cancelled on unload.
+func (c *Context) After(d time.Duration, fn simtime.TimerFunc) (simtime.TimerHandle, error) {
+	if c.broker.timers == nil {
+		return nil, errors.New("broker: no timer provider available for module timers")
+	}
+	t := c.broker.timers.AfterFunc(d, fn)
+	c.undo = append(c.undo, t.Stop)
+	return t, nil
+}
+
+// LoadModule loads and initializes a module on this broker.
+func (b *Broker) LoadModule(m Module) error {
+	b.mu.Lock()
+	if _, dup := b.modules[m.Name()]; dup {
+		b.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDupModule, m.Name())
+	}
+	b.mu.Unlock()
+	ctx := &Context{broker: b, module: m.Name()}
+	if err := m.Init(ctx); err != nil {
+		for _, u := range ctx.undo {
+			u()
+		}
+		return fmt.Errorf("broker: loading module %q: %w", m.Name(), err)
+	}
+	b.mu.Lock()
+	b.modules[m.Name()] = m
+	b.modUndo[m.Name()] = ctx.undo
+	b.mu.Unlock()
+	return nil
+}
+
+// UnloadModule shuts a module down and removes its registrations.
+func (b *Broker) UnloadModule(name string) error {
+	b.mu.Lock()
+	m, ok := b.modules[name]
+	var undo []func()
+	if ok {
+		delete(b.modules, name)
+		undo = b.modUndo[name]
+		delete(b.modUndo, name)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("broker: module %q not loaded", name)
+	}
+	err := m.Shutdown()
+	for _, u := range undo {
+		u()
+	}
+	return err
+}
+
+// Modules returns the names of loaded modules, sorted.
+func (b *Broker) Modules() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.modules))
+	for name := range b.modules {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

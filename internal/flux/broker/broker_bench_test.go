@@ -1,0 +1,63 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+
+	"fluxpower/internal/flux/msg"
+	"fluxpower/internal/simtime"
+)
+
+func benchInstance(b *testing.B, size, fanout int) *Instance {
+	b.Helper()
+	inst, err := NewInstance(InstanceOptions{
+		Size:      size,
+		Fanout:    fanout,
+		Scheduler: simtime.NewScheduler(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// BenchmarkTBONFanout measures RPC round-trip cost from root to the
+// deepest leaf for different tree arities (DESIGN.md decision 5): k=2
+// gives deep trees with more hops, k=16 flat trees with bigger routing
+// tables.
+func BenchmarkTBONFanout(b *testing.B) {
+	for _, k := range []int{2, 4, 16} {
+		b.Run(fmt.Sprintf("k=%d/size=64", k), func(b *testing.B) {
+			inst := benchInstance(b, 64, k)
+			leaf := int32(63)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := inst.Root().Call(leaf, "broker.ping", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEventBroadcast measures flooding one event to every broker of
+// a 64-node instance with one subscriber per rank (the job.start /
+// job.finish path the power manager rides on).
+func BenchmarkEventBroadcast(b *testing.B) {
+	inst := benchInstance(b, 64, 2)
+	delivered := 0
+	for _, br := range inst.Brokers {
+		br.Subscribe("bench.tick", func(ev *msg.Message) { delivered++ })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := inst.Root().Publish("bench.tick", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if delivered == 0 {
+		b.Fatal("no deliveries")
+	}
+}

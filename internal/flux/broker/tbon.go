@@ -1,0 +1,115 @@
+package broker
+
+import (
+	"fmt"
+
+	"fluxpower/internal/flux/transport"
+	"fluxpower/internal/simtime"
+)
+
+// Instance is a fully wired set of brokers forming one Flux instance —
+// the simulation equivalent of "an allocation of physical resources ...
+// a set of flux-broker processes that form a TBON" (§II-B).
+type Instance struct {
+	Brokers []*Broker
+	sched   *simtime.Scheduler
+}
+
+// InstanceOptions configures NewInstance.
+type InstanceOptions struct {
+	// Size is the number of brokers (= nodes).
+	Size int
+	// Fanout is the TBON arity; Flux defaults to 2. Zero selects 2.
+	Fanout int
+	// Scheduler drives time; required.
+	Scheduler *simtime.Scheduler
+	// Local, if set, supplies the per-node resource attached to each
+	// broker (the rank's simulated hw.Node).
+	Local func(rank int32) any
+}
+
+// NewInstance builds Size brokers wired into a k-ary TBON with in-memory
+// links. Message delivery is synchronous and deterministic.
+func NewInstance(opts InstanceOptions) (*Instance, error) {
+	if opts.Size <= 0 {
+		return nil, fmt.Errorf("broker: instance size %d must be positive", opts.Size)
+	}
+	if opts.Scheduler == nil {
+		return nil, fmt.Errorf("broker: instance requires a scheduler")
+	}
+	k := opts.Fanout
+	if k == 0 {
+		k = 2
+	}
+	inst := &Instance{sched: opts.Scheduler}
+	for rank := int32(0); rank < int32(opts.Size); rank++ {
+		var local any
+		if opts.Local != nil {
+			local = opts.Local(rank)
+		}
+		b, err := New(Options{
+			Rank:   rank,
+			Size:   int32(opts.Size),
+			Fanout: k,
+			Clock:  opts.Scheduler,
+			Timers: opts.Scheduler,
+			Local:  local,
+		})
+		if err != nil {
+			return nil, err
+		}
+		inst.Brokers = append(inst.Brokers, b)
+	}
+	// Wire parent-child links.
+	for rank := int32(1); rank < int32(opts.Size); rank++ {
+		child := inst.Brokers[rank]
+		parent := inst.Brokers[ParentRank(rank, k)]
+		childEnd, parentEnd := transport.MemPair(child.Deliver, parent.Deliver)
+		child.SetParent(childEnd)
+		parent.AddChild(rank, parentEnd)
+	}
+	return inst, nil
+}
+
+// Root returns the rank-0 broker — where external clients attach, the
+// root-agent lives, and the cluster-level power manager runs.
+func (i *Instance) Root() *Broker { return i.Brokers[0] }
+
+// Broker returns the broker at the given rank.
+func (i *Instance) Broker(rank int32) *Broker { return i.Brokers[rank] }
+
+// Size returns the instance's broker count.
+func (i *Instance) Size() int { return len(i.Brokers) }
+
+// LoadModuleAll loads one module instance per broker, built by factory.
+// This is how per-node agents (the monitor's node-agent, the manager's
+// node-level-manager) are deployed.
+func (i *Instance) LoadModuleAll(factory func(rank int32) Module) error {
+	for rank, b := range i.Brokers {
+		if err := b.LoadModule(factory(int32(rank))); err != nil {
+			return fmt.Errorf("rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// UnloadModuleAll unloads the named module from every broker that has it.
+func (i *Instance) UnloadModuleAll(name string) error {
+	var firstErr error
+	for _, b := range i.Brokers {
+		has := false
+		for _, m := range b.Modules() {
+			if m == name {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		if err := b.UnloadModule(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,382 @@
+// Package job implements the job manager: jobspecs, job state tracking,
+// FCFS scheduling onto broker ranks, and the job.start / job.finish events
+// the power modules key off.
+//
+// The paper's framework is deliberately job-centric: "anything that can be
+// launched under a Flux job" — MPI codes, Charm++, Python workflows — gets
+// power telemetry and management (§I). Accordingly, a Spec here names an
+// application *model* (resolved by the cluster engine) plus its node count
+// and scaling knobs; the job manager neither knows nor cares what the
+// application is.
+package job
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/kvs"
+	"fluxpower/internal/flux/msg"
+	"fluxpower/internal/flux/sched"
+)
+
+// ModuleName is the job manager's registered module/service name.
+const ModuleName = "job-manager"
+
+// Event topics published by the manager.
+const (
+	EventStart  = "job.start"
+	EventFinish = "job.finish"
+	EventSubmit = "job.submit"
+)
+
+// State is a job's lifecycle state (a condensed version of Flux's
+// DEPEND→PRIORITY→SCHED→RUN→CLEANUP→INACTIVE).
+type State string
+
+// Job states.
+const (
+	StateSched    State = "SCHED"    // queued, waiting for nodes
+	StateRun      State = "RUN"      // allocated and running
+	StateInactive State = "INACTIVE" // finished or cancelled
+)
+
+// Spec describes a job submission.
+type Spec struct {
+	// Name is a user-facing label ("gemm-6node").
+	Name string `json:"name"`
+	// App names the application model in the cluster's catalog
+	// ("lammps", "gemm", "quicksilver", "laghos", "nqueens").
+	App string `json:"app"`
+	// Nodes is the requested node count.
+	Nodes int `json:"nodes"`
+	// SizeFactor scales the problem size (Table III runs Quicksilver at
+	// 10x). Zero means 1.
+	SizeFactor float64 `json:"size_factor,omitempty"`
+	// RepFactor scales the iteration count (Table III doubles GEMM's
+	// repetitions). Zero means 1.
+	RepFactor float64 `json:"rep_factor,omitempty"`
+	// PowerPolicy optionally selects a per-job power policy, overriding
+	// the power manager's cluster default — the user-level customization
+	// the paper's framework inherits from Flux ("different users can
+	// choose different power-aware scheduling policies within their
+	// respective allocations", §I). Interpreted by the power manager;
+	// the job manager itself carries it opaquely.
+	PowerPolicy string `json:"power_policy,omitempty"`
+}
+
+// Validate checks a spec before submission.
+func (s Spec) Validate() error {
+	if s.App == "" {
+		return fmt.Errorf("job: spec needs an application name")
+	}
+	if s.Nodes <= 0 {
+		return fmt.Errorf("job: spec requests %d nodes", s.Nodes)
+	}
+	if s.SizeFactor < 0 || s.RepFactor < 0 {
+		return fmt.Errorf("job: negative scaling factor")
+	}
+	return nil
+}
+
+// Record is the job manager's view of one job.
+type Record struct {
+	ID    uint64  `json:"id"`
+	Spec  Spec    `json:"spec"`
+	State State   `json:"state"`
+	Ranks []int32 `json:"ranks,omitempty"`
+	// Times are simulation seconds; zero means "not yet".
+	SubmitSec float64 `json:"submit_sec"`
+	StartSec  float64 `json:"start_sec"`
+	EndSec    float64 `json:"end_sec"`
+}
+
+// Manager is the job-manager broker module. Load it on rank 0.
+type Manager struct {
+	computeRanks []int32
+
+	mu      sync.Mutex
+	ctx     *broker.Context
+	alloc   *sched.FCFS
+	records map[uint64]*Record
+	queue   []uint64 // submission order, SCHED state only
+	nextID  uint64
+	kvs     *kvs.Client // optional mirror; nil if no KVS module
+}
+
+// NewManager creates a job manager scheduling over the given compute
+// ranks. Normally that is every rank in the instance: brokers double as
+// compute nodes, as on real Flux systems.
+func NewManager(computeRanks []int32) *Manager {
+	rs := append([]int32(nil), computeRanks...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	return &Manager{
+		computeRanks: rs,
+		records:      make(map[uint64]*Record),
+	}
+}
+
+// Name implements broker.Module.
+func (m *Manager) Name() string { return ModuleName }
+
+// Shutdown implements broker.Module.
+func (m *Manager) Shutdown() error { return nil }
+
+// Init implements broker.Module.
+func (m *Manager) Init(ctx *broker.Context) error {
+	m.ctx = ctx
+	m.alloc = sched.New(m.computeRanks)
+	m.kvs = kvs.NewClient(ctx.Broker())
+	return ctx.RegisterService(ModuleName, func(req *broker.Request) {
+		switch req.Msg.Topic {
+		case "job-manager.submit":
+			m.handleSubmit(req)
+		case "job-manager.finish":
+			m.handleFinish(req)
+		case "job-manager.cancel":
+			m.handleCancel(req)
+		case "job-manager.info":
+			m.handleInfo(req)
+		case "job-manager.list":
+			m.handleList(req)
+		default:
+			_ = req.Fail(msg.ENOSYS, fmt.Sprintf("job-manager: unknown operation %q", req.Msg.Topic))
+		}
+	})
+}
+
+func (m *Manager) handleSubmit(req *broker.Request) {
+	var spec Spec
+	if err := req.Msg.Unmarshal(&spec); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	if spec.Nodes > len(m.computeRanks) {
+		_ = req.Fail(msg.EINVAL, fmt.Sprintf(
+			"job: %d nodes requested, cluster has %d", spec.Nodes, len(m.computeRanks)))
+		return
+	}
+	if spec.SizeFactor == 0 {
+		spec.SizeFactor = 1
+	}
+	if spec.RepFactor == 0 {
+		spec.RepFactor = 1
+	}
+	m.mu.Lock()
+	m.nextID++
+	rec := &Record{
+		ID:        m.nextID,
+		Spec:      spec,
+		State:     StateSched,
+		SubmitSec: m.ctx.Clock().Now().Seconds(),
+	}
+	m.records[rec.ID] = rec
+	m.queue = append(m.queue, rec.ID)
+	m.mu.Unlock()
+
+	_ = m.ctx.Publish(EventSubmit, rec)
+	_ = req.Respond(map[string]uint64{"id": rec.ID})
+	m.trySchedule()
+}
+
+// trySchedule starts queued jobs in FCFS order while nodes are available.
+// Strict FCFS: the queue head blocks later jobs (no backfill).
+func (m *Manager) trySchedule() {
+	for {
+		m.mu.Lock()
+		if len(m.queue) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		id := m.queue[0]
+		rec := m.records[id]
+		ranks, ok := m.alloc.Alloc(rec.Spec.Nodes)
+		if !ok {
+			m.mu.Unlock()
+			return
+		}
+		m.queue = m.queue[1:]
+		rec.State = StateRun
+		rec.Ranks = ranks
+		rec.StartSec = m.ctx.Clock().Now().Seconds()
+		started := *rec
+		m.mu.Unlock()
+
+		m.mirror(&started)
+		_ = m.ctx.Publish(EventStart, started)
+	}
+}
+
+type idRequest struct {
+	ID uint64 `json:"id"`
+}
+
+func (m *Manager) handleFinish(req *broker.Request) {
+	var body idRequest
+	if err := req.Msg.Unmarshal(&body); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	m.mu.Lock()
+	rec, ok := m.records[body.ID]
+	if !ok {
+		m.mu.Unlock()
+		_ = req.Fail(msg.ENOENT, fmt.Sprintf("job: no such job %d", body.ID))
+		return
+	}
+	if rec.State != StateRun {
+		state := rec.State
+		m.mu.Unlock()
+		_ = req.Fail(msg.EINVAL, fmt.Sprintf("job: job %d is %s, not RUN", body.ID, state))
+		return
+	}
+	rec.State = StateInactive
+	rec.EndSec = m.ctx.Clock().Now().Seconds()
+	m.alloc.Release(rec.Ranks)
+	finished := *rec
+	m.mu.Unlock()
+
+	m.mirror(&finished)
+	_ = m.ctx.Publish(EventFinish, finished)
+	_ = req.Respond(finished)
+	m.trySchedule()
+}
+
+func (m *Manager) handleCancel(req *broker.Request) {
+	var body idRequest
+	if err := req.Msg.Unmarshal(&body); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	m.mu.Lock()
+	rec, ok := m.records[body.ID]
+	if !ok || rec.State != StateSched {
+		m.mu.Unlock()
+		_ = req.Fail(msg.EINVAL, "job: only queued jobs can be cancelled")
+		return
+	}
+	rec.State = StateInactive
+	rec.EndSec = m.ctx.Clock().Now().Seconds()
+	for i, id := range m.queue {
+		if id == body.ID {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			break
+		}
+	}
+	cancelled := *rec
+	m.mu.Unlock()
+	m.mirror(&cancelled)
+	_ = req.Respond(cancelled)
+	m.trySchedule()
+}
+
+func (m *Manager) handleInfo(req *broker.Request) {
+	var body idRequest
+	if err := req.Msg.Unmarshal(&body); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	m.mu.Lock()
+	rec, ok := m.records[body.ID]
+	var cp Record
+	if ok {
+		cp = *rec
+	}
+	m.mu.Unlock()
+	if !ok {
+		_ = req.Fail(msg.ENOENT, fmt.Sprintf("job: no such job %d", body.ID))
+		return
+	}
+	_ = req.Respond(cp)
+}
+
+func (m *Manager) handleList(req *broker.Request) {
+	m.mu.Lock()
+	out := make([]Record, 0, len(m.records))
+	for _, rec := range m.records {
+		out = append(out, *rec)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	_ = req.Respond(map[string][]Record{"jobs": out})
+}
+
+// mirror best-effort copies the record into the KVS (job.<id>); absence of
+// a KVS module is not an error.
+func (m *Manager) mirror(rec *Record) {
+	if m.kvs == nil {
+		return
+	}
+	_ = m.kvs.Put(fmt.Sprintf("job.%d", rec.ID), rec)
+}
+
+// Client wraps the job-manager services for any broker in the instance.
+type Client struct {
+	b *broker.Broker
+}
+
+// NewClient returns a job-manager client issuing requests from b.
+func NewClient(b *broker.Broker) *Client { return &Client{b: b} }
+
+// Submit queues a job, returning its ID.
+func (c *Client) Submit(spec Spec) (uint64, error) {
+	resp, err := c.b.Call(msg.NodeAny, "job-manager.submit", spec)
+	if err != nil {
+		return 0, err
+	}
+	var body map[string]uint64
+	if err := resp.Unmarshal(&body); err != nil {
+		return 0, err
+	}
+	return body["id"], nil
+}
+
+// Finish marks a running job complete, releasing its nodes.
+func (c *Client) Finish(id uint64) (Record, error) {
+	resp, err := c.b.Call(msg.NodeAny, "job-manager.finish", idRequest{ID: id})
+	if err != nil {
+		return Record{}, err
+	}
+	var rec Record
+	if err := resp.Unmarshal(&rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// Cancel removes a queued job.
+func (c *Client) Cancel(id uint64) error {
+	_, err := c.b.Call(msg.NodeAny, "job-manager.cancel", idRequest{ID: id})
+	return err
+}
+
+// Info fetches a job record.
+func (c *Client) Info(id uint64) (Record, error) {
+	resp, err := c.b.Call(msg.NodeAny, "job-manager.info", idRequest{ID: id})
+	if err != nil {
+		return Record{}, err
+	}
+	var rec Record
+	if err := resp.Unmarshal(&rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// List fetches all job records, oldest first.
+func (c *Client) List() ([]Record, error) {
+	resp, err := c.b.Call(msg.NodeAny, "job-manager.list", nil)
+	if err != nil {
+		return nil, err
+	}
+	var body map[string][]Record
+	if err := resp.Unmarshal(&body); err != nil {
+		return nil, err
+	}
+	return body["jobs"], nil
+}

@@ -1,0 +1,272 @@
+// Package kvs implements a small hierarchical key-value store as a broker
+// module, mirroring the role of the Flux KVS: instance-global state (job
+// records, configuration) lives under dotted keys on rank 0 and is accessed
+// from any rank via RPC.
+//
+// Services (all on the rank the module is loaded on, normally 0):
+//
+//	kvs.put    {key, value}        store value (any JSON) at key
+//	kvs.get    {key}               → {key, value, version}
+//	kvs.unlink {key}               remove key (and any children)
+//	kvs.dir    {key}               → {keys: [...]} direct children of key
+//	kvs.version {}                 → {version} global commit counter
+//
+// Keys are dotted paths ("job.42.start"). The store is flat internally
+// with hierarchical listing, which is all the job manager needs.
+package kvs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/msg"
+)
+
+// ModuleName is the registered module/service name.
+const ModuleName = "kvs"
+
+// Module is the KVS broker module. Load it on rank 0.
+type Module struct {
+	mu      sync.Mutex
+	data    map[string]json.RawMessage
+	version uint64
+}
+
+// New returns an empty KVS module.
+func New() *Module {
+	return &Module{data: make(map[string]json.RawMessage)}
+}
+
+// Name implements broker.Module.
+func (m *Module) Name() string { return ModuleName }
+
+// Shutdown implements broker.Module.
+func (m *Module) Shutdown() error { return nil }
+
+// Init implements broker.Module.
+func (m *Module) Init(ctx *broker.Context) error {
+	return ctx.RegisterService(ModuleName, func(req *broker.Request) {
+		switch req.Msg.Topic {
+		case "kvs.put":
+			m.handlePut(req)
+		case "kvs.get":
+			m.handleGet(req)
+		case "kvs.unlink":
+			m.handleUnlink(req)
+		case "kvs.dir":
+			m.handleDir(req)
+		case "kvs.version":
+			m.handleVersion(req)
+		default:
+			_ = req.Fail(msg.ENOSYS, fmt.Sprintf("kvs: unknown operation %q", req.Msg.Topic))
+		}
+	})
+}
+
+type putRequest struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+type keyRequest struct {
+	Key string `json:"key"`
+}
+
+type getResponse struct {
+	Key     string          `json:"key"`
+	Value   json.RawMessage `json:"value"`
+	Version uint64          `json:"version"`
+}
+
+func validKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("kvs: empty key")
+	}
+	if strings.HasPrefix(key, ".") || strings.HasSuffix(key, ".") || strings.Contains(key, "..") {
+		return fmt.Errorf("kvs: malformed key %q", key)
+	}
+	return nil
+}
+
+func (m *Module) handlePut(req *broker.Request) {
+	var body putRequest
+	if err := req.Msg.Unmarshal(&body); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	if err := validKey(body.Key); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	if len(body.Value) == 0 {
+		_ = req.Fail(msg.EINVAL, "kvs: put without value")
+		return
+	}
+	m.mu.Lock()
+	m.data[body.Key] = body.Value
+	m.version++
+	v := m.version
+	m.mu.Unlock()
+	_ = req.Respond(map[string]uint64{"version": v})
+}
+
+func (m *Module) handleGet(req *broker.Request) {
+	var body keyRequest
+	if err := req.Msg.Unmarshal(&body); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	m.mu.Lock()
+	val, ok := m.data[body.Key]
+	v := m.version
+	m.mu.Unlock()
+	if !ok {
+		_ = req.Fail(msg.ENOENT, fmt.Sprintf("kvs: no such key %q", body.Key))
+		return
+	}
+	_ = req.Respond(getResponse{Key: body.Key, Value: val, Version: v})
+}
+
+func (m *Module) handleUnlink(req *broker.Request) {
+	var body keyRequest
+	if err := req.Msg.Unmarshal(&body); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	if err := validKey(body.Key); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	prefix := body.Key + "."
+	removed := 0
+	m.mu.Lock()
+	for k := range m.data {
+		if k == body.Key || strings.HasPrefix(k, prefix) {
+			delete(m.data, k)
+			removed++
+		}
+	}
+	if removed > 0 {
+		m.version++
+	}
+	m.mu.Unlock()
+	_ = req.Respond(map[string]int{"removed": removed})
+}
+
+func (m *Module) handleDir(req *broker.Request) {
+	var body keyRequest
+	if err := req.Msg.Unmarshal(&body); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	prefix := ""
+	if body.Key != "" {
+		prefix = body.Key + "."
+	}
+	seen := map[string]bool{}
+	m.mu.Lock()
+	for k := range m.data {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(k, prefix)
+		if i := strings.Index(rest, "."); i >= 0 {
+			rest = rest[:i]
+		}
+		if rest != "" {
+			seen[rest] = true
+		}
+	}
+	m.mu.Unlock()
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	_ = req.Respond(map[string][]string{"keys": keys})
+}
+
+func (m *Module) handleVersion(req *broker.Request) {
+	m.mu.Lock()
+	v := m.version
+	m.mu.Unlock()
+	_ = req.Respond(map[string]uint64{"version": v})
+}
+
+// Client is a typed convenience wrapper for KVS access from any broker in
+// the instance (requests route upstream via NodeAny).
+type Client struct {
+	b *broker.Broker
+}
+
+// NewClient returns a KVS client issuing requests from b.
+func NewClient(b *broker.Broker) *Client { return &Client{b: b} }
+
+// Put stores value (marshalled to JSON) at key.
+func (c *Client) Put(key string, value any) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("kvs: marshal value for %q: %w", key, err)
+	}
+	_, err = c.b.Call(msg.NodeAny, "kvs.put", putRequest{Key: key, Value: raw})
+	return err
+}
+
+// Get loads the value at key into out.
+func (c *Client) Get(key string, out any) error {
+	resp, err := c.b.Call(msg.NodeAny, "kvs.get", keyRequest{Key: key})
+	if err != nil {
+		return err
+	}
+	var body getResponse
+	if err := resp.Unmarshal(&body); err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body.Value, out)
+}
+
+// Unlink removes key and its children, returning how many entries vanished.
+func (c *Client) Unlink(key string) (int, error) {
+	resp, err := c.b.Call(msg.NodeAny, "kvs.unlink", keyRequest{Key: key})
+	if err != nil {
+		return 0, err
+	}
+	var body map[string]int
+	if err := resp.Unmarshal(&body); err != nil {
+		return 0, err
+	}
+	return body["removed"], nil
+}
+
+// Dir lists the direct children under key ("" lists the roots).
+func (c *Client) Dir(key string) ([]string, error) {
+	resp, err := c.b.Call(msg.NodeAny, "kvs.dir", keyRequest{Key: key})
+	if err != nil {
+		return nil, err
+	}
+	var body map[string][]string
+	if err := resp.Unmarshal(&body); err != nil {
+		return nil, err
+	}
+	return body["keys"], nil
+}
+
+// Version returns the global commit counter.
+func (c *Client) Version() (uint64, error) {
+	resp, err := c.b.Call(msg.NodeAny, "kvs.version", nil)
+	if err != nil {
+		return 0, err
+	}
+	var body map[string]uint64
+	if err := resp.Unmarshal(&body); err != nil {
+		return 0, err
+	}
+	return body["version"], nil
+}

@@ -1,0 +1,240 @@
+package kvs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/msg"
+	"fluxpower/internal/simtime"
+)
+
+func instanceWithKVS(t *testing.T, size int) *broker.Instance {
+	t.Helper()
+	inst, err := broker.NewInstance(broker.InstanceOptions{
+		Size:      size,
+		Scheduler: simtime.NewScheduler(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Root().LoadModule(New()); err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	inst := instanceWithKVS(t, 3)
+	c := NewClient(inst.Root())
+	type rec struct {
+		Nodes []int `json:"nodes"`
+		Name  string
+	}
+	if err := c.Put("job.1.record", rec{Nodes: []int{1, 2}, Name: "gemm"}); err != nil {
+		t.Fatal(err)
+	}
+	var got rec
+	if err := c.Get("job.1.record", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "gemm" || len(got.Nodes) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestGetFromLeafRoutesUpstream(t *testing.T) {
+	inst := instanceWithKVS(t, 7)
+	root := NewClient(inst.Root())
+	if err := root.Put("config.policy", "fpp"); err != nil {
+		t.Fatal(err)
+	}
+	leaf := NewClient(inst.Broker(6))
+	var policy string
+	if err := leaf.Get("config.policy", &policy); err != nil {
+		t.Fatal(err)
+	}
+	if policy != "fpp" {
+		t.Fatalf("leaf read %q", policy)
+	}
+	// Writes from leaves land on the root store too.
+	if err := leaf.Put("config.interval", 2); err != nil {
+		t.Fatal(err)
+	}
+	var interval int
+	if err := root.Get("config.interval", &interval); err != nil || interval != 2 {
+		t.Fatalf("root read interval=%d err=%v", interval, err)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	inst := instanceWithKVS(t, 1)
+	c := NewClient(inst.Root())
+	err := c.Get("no.such.key", nil)
+	var me *msg.Error
+	if !errors.As(err, &me) || me.Errnum != msg.ENOENT {
+		t.Fatalf("err=%v, want ENOENT", err)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	inst := instanceWithKVS(t, 1)
+	c := NewClient(inst.Root())
+	for _, bad := range []string{"", ".x", "x.", "a..b"} {
+		if err := c.Put(bad, 1); err == nil {
+			t.Fatalf("bad key %q accepted", bad)
+		}
+	}
+}
+
+func TestUnlinkRemovesSubtree(t *testing.T) {
+	inst := instanceWithKVS(t, 1)
+	c := NewClient(inst.Root())
+	for _, k := range []string{"job.1.a", "job.1.b", "job.2.a", "jobx"} {
+		if err := c.Put(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := c.Unlink("job.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("removed %d, want 2", removed)
+	}
+	if err := c.Get("job.1.a", nil); err == nil {
+		t.Fatal("job.1.a survived unlink")
+	}
+	if err := c.Get("job.2.a", nil); err != nil {
+		t.Fatal("job.2.a wrongly removed")
+	}
+	if err := c.Get("jobx", nil); err != nil {
+		t.Fatal("prefix sibling jobx wrongly removed")
+	}
+}
+
+func TestDirListsChildren(t *testing.T) {
+	inst := instanceWithKVS(t, 1)
+	c := NewClient(inst.Root())
+	for _, k := range []string{"job.1.start", "job.1.end", "job.2.start", "other"} {
+		if err := c.Put(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kids, err := c.Dir("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 2 || kids[0] != "1" || kids[1] != "2" {
+		t.Fatalf("Dir(job)=%v", kids)
+	}
+	roots, err := c.Dir("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 2 { // "job", "other"
+		t.Fatalf("Dir('')=%v", roots)
+	}
+}
+
+func TestVersionMonotonic(t *testing.T) {
+	inst := instanceWithKVS(t, 1)
+	c := NewClient(inst.Root())
+	v0, err := c.Version()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := c.Version()
+	if v1 != v0+1 {
+		t.Fatalf("version %d → %d", v0, v1)
+	}
+	// Unlink of nothing does not bump the version.
+	if _, err := c.Unlink("nothing.here"); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := c.Version()
+	if v2 != v1 {
+		t.Fatalf("no-op unlink bumped version %d → %d", v1, v2)
+	}
+}
+
+func TestUnknownOperation(t *testing.T) {
+	inst := instanceWithKVS(t, 1)
+	_, err := inst.Root().Call(msg.NodeAny, "kvs.bogus", nil)
+	var me *msg.Error
+	if !errors.As(err, &me) || me.Errnum != msg.ENOSYS {
+		t.Fatalf("err=%v, want ENOSYS", err)
+	}
+}
+
+func TestOverwriteKeepsLatest(t *testing.T) {
+	inst := instanceWithKVS(t, 1)
+	c := NewClient(inst.Root())
+	if err := c.Put("k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	if err := c.Get("k", &got); err != nil || got != "v2" {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+}
+
+// Property: after any interleaving of puts and unlinks, Get returns
+// exactly the most recent put not covered by a later unlink.
+func TestQuickKVSLastWriteWins(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Val    int32
+		Unlink bool
+	}
+	f := func(ops []op) bool {
+		inst := instanceWithKVSQuick()
+		c := NewClient(inst.Root())
+		model := map[string]int32{}
+		for _, o := range ops {
+			key := "k" + string(rune('a'+o.Key%6))
+			if o.Unlink {
+				if _, err := c.Unlink(key); err != nil {
+					return false
+				}
+				delete(model, key)
+			} else {
+				if err := c.Put(key, o.Val); err != nil {
+					return false
+				}
+				model[key] = o.Val
+			}
+		}
+		for key, want := range model {
+			var got int32
+			if err := c.Get(key, &got); err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func instanceWithKVSQuick() *broker.Instance {
+	inst, err := broker.NewInstance(broker.InstanceOptions{
+		Size:      1,
+		Scheduler: simtime.NewScheduler(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := inst.Root().LoadModule(New()); err != nil {
+		panic(err)
+	}
+	return inst
+}

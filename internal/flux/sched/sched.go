@@ -1,0 +1,69 @@
+// Package sched implements the node allocator behind the job manager: a
+// first-come-first-served scheduler over broker ranks, the policy Flux
+// applies in the paper's job-queue experiment ("Flux schedules these jobs
+// as any regular resource manager would", §IV-E).
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FCFS allocates whole nodes (broker ranks) first-come-first-served with
+// no backfill: if the request at the head of the queue does not fit,
+// later requests wait, preserving submission order.
+type FCFS struct {
+	free map[int32]bool
+}
+
+// New creates an allocator over the given ranks.
+func New(ranks []int32) *FCFS {
+	s := &FCFS{free: make(map[int32]bool, len(ranks))}
+	for _, r := range ranks {
+		s.free[r] = true
+	}
+	return s
+}
+
+// NewRange creates an allocator over ranks [lo, hi).
+func NewRange(lo, hi int32) *FCFS {
+	s := &FCFS{free: make(map[int32]bool, hi-lo)}
+	for r := lo; r < hi; r++ {
+		s.free[r] = true
+	}
+	return s
+}
+
+// FreeCount returns the number of unallocated nodes.
+func (s *FCFS) FreeCount() int { return len(s.free) }
+
+// Alloc reserves n nodes, returning the lowest-numbered free ranks for
+// determinism. ok is false (and nothing is reserved) when fewer than n are
+// free.
+func (s *FCFS) Alloc(n int) (ranks []int32, ok bool) {
+	if n <= 0 || n > len(s.free) {
+		return nil, false
+	}
+	ranks = make([]int32, 0, n)
+	for r := range s.free {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	ranks = ranks[:n]
+	for _, r := range ranks {
+		delete(s.free, r)
+	}
+	return ranks, true
+}
+
+// Release returns nodes to the free pool. Releasing a rank that is already
+// free panics: it indicates double-release, a bookkeeping bug worth
+// failing loudly on.
+func (s *FCFS) Release(ranks []int32) {
+	for _, r := range ranks {
+		if s.free[r] {
+			panic(fmt.Sprintf("sched: double release of rank %d", r))
+		}
+		s.free[r] = true
+	}
+}

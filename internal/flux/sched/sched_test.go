@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocLowestRanksFirst(t *testing.T) {
+	s := NewRange(0, 8)
+	ranks, ok := s.Alloc(3)
+	if !ok {
+		t.Fatal("alloc failed with free nodes")
+	}
+	want := []int32{0, 1, 2}
+	for i, r := range want {
+		if ranks[i] != r {
+			t.Fatalf("Alloc=%v, want %v", ranks, want)
+		}
+	}
+	if s.FreeCount() != 5 {
+		t.Fatalf("FreeCount=%d", s.FreeCount())
+	}
+}
+
+func TestAllocFailsWhenInsufficient(t *testing.T) {
+	s := NewRange(0, 4)
+	if _, ok := s.Alloc(5); ok {
+		t.Fatal("oversized alloc succeeded")
+	}
+	if s.FreeCount() != 4 {
+		t.Fatal("failed alloc leaked reservations")
+	}
+	if _, ok := s.Alloc(0); ok {
+		t.Fatal("zero alloc succeeded")
+	}
+	if _, ok := s.Alloc(-1); ok {
+		t.Fatal("negative alloc succeeded")
+	}
+}
+
+func TestReleaseEnablesReuse(t *testing.T) {
+	s := NewRange(0, 2)
+	a, _ := s.Alloc(2)
+	if _, ok := s.Alloc(1); ok {
+		t.Fatal("alloc on empty pool succeeded")
+	}
+	s.Release(a)
+	b, ok := s.Alloc(2)
+	if !ok || len(b) != 2 {
+		t.Fatalf("re-alloc after release: %v ok=%v", b, ok)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	s := NewRange(0, 2)
+	a, _ := s.Alloc(1)
+	s.Release(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	s.Release(a)
+}
+
+func TestNewFromExplicitRanks(t *testing.T) {
+	s := New([]int32{5, 3, 9})
+	ranks, ok := s.Alloc(2)
+	if !ok || ranks[0] != 3 || ranks[1] != 5 {
+		t.Fatalf("Alloc=%v ok=%v", ranks, ok)
+	}
+}
+
+// Property: alloc/release sequences preserve the node-count invariant
+// free + allocated == total, and never hand out the same rank twice.
+func TestQuickAllocReleaseInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const total = 16
+		s := NewRange(0, total)
+		held := map[int32]bool{}
+		var allocations [][]int32
+		for _, op := range ops {
+			if op%2 == 0 || len(allocations) == 0 {
+				n := int(op%5) + 1
+				ranks, ok := s.Alloc(n)
+				if !ok {
+					continue
+				}
+				for _, r := range ranks {
+					if held[r] {
+						return false // double allocation
+					}
+					held[r] = true
+				}
+				allocations = append(allocations, ranks)
+			} else {
+				idx := int(op) % len(allocations)
+				ranks := allocations[idx]
+				allocations = append(allocations[:idx], allocations[idx+1:]...)
+				s.Release(ranks)
+				for _, r := range ranks {
+					delete(held, r)
+				}
+			}
+			if s.FreeCount()+len(held) != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

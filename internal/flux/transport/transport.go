@@ -1,0 +1,207 @@
+// Package transport provides the broker interconnect for the TBON.
+//
+// Two implementations exist:
+//
+//   - Mem links connect brokers inside one process and deliver messages by
+//     direct function call, which keeps the tick-driven simulation
+//     deterministic (no goroutines, no reordering).
+//   - TCP links carry the msg length-prefixed JSON frame format over real
+//     sockets, for running a broker per process ("live mode"). A reader
+//     goroutine per connection dispatches incoming messages to the
+//     registered handler.
+//
+// Both satisfy Link, so the broker is transport-agnostic.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"fluxpower/internal/flux/msg"
+)
+
+// Handler consumes a message arriving on a link.
+type Handler func(m *msg.Message)
+
+// Link is one end of a broker-to-broker connection.
+type Link interface {
+	// Send transmits m to the peer. Implementations may deliver
+	// synchronously (Mem) or asynchronously (TCP).
+	Send(m *msg.Message) error
+	// Close tears the link down. Further Sends fail with ErrClosed.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: link closed")
+
+// memLink delivers by calling the peer's handler inline.
+type memLink struct {
+	mu     sync.Mutex
+	peer   *memLink
+	handle Handler
+	closed bool
+}
+
+// MemPair creates two connected in-memory links. A message sent on the
+// returned a is delivered synchronously to bHandler, and vice versa.
+// Handlers run on the sender's goroutine: the single-threaded simulation
+// relies on this for determinism.
+func MemPair(aHandler, bHandler Handler) (Link, Link) {
+	a := &memLink{handle: aHandler}
+	b := &memLink{handle: bHandler}
+	a.peer = b
+	b.peer = a
+	return a, b
+}
+
+func (l *memLink) Send(m *msg.Message) error {
+	l.mu.Lock()
+	closed := l.closed
+	peer := l.peer
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	peer.mu.Lock()
+	peerClosed := peer.closed
+	h := peer.handle
+	peer.mu.Unlock()
+	if peerClosed {
+		return ErrClosed
+	}
+	h(m)
+	return nil
+}
+
+func (l *memLink) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	return nil
+}
+
+// tcpLink frames messages over a net.Conn.
+type tcpLink struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	closeMu sync.Mutex
+	closed  bool
+	done    chan struct{}
+}
+
+// DialTCP connects to a listening broker and starts the reader loop,
+// delivering each inbound message to handler. onClose (optional) runs when
+// the reader exits.
+func DialTCP(addr string, handler Handler, onClose func(err error)) (Link, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return newTCPLink(conn, handler, onClose), nil
+}
+
+func newTCPLink(conn net.Conn, handler Handler, onClose func(err error)) *tcpLink {
+	l := &tcpLink{conn: conn, done: make(chan struct{})}
+	go l.readLoop(handler, onClose)
+	return l
+}
+
+func (l *tcpLink) readLoop(handler Handler, onClose func(err error)) {
+	defer close(l.done)
+	for {
+		m, err := msg.Decode(l.conn)
+		if err != nil {
+			if onClose != nil {
+				onClose(err)
+			}
+			return
+		}
+		handler(m)
+	}
+}
+
+func (l *tcpLink) Send(m *msg.Message) error {
+	l.closeMu.Lock()
+	closed := l.closed
+	l.closeMu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	l.writeMu.Lock()
+	defer l.writeMu.Unlock()
+	if err := m.Encode(l.conn); err != nil {
+		return fmt.Errorf("transport: send %q: %w", m.Topic, err)
+	}
+	return nil
+}
+
+func (l *tcpLink) Close() error {
+	l.closeMu.Lock()
+	if l.closed {
+		l.closeMu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.closeMu.Unlock()
+	err := l.conn.Close()
+	<-l.done // wait for the reader to drain
+	return err
+}
+
+// Listener accepts broker connections on a TCP address.
+type Listener struct {
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// ListenTCP starts accepting connections on addr (use "127.0.0.1:0" for an
+// ephemeral port). For each new connection, accept is called with a Link
+// whose inbound messages flow to the handler accept returns. Accepting
+// stops when Close is called.
+func ListenTCP(addr string, accept func(link Link) Handler) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	l := &Listener{ln: ln}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			// Two-phase setup: create the link with a placeholder handler,
+			// let accept wire it, then start reading.
+			var handler Handler
+			var ready sync.WaitGroup
+			ready.Add(1)
+			link := newTCPLink(conn, func(m *msg.Message) {
+				ready.Wait()
+				handler(m)
+			}, nil)
+			handler = accept(link)
+			if handler == nil {
+				link.Close()
+				ready.Done()
+				continue
+			}
+			ready.Done()
+		}
+	}()
+	return l, nil
+}
+
+// Addr returns the listener's bound address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting. Existing links stay open.
+func (l *Listener) Close() error {
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}

@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fluxpower/internal/flux/msg"
+)
+
+func req(t *testing.T, topic string) *msg.Message {
+	t.Helper()
+	m, err := msg.NewRequest(topic, 0, 1, 1, map[string]int{"v": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMemPairDeliversSynchronously(t *testing.T) {
+	var gotA, gotB *msg.Message
+	a, b := MemPair(func(m *msg.Message) { gotA = m }, func(m *msg.Message) { gotB = m })
+
+	if err := a.Send(req(t, "to.b")); err != nil {
+		t.Fatal(err)
+	}
+	if gotB == nil || gotB.Topic != "to.b" {
+		t.Fatalf("b received %+v", gotB)
+	}
+	if err := b.Send(req(t, "to.a")); err != nil {
+		t.Fatal(err)
+	}
+	if gotA == nil || gotA.Topic != "to.a" {
+		t.Fatalf("a received %+v", gotA)
+	}
+}
+
+func TestMemPairClosedSendFails(t *testing.T) {
+	a, b := MemPair(func(*msg.Message) {}, func(*msg.Message) {})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(req(t, "x")); err != ErrClosed {
+		t.Fatalf("send on closed link err=%v, want ErrClosed", err)
+	}
+	// Sending to a closed peer also fails.
+	if err := b.Send(req(t, "y")); err != ErrClosed {
+		t.Fatalf("send to closed peer err=%v, want ErrClosed", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	serverGot := make(chan *msg.Message, 16)
+	var serverLinks []Link
+	var mu sync.Mutex
+	ln, err := ListenTCP("127.0.0.1:0", func(link Link) Handler {
+		mu.Lock()
+		serverLinks = append(serverLinks, link)
+		mu.Unlock()
+		return func(m *msg.Message) { serverGot <- m }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	clientGot := make(chan *msg.Message, 16)
+	cl, err := DialTCP(ln.Addr(), func(m *msg.Message) { clientGot <- m }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Send(req(t, "hello.server")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-serverGot:
+		if m.Topic != "hello.server" {
+			t.Fatalf("server got %q", m.Topic)
+		}
+		var v map[string]int
+		if err := m.Unmarshal(&v); err != nil || v["v"] != 7 {
+			t.Fatalf("payload corrupted: %v err=%v", v, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never received message")
+	}
+
+	mu.Lock()
+	srv := serverLinks[0]
+	mu.Unlock()
+	if err := srv.Send(req(t, "hello.client")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-clientGot:
+		if m.Topic != "hello.client" {
+			t.Fatalf("client got %q", m.Topic)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client never received message")
+	}
+}
+
+func TestTCPManyMessagesInOrder(t *testing.T) {
+	got := make(chan *msg.Message, 256)
+	ln, err := ListenTCP("127.0.0.1:0", func(link Link) Handler {
+		return func(m *msg.Message) { got <- m }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cl, err := DialTCP(ln.Addr(), func(*msg.Message) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		m, _ := msg.NewRequest("seq.test", 0, 1, uint32(i+1), nil)
+		if err := cl.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case m := <-got:
+			if m.Matchtag != uint32(i+1) {
+				t.Fatalf("message %d arrived with tag %d (reordered)", i, m.Matchtag)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only received %d of %d messages", i, n)
+		}
+	}
+}
+
+func TestTCPCloseNotifies(t *testing.T) {
+	closed := make(chan error, 1)
+	ln, err := ListenTCP("127.0.0.1:0", func(link Link) Handler {
+		return func(*msg.Message) {}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cl, err := DialTCP(ln.Addr(), func(*msg.Message) {}, func(err error) { closed <- err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("onClose never fired")
+	}
+	if err := cl.Send(req(t, "after.close")); err != ErrClosed {
+		t.Fatalf("send after close err=%v, want ErrClosed", err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("double close err=%v", err)
+	}
+}
+
+func TestDialTCPConnectionRefused(t *testing.T) {
+	if _, err := DialTCP("127.0.0.1:1", func(*msg.Message) {}, nil); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestMemPairConcurrentSends(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	a, _ := MemPair(func(*msg.Message) {}, func(m *msg.Message) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := a.Send(&msg.Message{Type: msg.TypeRequest, Topic: "x"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 800 {
+		t.Fatalf("delivered %d, want 800", count)
+	}
+}

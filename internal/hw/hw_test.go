@@ -1,0 +1,542 @@
+package hw
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fluxpower/internal/simtime"
+)
+
+func mustNode(t *testing.T, cfg Config) *Node {
+	t.Helper()
+	n, err := NewNode("n0", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := LassenConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("LassenConfig invalid: %v", err)
+	}
+	if err := TiogaConfig().Validate(); err != nil {
+		t.Fatalf("TiogaConfig invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Sockets = 0 },
+		func(c *Config) { c.GPUs = -1 },
+		func(c *Config) { c.GPUsPerSensor = 0 },
+		func(c *Config) { c.GPUsPerSensor = 3 }, // 4 GPUs not divisible
+		func(c *Config) { c.GPUMinPowerW = 500 },
+		func(c *Config) { c.GPUCapFailureProb = 1.5 },
+	}
+	for i, mutate := range cases {
+		c := LassenConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: bad config passed validation", i)
+		}
+	}
+}
+
+// TestDerivedGPUCapTable3 pins the IBM conservative derived-GPU-cap model
+// to the paper's measured values (Table III).
+func TestDerivedGPUCapTable3(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	cases := []struct {
+		nodeCap float64
+		wantGPU float64
+		tol     float64
+	}{
+		{3050, 300, 0},   // unconstrained: vendor max
+		{1200, 100, 0},   // clamped to GPU minimum — the conservatism the paper measures
+		{1800, 216, 1.0}, // paper: 216 W
+		{1950, 253, 1.0}, // paper: 253 W
+	}
+	for _, c := range cases {
+		if err := n.SetNodeCap(c.nodeCap); err != nil {
+			t.Fatalf("SetNodeCap(%v): %v", c.nodeCap, err)
+		}
+		got := n.DerivedGPUCap()
+		if math.Abs(got-c.wantGPU) > c.tol {
+			t.Fatalf("node cap %v W: derived GPU cap %.2f, want %v±%v", c.nodeCap, got, c.wantGPU, c.tol)
+		}
+	}
+}
+
+func TestDerivedGPUCapUncapped(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	if got := n.DerivedGPUCap(); got != 300 {
+		t.Fatalf("uncapped derived GPU cap %v, want 300", got)
+	}
+}
+
+func TestPSRScalesDerivedCap(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	if err := n.SetNodeCap(1950); err != nil {
+		t.Fatal(err)
+	}
+	full := n.DerivedGPUCap()
+	if err := n.SetPSR(50); err != nil {
+		t.Fatal(err)
+	}
+	half := n.DerivedGPUCap()
+	if half >= full {
+		t.Fatalf("PSR=50 derived cap %v not below PSR=100 cap %v", half, full)
+	}
+	if err := n.SetPSR(101); err == nil {
+		t.Fatal("PSR=101 accepted")
+	}
+	if err := n.SetPSR(-1); err == nil {
+		t.Fatal("PSR=-1 accepted")
+	}
+}
+
+func TestSetNodeCapRangeChecks(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	if err := n.SetNodeCap(499); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("below soft min: err=%v", err)
+	}
+	if err := n.SetNodeCap(4000); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("above max: err=%v", err)
+	}
+	if err := n.SetNodeCap(1200); err != nil {
+		t.Fatal(err)
+	}
+	if n.NodeCap() != 1200 {
+		t.Fatalf("NodeCap=%v", n.NodeCap())
+	}
+	if err := n.SetNodeCap(0); err != nil {
+		t.Fatal(err)
+	}
+	if n.NodeCap() != 0 {
+		t.Fatal("cap removal failed")
+	}
+}
+
+func TestTiogaCappingDisabled(t *testing.T) {
+	n := mustNode(t, TiogaConfig())
+	if err := n.SetNodeCap(1000); !errors.Is(err, ErrCapNotEnabled) {
+		t.Fatalf("Tioga node cap err=%v, want ErrCapNotEnabled", err)
+	}
+	if err := n.SetGPUCap(0, 200); !errors.Is(err, ErrCapNotEnabled) {
+		t.Fatalf("Tioga GPU cap err=%v, want ErrCapNotEnabled", err)
+	}
+}
+
+func TestGPUCapValidation(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	if err := n.SetGPUCap(-1, 200); !errors.Is(err, ErrNoSuchGPU) {
+		t.Fatalf("gpu -1 err=%v", err)
+	}
+	if err := n.SetGPUCap(4, 200); !errors.Is(err, ErrNoSuchGPU) {
+		t.Fatalf("gpu 4 err=%v", err)
+	}
+	if err := n.SetGPUCap(0, 50); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("50W cap err=%v", err)
+	}
+	if err := n.SetGPUCap(0, 400); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("400W cap err=%v", err)
+	}
+	if err := n.SetGPUCap(0, 150); err != nil {
+		t.Fatal(err)
+	}
+	if n.GPUCap(0) != 150 {
+		t.Fatalf("GPUCap=%v", n.GPUCap(0))
+	}
+	if err := n.SetGPUCap(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n.EffectiveGPUCap(0) != 300 {
+		t.Fatalf("cap removal: effective=%v", n.EffectiveGPUCap(0))
+	}
+}
+
+func TestEffectiveGPUCapIsMinOfNVMLAndDerived(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	if err := n.SetNodeCap(1200); err != nil { // derived = 100 W
+		t.Fatal(err)
+	}
+	if err := n.SetGPUCap(0, 250); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.EffectiveGPUCap(0); got != 100 {
+		t.Fatalf("effective cap %v, want derived 100", got)
+	}
+	if err := n.SetNodeCap(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.EffectiveGPUCap(0); got != 250 {
+		t.Fatalf("effective cap %v, want NVML 250", got)
+	}
+}
+
+func TestDemandClippedByGPUCap(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	if err := n.SetGPUCap(1, 150); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDemand(Demand{
+		CPUW: []float64{200, 200},
+		MemW: 100,
+		GPUW: []float64{290, 290, 290, 40},
+	})
+	act := n.Actual()
+	if act.GPUW[0] != 290 || act.GPULimited[0] {
+		t.Fatalf("gpu0: %v limited=%v", act.GPUW[0], act.GPULimited[0])
+	}
+	if act.GPUW[1] != 150 || !act.GPULimited[1] {
+		t.Fatalf("gpu1: %v limited=%v, want clipped to 150", act.GPUW[1], act.GPULimited[1])
+	}
+	// GPU 3 demanded 40 W, above the 35 W idle floor: drawn as demanded.
+	if act.GPUW[3] != 40 {
+		t.Fatalf("gpu3: %v", act.GPUW[3])
+	}
+	wantNode := 200 + 200 + 100 + 290 + 150 + 290 + 40 + 100 // CPUs+mem+GPUs+uncore
+	if math.Abs(act.NodeW-float64(wantNode)) > 1e-9 {
+		t.Fatalf("NodeW=%v, want %v", act.NodeW, wantNode)
+	}
+}
+
+func TestNodeCapThrottlesCPU(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	if err := n.SetNodeCap(1200); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDemand(Demand{
+		CPUW: []float64{300, 300},
+		MemW: 100,
+		GPUW: []float64{290, 290, 290, 290}, // clipped to 100 each by derived cap
+	})
+	act := n.Actual()
+	for i, w := range act.GPUW {
+		if w != 100 {
+			t.Fatalf("gpu%d=%v, want derived 100", i, w)
+		}
+	}
+	// CPU budget = 1200 - 400(gpu) - 100(mem) - 100(uncore) = 600 → 300/socket,
+	// exactly the demand: no headroom, not flagged as limited.
+	for i, w := range act.CPUW {
+		if math.Abs(w-300) > 1e-9 {
+			t.Fatalf("cpu%d=%v, want 300", i, w)
+		}
+	}
+	if act.NodeW > 1200+1e-9 {
+		t.Fatalf("node cap violated: %v", act.NodeW)
+	}
+}
+
+func TestCPUNeverBelowIdleUnderCap(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	if err := n.SetNodeCap(500); err != nil { // minimum soft cap, below idle total
+		t.Fatal(err)
+	}
+	n.SetDemand(Demand{
+		CPUW: []float64{250, 250},
+		MemW: 100,
+		GPUW: []float64{290, 290, 290, 290},
+	})
+	act := n.Actual()
+	for i, w := range act.CPUW {
+		if w < 50 {
+			t.Fatalf("cpu%d throttled below idle: %v", i, w)
+		}
+	}
+	// Soft cap is not hardware-guaranteed below the hard minimum — the
+	// node exceeds it, as the paper notes for GPU-active workloads.
+	if act.NodeW <= 500 {
+		t.Fatalf("soft cap unexpectedly held: %v", act.NodeW)
+	}
+}
+
+func TestSetIdle(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	n.SetDemand(Demand{CPUW: []float64{300, 300}, MemW: 150, GPUW: []float64{290, 290, 290, 290}})
+	n.SetIdle()
+	act := n.Actual()
+	if math.Abs(act.NodeW-n.IdlePowerW()) > 1e-9 {
+		t.Fatalf("idle NodeW=%v, want %v", act.NodeW, n.IdlePowerW())
+	}
+}
+
+func TestIdlePowerLassen(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	// Paper assumes ~400 W idle; our decomposition lands at 480 W.
+	got := n.IdlePowerW()
+	if got < 380 || got > 520 {
+		t.Fatalf("Lassen idle %v W, want ≈400-500", got)
+	}
+}
+
+func TestReadingLassenSensors(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	n.SetDemand(Demand{CPUW: []float64{200, 210}, MemW: 90, GPUW: []float64{100, 110, 120, 130}})
+	r := n.Read(simtime.Time(0))
+	if !r.HasNode || !r.HasMem {
+		t.Fatal("Lassen should have node and memory sensors")
+	}
+	if len(r.CPUW) != 2 || len(r.GPUW) != 4 || r.GPUsPerSensor != 1 {
+		t.Fatalf("sensor shape: %+v", r)
+	}
+	if r.TotalMeasuredW() != r.NodeW {
+		t.Fatal("TotalMeasuredW should use the node sensor")
+	}
+	sum := r.MemW + 100 // uncore
+	for _, w := range r.CPUW {
+		sum += w
+	}
+	for _, w := range r.GPUW {
+		sum += w
+	}
+	if math.Abs(sum-r.NodeW) > 1e-9 {
+		t.Fatalf("node sensor %v != component sum %v", r.NodeW, sum)
+	}
+}
+
+func TestReadingTiogaSensorHoles(t *testing.T) {
+	n := mustNode(t, TiogaConfig())
+	n.SetDemand(Demand{CPUW: []float64{280}, MemW: 0, GPUW: []float64{100, 110, 120, 130, 140, 150, 160, 170}})
+	r := n.Read(simtime.Time(0))
+	if r.HasNode || r.HasMem {
+		t.Fatal("Tioga must not expose node or memory sensors")
+	}
+	if len(r.GPUW) != 4 || r.GPUsPerSensor != 2 {
+		t.Fatalf("Tioga should report 4 OAM sensors: %+v", r)
+	}
+	// OAM sensor = sum of its 2 GCDs.
+	wantOAM := []float64{210, 250, 290, 330}
+	for i, w := range wantOAM {
+		if math.Abs(r.GPUW[i]-w) > 1e-9 {
+			t.Fatalf("OAM%d=%v, want %v", i, r.GPUW[i], w)
+		}
+	}
+	// Conservative estimate: CPU + OAMs only (no mem/uncore).
+	want := 280 + 210 + 250 + 290 + 330.0
+	if math.Abs(r.TotalMeasuredW()-want) > 1e-9 {
+		t.Fatalf("TotalMeasuredW=%v, want %v", r.TotalMeasuredW(), want)
+	}
+}
+
+func TestSensorNoiseBounded(t *testing.T) {
+	cfg := LassenConfig()
+	cfg.SensorNoiseW = 10
+	n := mustNode(t, cfg)
+	n.SetDemand(Demand{CPUW: []float64{200, 200}, MemW: 100, GPUW: []float64{250, 250, 250, 250}})
+	truth := n.Actual().NodeW
+	sawDifferent := false
+	for i := 0; i < 50; i++ {
+		r := n.Read(simtime.Time(0))
+		if math.Abs(r.NodeW-truth) > 10 {
+			t.Fatalf("noise exceeded bound: %v vs %v", r.NodeW, truth)
+		}
+		if r.NodeW != truth {
+			sawDifferent = true
+		}
+	}
+	if !sawDifferent {
+		t.Fatal("noise never perturbed the reading")
+	}
+}
+
+func TestGPUCapFailureInjection(t *testing.T) {
+	cfg := LassenConfig()
+	cfg.GPUCapFailureProb = 0.5
+	n := mustNode(t, cfg)
+	failures := 0
+	for i := 0; i < 200; i++ {
+		if err := n.SetGPUCap(i%4, 150); err != nil {
+			t.Fatal(err)
+		}
+	}
+	failures = n.CapFailures()
+	if failures < 60 || failures > 140 {
+		t.Fatalf("injected %d failures of 200 at p=0.5", failures)
+	}
+	// After a failure the effective cap is either the previous value or
+	// the vendor max — never the newly requested one at a fresh value.
+	cfg2 := LassenConfig()
+	cfg2.GPUCapFailureProb = 1.0
+	n2 := mustNode(t, cfg2)
+	if err := n2.SetGPUCap(0, 180); err != nil {
+		t.Fatal(err)
+	}
+	eff := n2.EffectiveGPUCap(0)
+	if eff != 300 {
+		t.Fatalf("guaranteed failure left cap %v, want previous/max 300", eff)
+	}
+	if n2.GPUCap(0) != 180 {
+		t.Fatal("requested cap should still record 180 (firmware reported success)")
+	}
+}
+
+func TestDemandShapePanics(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	for _, d := range []Demand{
+		{CPUW: []float64{1}, GPUW: []float64{1, 1, 1, 1}},
+		{CPUW: []float64{1, 1}, GPUW: []float64{1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("mis-shaped demand %+v accepted", d)
+				}
+			}()
+			n.SetDemand(d)
+		}()
+	}
+}
+
+func TestSetDemandCopiesSlices(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	cpu := []float64{200, 200}
+	gpu := []float64{250, 250, 250, 250}
+	n.SetDemand(Demand{CPUW: cpu, MemW: 100, GPUW: gpu})
+	before := n.Actual().NodeW
+	cpu[0] = 999
+	gpu[0] = 999
+	n.SetIdle()
+	n.SetDemand(Demand{CPUW: []float64{200, 200}, MemW: 100, GPUW: []float64{250, 250, 250, 250}})
+	if n.Actual().NodeW != before {
+		t.Fatal("caller mutation leaked into node demand")
+	}
+}
+
+// Property: actual power never exceeds demand (caps only reduce), never
+// drops below the idle floor, and GPU actuals respect effective caps.
+func TestQuickActualBounds(t *testing.T) {
+	cfg := LassenConfig()
+	f := func(cpuRaw [2]uint16, memRaw uint16, gpuRaw [4]uint16, capRaw uint16) bool {
+		n, err := NewNode("q", cfg, 7)
+		if err != nil {
+			return false
+		}
+		nodeCap := 500 + float64(capRaw%2551) // [500, 3050]
+		if err := n.SetNodeCap(nodeCap); err != nil {
+			return false
+		}
+		d := Demand{
+			CPUW: []float64{float64(cpuRaw[0] % 400), float64(cpuRaw[1] % 400)},
+			MemW: float64(memRaw % 200),
+			GPUW: []float64{
+				float64(gpuRaw[0] % 350), float64(gpuRaw[1] % 350),
+				float64(gpuRaw[2] % 350), float64(gpuRaw[3] % 350),
+			},
+		}
+		n.SetDemand(d)
+		act := n.Actual()
+		for i, w := range act.GPUW {
+			if w > n.EffectiveGPUCap(i)+1e-9 && w > cfg.GPUIdleW+1e-9 {
+				return false
+			}
+			if w < cfg.GPUIdleW-1e-9 {
+				return false
+			}
+		}
+		for _, w := range act.CPUW {
+			if w < cfg.CPUIdleW-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the node sensor always equals the sum of component actuals on
+// Lassen (the paper: "node-level power telemetry ... includes uncore").
+func TestQuickNodeSensorConsistency(t *testing.T) {
+	f := func(cpu0, cpu1, mem, g0, g1, g2, g3 uint16) bool {
+		n, err := NewNode("q", LassenConfig(), 3)
+		if err != nil {
+			return false
+		}
+		n.SetDemand(Demand{
+			CPUW: []float64{float64(cpu0 % 500), float64(cpu1 % 500)},
+			MemW: float64(mem % 300),
+			GPUW: []float64{float64(g0 % 320), float64(g1 % 320), float64(g2 % 320), float64(g3 % 320)},
+		})
+		act := n.Actual()
+		sum := act.MemW + act.UncoreW
+		for _, w := range act.CPUW {
+			sum += w
+		}
+		for _, w := range act.GPUW {
+			sum += w
+		}
+		return math.Abs(sum-act.NodeW) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSocketCapClipsCPU(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	if err := n.SetSocketCap(0, 120); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDemand(Demand{CPUW: []float64{200, 200}, MemW: 80, GPUW: []float64{100, 100, 100, 100}})
+	act := n.Actual()
+	if act.CPUW[0] != 120 || !act.CPULimited[0] {
+		t.Fatalf("socket0: %v limited=%v, want clipped to 120", act.CPUW[0], act.CPULimited[0])
+	}
+	if act.CPUW[1] != 200 || act.CPULimited[1] {
+		t.Fatalf("socket1: %v limited=%v, want unclipped", act.CPUW[1], act.CPULimited[1])
+	}
+	if n.SocketCap(0) != 120 {
+		t.Fatalf("SocketCap=%v", n.SocketCap(0))
+	}
+	// Removal restores full demand.
+	if err := n.SetSocketCap(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Actual().CPUW[0]; got != 200 {
+		t.Fatalf("after removal: %v", got)
+	}
+}
+
+func TestSocketCapValidation(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	if err := n.SetSocketCap(-1, 100); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("socket -1 err=%v", err)
+	}
+	if err := n.SetSocketCap(2, 100); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("socket 2 err=%v", err)
+	}
+	if err := n.SetSocketCap(0, 30); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("30W err=%v", err)
+	}
+	if err := n.SetSocketCap(0, 500); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("500W err=%v", err)
+	}
+	tioga := mustNode(t, TiogaConfig())
+	if err := tioga.SetSocketCap(0, 150); !errors.Is(err, ErrCapNotEnabled) {
+		t.Fatalf("Tioga socket cap err=%v, want ErrCapNotEnabled", err)
+	}
+}
+
+func TestSocketCapComposesWithNodeCap(t *testing.T) {
+	// Socket cap and the node cap's CPU budget compose: the tighter wins.
+	n := mustNode(t, LassenConfig())
+	if err := n.SetNodeCap(1200); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetSocketCap(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDemand(Demand{CPUW: []float64{300, 300}, MemW: 100, GPUW: []float64{290, 290, 290, 290}})
+	act := n.Actual()
+	// GPUs at derived 100 W each → CPU budget (1200-400-100-100)/2 = 300.
+	if act.CPUW[0] != 100 {
+		t.Fatalf("socket0 under both caps: %v, want the tighter 100", act.CPUW[0])
+	}
+	if act.CPUW[1] != 300 {
+		t.Fatalf("socket1 under node budget: %v, want 300", act.CPUW[1])
+	}
+}

@@ -1,0 +1,125 @@
+// Package ringbuf implements the fixed-capacity circular buffer used by
+// the flux-power-monitor node agent (paper §III-A).
+//
+// The node agent stores one power sample every sampling interval in a ring
+// of configurable size (the paper's default holds 100,000 Variorum JSON
+// samples, ~43.4 MB). When the ring wraps, the oldest samples are evicted;
+// a later job-telemetry query that reaches past the evicted region is
+// reported as a *partial* data set, which is exactly the completeness flag
+// the monitor's CSV output carries.
+package ringbuf
+
+import "fmt"
+
+// Ring is a generic fixed-capacity circular buffer. The zero value is not
+// usable; construct with New. Ring is not safe for concurrent use: in the
+// simulation every ring is owned by a single node agent.
+type Ring[T any] struct {
+	buf     []T
+	head    int    // index of the slot the next Push writes
+	length  int    // number of live elements, <= cap
+	evicted uint64 // total elements overwritten since creation
+}
+
+// New returns a ring holding at most capacity elements. It panics on a
+// non-positive capacity, which would make every Push evict its own value.
+func New[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ringbuf: capacity %d must be positive", capacity))
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Push appends v, evicting the oldest element when full. It reports whether
+// an eviction occurred.
+func (r *Ring[T]) Push(v T) (evictedOld bool) {
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+	if r.length < len(r.buf) {
+		r.length++
+		return false
+	}
+	r.evicted++
+	return true
+}
+
+// Len returns the number of live elements.
+func (r *Ring[T]) Len() int { return r.length }
+
+// Cap returns the ring's fixed capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Evicted returns the total number of elements overwritten since creation.
+func (r *Ring[T]) Evicted() uint64 { return r.evicted }
+
+// At returns the i-th oldest live element (0 = oldest). It panics when i is
+// out of [0, Len()).
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.length {
+		panic(fmt.Sprintf("ringbuf: index %d out of range [0,%d)", i, r.length))
+	}
+	start := (r.head - r.length + len(r.buf)) % len(r.buf)
+	return r.buf[(start+i)%len(r.buf)]
+}
+
+// Oldest returns the oldest live element. ok is false when empty.
+func (r *Ring[T]) Oldest() (v T, ok bool) {
+	if r.length == 0 {
+		return v, false
+	}
+	return r.At(0), true
+}
+
+// Newest returns the most recently pushed element. ok is false when empty.
+func (r *Ring[T]) Newest() (v T, ok bool) {
+	if r.length == 0 {
+		return v, false
+	}
+	return r.At(r.length - 1), true
+}
+
+// Snapshot copies the live elements, oldest first, into a fresh slice.
+func (r *Ring[T]) Snapshot() []T {
+	out := make([]T, r.length)
+	for i := 0; i < r.length; i++ {
+		out[i] = r.At(i)
+	}
+	return out
+}
+
+// Do calls fn for each live element, oldest first, stopping early if fn
+// returns false. It avoids the allocation of Snapshot for scan-style
+// aggregation (the monitor's job-window query).
+func (r *Ring[T]) Do(fn func(v T) bool) {
+	for i := 0; i < r.length; i++ {
+		if !fn(r.At(i)) {
+			return
+		}
+	}
+}
+
+// Select returns the live elements for which keep returns true, oldest
+// first. The monitor uses this to extract the samples falling inside a
+// job's [start, end] window.
+func (r *Ring[T]) Select(keep func(v T) bool) []T {
+	var out []T
+	r.Do(func(v T) bool {
+		if keep(v) {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// Reset discards all live elements. Capacity and eviction count persist;
+// the FPP policy resets its FFT sample ring at every capping interval
+// (Algorithm 1 line 42).
+func (r *Ring[T]) Reset() {
+	var zero T
+	for i := range r.buf {
+		r.buf[i] = zero
+	}
+	r.head = 0
+	r.length = 0
+}

@@ -1,0 +1,51 @@
+package ringbuf
+
+import "testing"
+
+// sample approximates the monitor's per-entry payload shape.
+type sample struct {
+	T    float64
+	Vals [8]float64
+}
+
+// BenchmarkRingBufferPush measures the monitor node-agent's hot path: one
+// push per sampling interval into the paper's 100,000-slot ring.
+func BenchmarkRingBufferPush(b *testing.B) {
+	r := New[sample](100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Push(sample{T: float64(i)})
+	}
+}
+
+// BenchmarkRingBufferSelect measures the job-query path: scanning the
+// full ring for a time window (worst case: client asks for a long job).
+func BenchmarkRingBufferSelect(b *testing.B) {
+	r := New[sample](100_000)
+	for i := 0; i < 100_000; i++ {
+		r.Push(sample{T: float64(i) * 2})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := r.Select(func(s sample) bool { return s.T >= 100_000 && s.T <= 150_000 })
+		if len(got) == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+}
+
+func BenchmarkRingBufferSnapshot(b *testing.B) {
+	r := New[sample](10_000)
+	for i := 0; i < 10_000; i++ {
+		r.Push(sample{T: float64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.Snapshot(); len(got) != 10_000 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package ringbuf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushAndLen(t *testing.T) {
+	r := New[int](3)
+	if r.Len() != 0 || r.Cap() != 3 {
+		t.Fatalf("fresh ring Len=%d Cap=%d", r.Len(), r.Cap())
+	}
+	for i := 1; i <= 3; i++ {
+		if r.Push(i) {
+			t.Fatalf("Push(%d) evicted before full", i)
+		}
+		if r.Len() != i {
+			t.Fatalf("Len=%d after %d pushes", r.Len(), i)
+		}
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	r := New[int](3)
+	for i := 1; i <= 5; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len=%d after wrap, want 3", r.Len())
+	}
+	if r.Evicted() != 2 {
+		t.Fatalf("Evicted=%d, want 2", r.Evicted())
+	}
+	want := []int{3, 4, 5}
+	for i, w := range want {
+		if got := r.At(i); got != w {
+			t.Fatalf("At(%d)=%d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestOldestNewest(t *testing.T) {
+	r := New[string](2)
+	if _, ok := r.Oldest(); ok {
+		t.Fatal("Oldest ok on empty ring")
+	}
+	if _, ok := r.Newest(); ok {
+		t.Fatal("Newest ok on empty ring")
+	}
+	r.Push("a")
+	r.Push("b")
+	r.Push("c")
+	if v, _ := r.Oldest(); v != "b" {
+		t.Fatalf("Oldest=%q, want b", v)
+	}
+	if v, _ := r.Newest(); v != "c" {
+		t.Fatalf("Newest=%q, want c", v)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	r := New[int](4)
+	r.Push(1)
+	r.Push(2)
+	s := r.Snapshot()
+	r.Push(3)
+	if len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Fatalf("snapshot mutated: %v", s)
+	}
+}
+
+func TestDoEarlyStop(t *testing.T) {
+	r := New[int](8)
+	for i := 0; i < 8; i++ {
+		r.Push(i)
+	}
+	seen := 0
+	r.Do(func(v int) bool {
+		seen++
+		return v < 3
+	})
+	// Visits v=0,1,2 (keep going), then v=3 returns false and stops: 4 visits.
+	if seen != 4 {
+		t.Fatalf("Do visited %d elements, want 4", seen)
+	}
+}
+
+func TestSelectWindow(t *testing.T) {
+	r := New[int](10)
+	for i := 0; i < 10; i++ {
+		r.Push(i)
+	}
+	got := r.Select(func(v int) bool { return v >= 3 && v <= 6 })
+	want := []int{3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Select=%v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Select=%v, want %v", got, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New[int](3)
+	for i := 0; i < 5; i++ {
+		r.Push(i)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len=%d after Reset", r.Len())
+	}
+	if r.Evicted() != 2 {
+		t.Fatalf("Reset cleared eviction count: %d", r.Evicted())
+	}
+	r.Push(42)
+	if v, _ := r.Oldest(); v != 42 {
+		t.Fatalf("push after reset: %d", v)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	r := New[int](2)
+	r.Push(1)
+	for _, idx := range []int{-1, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%d) did not panic", idx)
+				}
+			}()
+			r.At(idx)
+		}()
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d) did not panic", c)
+				}
+			}()
+			New[int](c)
+		}()
+	}
+}
+
+// Property: after any sequence of pushes into a ring of capacity c, the
+// ring holds exactly the last min(n, c) values in push order.
+func TestQuickRingHoldsSuffix(t *testing.T) {
+	f := func(values []int, capRaw uint8) bool {
+		c := int(capRaw%32) + 1
+		r := New[int](c)
+		for _, v := range values {
+			r.Push(v)
+		}
+		n := len(values)
+		wantLen := n
+		if wantLen > c {
+			wantLen = c
+		}
+		if r.Len() != wantLen {
+			return false
+		}
+		for i := 0; i < wantLen; i++ {
+			if r.At(i) != values[n-wantLen+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Evicted() always equals max(0, pushes - capacity).
+func TestQuickEvictionCount(t *testing.T) {
+	f := func(n uint16, capRaw uint8) bool {
+		c := int(capRaw%64) + 1
+		r := New[struct{}](c)
+		for i := 0; i < int(n%2048); i++ {
+			r.Push(struct{}{})
+		}
+		pushes := uint64(n % 2048)
+		want := uint64(0)
+		if pushes > uint64(c) {
+			want = pushes - uint64(c)
+		}
+		return r.Evicted() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package simtime provides a deterministic simulated clock and timer
+// scheduler used to drive the cluster simulation.
+//
+// The paper's experiments run for minutes to hours of wall-clock time on
+// real machines. The simulation replays them deterministically: all
+// components (hardware sensors, applications, Flux broker modules) observe
+// a shared Clock that advances in fixed ticks, and register Timers that
+// fire when their deadline is reached. Nothing in the repository reads the
+// host's wall clock during a simulation.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Time is a simulated instant, measured as a duration since the start of
+// the simulation. It is deliberately not time.Time: simulations have no
+// calendar epoch, and keeping the type distinct prevents accidentally
+// mixing simulated and host time.
+type Time time.Duration
+
+// Seconds returns the instant expressed in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Duration converts the instant to a time.Duration since simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Add returns the instant shifted by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two instants.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+func (t Time) String() string {
+	return fmt.Sprintf("T+%s", time.Duration(t))
+}
+
+// Clock is the read-only view of simulated time handed to components.
+type Clock interface {
+	// Now returns the current simulated instant.
+	Now() Time
+}
+
+// TimerFunc is invoked when a timer fires. The argument is the instant the
+// timer fired at (which equals its deadline).
+type TimerFunc func(now Time)
+
+// Timer is a handle to a scheduled callback. Timers are one-shot unless
+// created by TickEvery, which re-arms itself after each firing.
+type Timer struct {
+	deadline Time
+	seq      uint64
+	fn       TimerFunc
+	period   time.Duration // 0 for one-shot
+	stopped  bool
+	index    int // heap index, -1 when popped
+}
+
+// Stop cancels the timer. It is safe to call from within the timer's own
+// callback (the periodic re-arm checks the flag) and safe to call twice.
+func (t *Timer) Stop() { t.stopped = true }
+
+// Deadline returns the instant the timer will next fire.
+func (t *Timer) Deadline() Time { return t.deadline }
+
+// Scheduler owns simulated time. It is single-threaded by design: the
+// simulation engine calls Advance (or Run) from one goroutine, and every
+// timer callback executes inline on that goroutine. This makes whole-cluster
+// experiments deterministic and race-free without locking in hot paths.
+type Scheduler struct {
+	now    Time
+	nextID uint64
+	queue  timerHeap
+}
+
+// NewScheduler returns a Scheduler positioned at T+0.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now implements Clock.
+func (s *Scheduler) Now() Time { return s.now }
+
+// After schedules fn to run once, d from now. A non-positive d fires on the
+// next Advance step at the current instant.
+func (s *Scheduler) After(d time.Duration, fn TimerFunc) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.schedule(s.now.Add(d), 0, fn)
+}
+
+// At schedules fn to run once at the absolute instant t. Instants in the
+// past fire at the current instant on the next Advance.
+func (s *Scheduler) At(t Time, fn TimerFunc) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	return s.schedule(t, 0, fn)
+}
+
+// TickEvery schedules fn to run every period, first firing one period from
+// now. It panics on a non-positive period: a zero-period repeating timer
+// would wedge the simulation at a single instant.
+func (s *Scheduler) TickEvery(period time.Duration, fn TimerFunc) *Timer {
+	if period <= 0 {
+		panic("simtime: TickEvery requires a positive period")
+	}
+	return s.schedule(s.now.Add(period), period, fn)
+}
+
+func (s *Scheduler) schedule(deadline Time, period time.Duration, fn TimerFunc) *Timer {
+	if fn == nil {
+		panic("simtime: nil TimerFunc")
+	}
+	t := &Timer{deadline: deadline, seq: s.nextID, fn: fn, period: period}
+	s.nextID++
+	heap.Push(&s.queue, t)
+	return t
+}
+
+// Advance moves simulated time forward by d, firing every due timer in
+// deadline order (ties broken by creation order). It returns the number of
+// timer callbacks that ran.
+func (s *Scheduler) Advance(d time.Duration) int {
+	if d < 0 {
+		panic("simtime: negative Advance")
+	}
+	return s.AdvanceTo(s.now.Add(d))
+}
+
+// AdvanceTo moves simulated time forward to the absolute instant t, firing
+// every timer with deadline <= t. Timers scheduled by callbacks are honored
+// if they fall within the window. It returns the number of callbacks run.
+func (s *Scheduler) AdvanceTo(t Time) int {
+	if t < s.now {
+		panic("simtime: AdvanceTo into the past")
+	}
+	fired := 0
+	for len(s.queue) > 0 && s.queue[0].deadline <= t {
+		tm := heap.Pop(&s.queue).(*Timer)
+		if tm.stopped {
+			continue
+		}
+		// Time advances to the timer's deadline before the callback runs,
+		// so the callback observes Now() == its deadline.
+		s.now = tm.deadline
+		tm.fn(s.now)
+		fired++
+		if tm.period > 0 && !tm.stopped {
+			tm.deadline = tm.deadline.Add(tm.period)
+			heap.Push(&s.queue, tm)
+		}
+	}
+	s.now = t
+	return fired
+}
+
+// Step advances time to the next pending timer deadline and fires all
+// timers due at that instant. It reports whether any timer fired (false
+// means the queue was empty and time did not move).
+func (s *Scheduler) Step() bool {
+	// Skip over stopped timers at the head.
+	for len(s.queue) > 0 && s.queue[0].stopped {
+		heap.Pop(&s.queue)
+	}
+	if len(s.queue) == 0 {
+		return false
+	}
+	deadline := s.queue[0].deadline
+	s.AdvanceTo(deadline)
+	return true
+}
+
+// Run drives the scheduler until no timers remain or the instant limit is
+// reached, whichever comes first. It returns the instant at which it
+// stopped. Use a limit: periodic timers never drain on their own.
+func (s *Scheduler) Run(limit Time) Time {
+	for {
+		for len(s.queue) > 0 && s.queue[0].stopped {
+			heap.Pop(&s.queue)
+		}
+		if len(s.queue) == 0 || s.queue[0].deadline > limit {
+			break
+		}
+		s.AdvanceTo(s.queue[0].deadline)
+	}
+	if s.now < limit {
+		s.now = limit
+	}
+	return s.now
+}
+
+// Pending returns the number of live (unstopped) timers in the queue.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, t := range s.queue {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingDeadlines returns the sorted deadlines of live timers; useful in
+// tests and debugging.
+func (s *Scheduler) PendingDeadlines() []Time {
+	var out []Time
+	for _, t := range s.queue {
+		if !t.stopped {
+			out = append(out, t.deadline)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// timerHeap orders timers by (deadline, seq) so equal deadlines fire in
+// creation order, keeping simulations reproducible.
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,259 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNowStartsAtZero(t *testing.T) {
+	s := NewScheduler()
+	if s.Now() != 0 {
+		t.Fatalf("new scheduler Now() = %v, want 0", s.Now())
+	}
+}
+
+func TestAfterFiresAtDeadline(t *testing.T) {
+	s := NewScheduler()
+	var firedAt Time = -1
+	s.After(3*time.Second, func(now Time) { firedAt = now })
+
+	if n := s.Advance(2 * time.Second); n != 0 {
+		t.Fatalf("Advance(2s) fired %d timers, want 0", n)
+	}
+	if firedAt != -1 {
+		t.Fatalf("timer fired early at %v", firedAt)
+	}
+	if n := s.Advance(2 * time.Second); n != 1 {
+		t.Fatalf("Advance(+2s) fired %d timers, want 1", n)
+	}
+	if firedAt != Time(3*time.Second) {
+		t.Fatalf("fired at %v, want T+3s", firedAt)
+	}
+	if s.Now() != Time(4*time.Second) {
+		t.Fatalf("Now() = %v, want T+4s", s.Now())
+	}
+}
+
+func TestCallbackObservesDeadlineAsNow(t *testing.T) {
+	s := NewScheduler()
+	var observed Time
+	s.After(time.Second, func(now Time) { observed = s.Now() })
+	s.Advance(10 * time.Second)
+	if observed != Time(time.Second) {
+		t.Fatalf("callback observed Now()=%v, want T+1s", observed)
+	}
+}
+
+func TestEqualDeadlinesFireInCreationOrder(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func(Time) { order = append(order, i) })
+	}
+	s.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("firing order %v not creation order", order)
+		}
+	}
+}
+
+func TestTickEveryReArms(t *testing.T) {
+	s := NewScheduler()
+	var fires []Time
+	s.TickEvery(2*time.Second, func(now Time) { fires = append(fires, now) })
+	s.Advance(7 * time.Second)
+	want := []Time{Time(2 * time.Second), Time(4 * time.Second), Time(6 * time.Second)}
+	if len(fires) != len(want) {
+		t.Fatalf("got %d fires %v, want %d", len(fires), fires, len(want))
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fire %d at %v, want %v", i, fires[i], want[i])
+		}
+	}
+}
+
+func TestStopFromOwnCallback(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tm *Timer
+	tm = s.TickEvery(time.Second, func(Time) {
+		count++
+		if count == 3 {
+			tm.Stop()
+		}
+	})
+	s.Advance(10 * time.Second)
+	if count != 3 {
+		t.Fatalf("ticked %d times after self-stop, want 3", count)
+	}
+}
+
+func TestStopBeforeFiring(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.After(time.Second, func(Time) { fired = true })
+	tm.Stop()
+	tm.Stop() // double-stop must be safe
+	s.Advance(5 * time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// A callback scheduling a timer inside the same Advance window must
+	// still fire within that window.
+	s := NewScheduler()
+	var second Time = -1
+	s.After(time.Second, func(Time) {
+		s.After(time.Second, func(now Time) { second = now })
+	})
+	s.Advance(3 * time.Second)
+	if second != Time(2*time.Second) {
+		t.Fatalf("nested timer fired at %v, want T+2s", second)
+	}
+}
+
+func TestAtClampsPast(t *testing.T) {
+	s := NewScheduler()
+	s.Advance(5 * time.Second)
+	var firedAt Time = -1
+	s.At(Time(time.Second), func(now Time) { firedAt = now })
+	s.Advance(0)
+	if firedAt != Time(5*time.Second) {
+		t.Fatalf("past-deadline timer fired at %v, want clamp to T+5s", firedAt)
+	}
+}
+
+func TestStepAdvancesToNextDeadline(t *testing.T) {
+	s := NewScheduler()
+	s.After(3*time.Second, func(Time) {})
+	s.After(7*time.Second, func(Time) {})
+	if !s.Step() {
+		t.Fatal("Step() = false with pending timers")
+	}
+	if s.Now() != Time(3*time.Second) {
+		t.Fatalf("Now() after Step = %v, want T+3s", s.Now())
+	}
+	if !s.Step() {
+		t.Fatal("second Step() = false")
+	}
+	if s.Now() != Time(7*time.Second) {
+		t.Fatalf("Now() after second Step = %v, want T+7s", s.Now())
+	}
+	if s.Step() {
+		t.Fatal("Step() = true with empty queue")
+	}
+}
+
+func TestRunHonorsLimit(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	s.TickEvery(time.Second, func(Time) { count++ })
+	end := s.Run(Time(10 * time.Second))
+	if end != Time(10*time.Second) {
+		t.Fatalf("Run returned %v, want T+10s", end)
+	}
+	if count != 10 {
+		t.Fatalf("periodic fired %d times in 10s, want 10", count)
+	}
+}
+
+func TestRunAdvancesToLimitWhenIdle(t *testing.T) {
+	s := NewScheduler()
+	end := s.Run(Time(time.Minute))
+	if end != Time(time.Minute) || s.Now() != Time(time.Minute) {
+		t.Fatalf("Run on empty queue ended at %v", end)
+	}
+}
+
+func TestAdvancePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewScheduler().Advance(-time.Second)
+}
+
+func TestTickEveryPanicsOnZeroPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TickEvery(0) did not panic")
+		}
+	}()
+	NewScheduler().TickEvery(0, func(Time) {})
+}
+
+func TestPendingDeadlinesSorted(t *testing.T) {
+	s := NewScheduler()
+	s.After(5*time.Second, func(Time) {})
+	s.After(time.Second, func(Time) {})
+	s.After(3*time.Second, func(Time) {})
+	dl := s.PendingDeadlines()
+	want := []Time{Time(time.Second), Time(3 * time.Second), Time(5 * time.Second)}
+	for i := range want {
+		if dl[i] != want[i] {
+			t.Fatalf("deadlines %v, want %v", dl, want)
+		}
+	}
+}
+
+// Property: regardless of the mix of scheduled durations, timers always
+// fire in non-decreasing deadline order and never before their deadline.
+func TestQuickFiringOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewScheduler()
+		var fired []Time
+		for _, d := range delays {
+			dur := time.Duration(d) * time.Millisecond
+			deadline := s.Now().Add(dur)
+			s.After(dur, func(now Time) {
+				if now != deadline {
+					t.Errorf("fired at %v, deadline %v", now, deadline)
+				}
+				fired = append(fired, now)
+			})
+		}
+		s.Advance(time.Duration(1<<16) * time.Millisecond)
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(3 * time.Second)
+	b := a.Add(2 * time.Second)
+	if b != Time(5*time.Second) {
+		t.Fatalf("Add: %v", b)
+	}
+	if b.Sub(a) != 2*time.Second {
+		t.Fatalf("Sub: %v", b.Sub(a))
+	}
+	if !a.Before(b) || !b.After(a) {
+		t.Fatal("Before/After disagree")
+	}
+	if a.Seconds() != 3 {
+		t.Fatalf("Seconds: %v", a.Seconds())
+	}
+	if a.String() != "T+3s" {
+		t.Fatalf("String: %q", a.String())
+	}
+}

@@ -1,0 +1,149 @@
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// TimerHandle cancels a scheduled callback.
+type TimerHandle interface {
+	Stop()
+}
+
+// TimerProvider abstracts time for broker modules: the simulation
+// implements it with the deterministic Scheduler, live mode with Wall
+// (real time). Callbacks from a Wall provider run on their own
+// goroutines; modules that support live mode must do their own locking.
+type TimerProvider interface {
+	Clock
+	// Every schedules fn at a fixed period until stopped.
+	Every(period time.Duration, fn TimerFunc) TimerHandle
+	// AfterFunc schedules fn once, d from now.
+	AfterFunc(d time.Duration, fn TimerFunc) TimerHandle
+}
+
+// Every adapts the Scheduler to TimerProvider.
+func (s *Scheduler) Every(period time.Duration, fn TimerFunc) TimerHandle {
+	return s.TickEvery(period, fn)
+}
+
+// AfterFunc adapts the Scheduler to TimerProvider.
+func (s *Scheduler) AfterFunc(d time.Duration, fn TimerFunc) TimerHandle {
+	return s.After(d, fn)
+}
+
+var _ TimerProvider = (*Scheduler)(nil)
+
+// Wall is the real-time TimerProvider used when brokers run as live
+// daemons over TCP. Now() reports the duration since the Wall was
+// created, so module code sees the same Time type in both modes.
+type Wall struct {
+	start time.Time
+
+	mu     sync.Mutex
+	closed bool
+	timers map[*wallTimer]struct{}
+}
+
+// NewWall creates a real-time provider anchored at the current instant.
+func NewWall() *Wall {
+	return &Wall{start: time.Now(), timers: make(map[*wallTimer]struct{})}
+}
+
+// Now implements Clock with real elapsed time.
+func (w *Wall) Now() Time { return Time(time.Since(w.start)) }
+
+// Every implements TimerProvider with a ticker goroutine.
+func (w *Wall) Every(period time.Duration, fn TimerFunc) TimerHandle {
+	if period <= 0 {
+		panic("simtime: Wall.Every requires a positive period")
+	}
+	t := &wallTimer{stop: make(chan struct{})}
+	w.track(t)
+	ticker := time.NewTicker(period)
+	go func() {
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				fn(w.Now())
+			case <-t.stop:
+				return
+			}
+		}
+	}()
+	return t
+}
+
+// AfterFunc implements TimerProvider with a one-shot timer.
+func (w *Wall) AfterFunc(d time.Duration, fn TimerFunc) TimerHandle {
+	t := &wallTimer{stop: make(chan struct{})}
+	w.track(t)
+	timer := time.AfterFunc(d, func() {
+		select {
+		case <-t.stop:
+		default:
+			fn(w.Now())
+		}
+	})
+	t.cancel = func() { timer.Stop() }
+	return t
+}
+
+func (w *Wall) track(t *wallTimer) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		// Provider already closed: hand back a timer that never fires.
+		close(t.stop)
+		return
+	}
+	w.timers[t] = struct{}{}
+	t.release = func() {
+		w.mu.Lock()
+		delete(w.timers, t)
+		w.mu.Unlock()
+	}
+}
+
+// Close stops every outstanding timer. Safe to call twice.
+func (w *Wall) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	timers := make([]*wallTimer, 0, len(w.timers))
+	for t := range w.timers {
+		timers = append(timers, t)
+	}
+	w.timers = make(map[*wallTimer]struct{})
+	w.mu.Unlock()
+	for _, t := range timers {
+		t.stopOnce()
+	}
+}
+
+type wallTimer struct {
+	once    sync.Once
+	stop    chan struct{}
+	cancel  func()
+	release func()
+}
+
+func (t *wallTimer) Stop() { t.stopOnce() }
+
+func (t *wallTimer) stopOnce() {
+	t.once.Do(func() {
+		close(t.stop)
+		if t.cancel != nil {
+			t.cancel()
+		}
+		if t.release != nil {
+			t.release()
+		}
+	})
+}
+
+var _ TimerProvider = (*Wall)(nil)

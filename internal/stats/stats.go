@@ -1,0 +1,224 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to summarize measurements the way the paper reports them:
+// means and standard deviations over repeated runs (Fig 3), box-plot
+// five-number summaries (Fig 4), percentage deltas between policies
+// (Tables III/IV), and simple series integration for energy (∫P dt).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reductions over empty inputs.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Sum(xs) / float64(len(xs)), nil
+}
+
+// MustMean is Mean for callers that already know xs is non-empty
+// (experiment code with fixed repetition counts). It panics on empty input.
+func MustMean(xs []float64) float64 {
+	m, err := Mean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It does not modify xs.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// BoxPlot is the five-number summary used for Fig 4's run-to-run
+// variability plots.
+type BoxPlot struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// NewBoxPlot computes the five-number summary of xs.
+func NewBoxPlot(xs []float64) (BoxPlot, error) {
+	if len(xs) == 0 {
+		return BoxPlot{}, ErrEmpty
+	}
+	var b BoxPlot
+	var err error
+	if b.Min, err = Min(xs); err != nil {
+		return b, err
+	}
+	if b.Max, err = Max(xs); err != nil {
+		return b, err
+	}
+	if b.Q1, err = Percentile(xs, 25); err != nil {
+		return b, err
+	}
+	if b.Median, err = Percentile(xs, 50); err != nil {
+		return b, err
+	}
+	if b.Q3, err = Percentile(xs, 75); err != nil {
+		return b, err
+	}
+	return b, nil
+}
+
+// IQR returns the inter-quartile range.
+func (b BoxPlot) IQR() float64 { return b.Q3 - b.Q1 }
+
+// SpreadPercent returns (max-min)/median as a percentage — the paper's
+// "over 20% run-to-run variability" measure for Laghos and Quicksilver at
+// low node counts.
+func (b BoxPlot) SpreadPercent() float64 {
+	if b.Median == 0 {
+		return 0
+	}
+	return (b.Max - b.Min) / b.Median * 100
+}
+
+// PercentChange returns the percent change from baseline to value:
+// negative means value is lower than baseline. Used for energy/perf deltas
+// ("FPP reduces energy by 1.2% compared to proportional sharing").
+func PercentChange(baseline, value float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (value - baseline) / baseline * 100
+}
+
+// Speedup returns baseline/value, the paper's "1.58x performance gain"
+// convention for execution times (value faster than baseline => >1).
+func Speedup(baselineTime, newTime float64) float64 {
+	if newTime == 0 {
+		return math.Inf(1)
+	}
+	return baselineTime / newTime
+}
+
+// TrapezoidIntegral integrates y over x with the trapezoid rule. The
+// slices must be the same length; x must be non-decreasing. Energy in
+// joules is TrapezoidIntegral(timeSeconds, powerWatts).
+func TrapezoidIntegral(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("stats: x/y length mismatch")
+	}
+	if len(x) < 2 {
+		return 0, nil
+	}
+	total := 0.0
+	for i := 1; i < len(x); i++ {
+		dx := x[i] - x[i-1]
+		if dx < 0 {
+			return 0, errors.New("stats: x not sorted")
+		}
+		total += dx * (y[i] + y[i-1]) / 2
+	}
+	return total, nil
+}
+
+// WithinPercent reports whether got is within tol percent of want.
+// Experiment tests assert shape with this rather than exact equality.
+func WithinPercent(want, got, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) <= tol/100
+	}
+	return math.Abs(got-want)/math.Abs(want)*100 <= tol
+}
+
+// Downsample reduces xs to at most n points by striding, keeping the first
+// and last points; used when emitting long timelines for figures.
+func Downsample(xs []float64, n int) []float64 {
+	if n <= 0 || len(xs) <= n {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, 0, n)
+	step := float64(len(xs)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, xs[int(math.Round(float64(i)*step))])
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSumAndMean(t *testing.T) {
+	if Sum(nil) != 0 {
+		t.Fatal("Sum(nil) != 0")
+	}
+	xs := []float64{1, 2, 3, 4}
+	if Sum(xs) != 10 {
+		t.Fatalf("Sum=%v", Sum(xs))
+	}
+	m, err := Mean(xs)
+	if err != nil || m != 2.5 {
+		t.Fatalf("Mean=%v err=%v", m, err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatalf("Mean(nil) err=%v, want ErrEmpty", err)
+	}
+}
+
+func TestMustMeanPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMean(nil) did not panic")
+		}
+	}()
+	MustMean(nil)
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil || !almostEq(v, 4) {
+		t.Fatalf("Variance=%v err=%v, want 4", v, err)
+	}
+	sd, err := StdDev(xs)
+	if err != nil || !almostEq(sd, 2) {
+		t.Fatalf("StdDev=%v err=%v, want 2", sd, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if mn != -1 || mx != 7 {
+		t.Fatalf("Min=%v Max=%v", mn, mx)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Fatal("Min(nil) should error")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Fatal("Max(nil) should error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil || !almostEq(got, c.want) {
+			t.Fatalf("Percentile(%v)=%v err=%v, want %v", c.p, got, err, c.want)
+		}
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Fatal("Percentile(-1) should error")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("Percentile(101) should error")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatal("Percentile(nil) should be ErrEmpty")
+	}
+	one, err := Percentile([]float64{42}, 73)
+	if err != nil || one != 42 {
+		t.Fatalf("single-element percentile=%v", one)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestBoxPlot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	b, err := NewBoxPlot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Min != 1 || b.Max != 100 || b.Median != 3 {
+		t.Fatalf("box=%+v", b)
+	}
+	if b.IQR() != b.Q3-b.Q1 {
+		t.Fatal("IQR mismatch")
+	}
+	if !almostEq(b.SpreadPercent(), 99.0/3.0*100) {
+		t.Fatalf("SpreadPercent=%v", b.SpreadPercent())
+	}
+	if _, err := NewBoxPlot(nil); err != ErrEmpty {
+		t.Fatal("NewBoxPlot(nil) should error")
+	}
+}
+
+func TestBoxPlotZeroMedianSpread(t *testing.T) {
+	b := BoxPlot{Min: -1, Median: 0, Max: 1}
+	if b.SpreadPercent() != 0 {
+		t.Fatalf("zero-median spread=%v", b.SpreadPercent())
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	if !almostEq(PercentChange(200, 180), -10) {
+		t.Fatalf("PercentChange=%v", PercentChange(200, 180))
+	}
+	if !almostEq(PercentChange(100, 120), 20) {
+		t.Fatalf("PercentChange=%v", PercentChange(100, 120))
+	}
+	if PercentChange(0, 5) != 0 {
+		t.Fatal("zero baseline should yield 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	// Paper: IBM default 1145 s vs prop-share 597 s is "almost 1.59x".
+	s := Speedup(1145, 597)
+	if s < 1.9 || s > 1.93 {
+		t.Fatalf("Speedup(1145,597)=%v", s)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Fatal("Speedup with zero time should be +Inf")
+	}
+}
+
+func TestTrapezoidIntegral(t *testing.T) {
+	// Constant 100 W over 10 s = 1000 J.
+	x := []float64{0, 2, 4, 6, 8, 10}
+	y := []float64{100, 100, 100, 100, 100, 100}
+	e, err := TrapezoidIntegral(x, y)
+	if err != nil || !almostEq(e, 1000) {
+		t.Fatalf("integral=%v err=%v", e, err)
+	}
+	// Linear ramp 0..10 over 10 s = 50 J.
+	e2, err := TrapezoidIntegral([]float64{0, 10}, []float64{0, 10})
+	if err != nil || !almostEq(e2, 50) {
+		t.Fatalf("ramp integral=%v err=%v", e2, err)
+	}
+	if _, err := TrapezoidIntegral([]float64{0, 1}, []float64{0}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, err := TrapezoidIntegral([]float64{1, 0}, []float64{0, 0}); err == nil {
+		t.Fatal("unsorted x should error")
+	}
+	if e, _ := TrapezoidIntegral([]float64{1}, []float64{5}); e != 0 {
+		t.Fatal("single point should integrate to 0")
+	}
+}
+
+func TestWithinPercent(t *testing.T) {
+	if !WithinPercent(100, 104, 5) {
+		t.Fatal("104 should be within 5% of 100")
+	}
+	if WithinPercent(100, 106, 5) {
+		t.Fatal("106 should not be within 5% of 100")
+	}
+	if !WithinPercent(0, 0.0001, 5) {
+		t.Fatal("near-zero got vs zero want should pass")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	d := Downsample(xs, 5)
+	if len(d) != 5 || d[0] != 0 || d[4] != 99 {
+		t.Fatalf("Downsample=%v", d)
+	}
+	if got := Downsample(xs, 200); len(got) != 100 {
+		t.Fatalf("no-op downsample len=%d", len(got))
+	}
+	if got := Downsample(xs, 0); len(got) != 100 {
+		t.Fatalf("n=0 downsample len=%d", len(got))
+	}
+}
+
+// Property: mean lies within [min, max] for any non-empty input.
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := MustMean(clean)
+		mn, _ := Min(clean)
+		mx, _ := Max(clean)
+		return m >= mn-1e-6 && m <= mx+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: box plot quantiles are monotone: min<=q1<=median<=q3<=max.
+func TestQuickBoxPlotMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		b, err := NewBoxPlot(clean)
+		if err != nil {
+			return false
+		}
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

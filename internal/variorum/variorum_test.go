@@ -1,0 +1,277 @@
+package variorum
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"fluxpower/internal/hw"
+	"fluxpower/internal/simtime"
+)
+
+func lassenNode(t *testing.T) *hw.Node {
+	t.Helper()
+	n, err := hw.NewNode("lassen1", hw.LassenConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func tiogaNode(t *testing.T) *hw.Node {
+	t.Helper()
+	n, err := hw.NewNode("tioga1", hw.TiogaConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestGetNodePowerLassen(t *testing.T) {
+	n := lassenNode(t)
+	n.SetDemand(hw.Demand{
+		CPUW: []float64{200, 210},
+		MemW: 100,
+		GPUW: []float64{120, 130, 140, 150},
+	})
+	p := GetNodePower(n, simtime.Time(0).Add(42e9))
+	if p.Hostname != "lassen1" || p.Arch != string(hw.ArchIBMPower9) {
+		t.Fatalf("identity: %+v", p)
+	}
+	if p.Timestamp != 42 {
+		t.Fatalf("timestamp=%v, want 42", p.Timestamp)
+	}
+	if p.NodeWatts == Unsupported {
+		t.Fatal("Lassen node sensor missing")
+	}
+	if len(p.SocketCPUWatts) != 2 || len(p.SocketMemWatts) != 2 || len(p.GPUWatts) != 4 {
+		t.Fatalf("sensor shapes: %+v", p)
+	}
+	// Per-socket GPU aggregate: GPUs 0,1 on socket 0; 2,3 on socket 1.
+	if math.Abs(p.SocketGPUWatts[0]-250) > 1e-9 || math.Abs(p.SocketGPUWatts[1]-290) > 1e-9 {
+		t.Fatalf("socket GPU sums: %v", p.SocketGPUWatts)
+	}
+	if math.Abs(p.CPUWatts()-410) > 1e-9 {
+		t.Fatalf("CPUWatts=%v", p.CPUWatts())
+	}
+	if math.Abs(p.MemWatts()-100) > 1e-9 {
+		t.Fatalf("MemWatts=%v", p.MemWatts())
+	}
+	if math.Abs(p.TotalGPUWatts()-540) > 1e-9 {
+		t.Fatalf("TotalGPUWatts=%v", p.TotalGPUWatts())
+	}
+	if p.TotalWatts() != p.NodeWatts {
+		t.Fatal("TotalWatts should prefer node sensor")
+	}
+}
+
+func TestGetNodePowerTiogaHoles(t *testing.T) {
+	n := tiogaNode(t)
+	n.SetDemand(hw.Demand{
+		CPUW: []float64{250},
+		GPUW: []float64{100, 100, 100, 100, 100, 100, 100, 100},
+	})
+	p := GetNodePower(n, 0)
+	if p.NodeWatts != Unsupported {
+		t.Fatalf("Tioga NodeWatts=%v, want -1", p.NodeWatts)
+	}
+	if p.SocketMemWatts != nil {
+		t.Fatal("Tioga must not report memory power")
+	}
+	if p.MemWatts() != Unsupported {
+		t.Fatalf("MemWatts=%v, want -1", p.MemWatts())
+	}
+	if len(p.GPUWatts) != 4 || p.GPUsPerSensorEntry != 2 {
+		t.Fatalf("OAM sensors: %+v", p)
+	}
+	// Conservative node estimate = CPU + OAMs = 250 + 800.
+	if math.Abs(p.TotalWatts()-1050) > 1e-9 {
+		t.Fatalf("TotalWatts=%v, want 1050", p.TotalWatts())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	n := lassenNode(t)
+	n.SetDemand(hw.Demand{CPUW: []float64{180, 190}, MemW: 90, GPUW: []float64{200, 210, 220, 230}})
+	raw, err := GetNodePowerJSON(n, simtime.Time(1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The document must be valid JSON with Variorum-style field names.
+	var generic map[string]any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"hostname", "timestamp_sec", "power_node_watts", "power_cpu_watts_socket"} {
+		if _, ok := generic[key]; !ok {
+			t.Fatalf("telemetry document missing %q: %s", key, raw)
+		}
+	}
+	p, err := ParseNodePower(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hostname != "lassen1" || len(p.GPUWatts) != 4 {
+		t.Fatalf("round trip lost data: %+v", p)
+	}
+}
+
+func TestParseNodePowerRejectsGarbage(t *testing.T) {
+	if _, err := ParseNodePower([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCapBestEffortOnIBMUsesNodeCap(t *testing.T) {
+	n := lassenNode(t)
+	if err := CapBestEffortNodePowerLimit(n, 1800); err != nil {
+		t.Fatal(err)
+	}
+	if n.NodeCap() != 1800 {
+		t.Fatalf("node cap %v, want 1800", n.NodeCap())
+	}
+	if err := CapBestEffortNodePowerLimit(n, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("zero watts err=%v", err)
+	}
+}
+
+func TestCapBestEffortOnTiogaDisabled(t *testing.T) {
+	n := tiogaNode(t)
+	if err := CapBestEffortNodePowerLimit(n, 1500); !errors.Is(err, ErrCapNotEnabled) {
+		t.Fatalf("err=%v, want ErrCapNotEnabled", err)
+	}
+}
+
+func TestCapBestEffortDistributesWithoutNodeDial(t *testing.T) {
+	// A hypothetical architecture with GPU caps but no node dial: best
+	// effort distributes uniformly.
+	cfg := hw.LassenConfig()
+	cfg.NodeCapSupported = false
+	n, err := hw.NewNode("intelish", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CapBestEffortNodePowerLimit(n, 1200); err != nil {
+		t.Fatal(err)
+	}
+	// 1200 W over 4 GPUs + 2 sockets = 200 W/GPU.
+	for g := 0; g < 4; g++ {
+		if got := n.GPUCap(g); math.Abs(got-200) > 1e-9 {
+			t.Fatalf("gpu%d cap=%v, want 200", g, got)
+		}
+	}
+}
+
+func TestCapEachGPUPowerLimit(t *testing.T) {
+	n := lassenNode(t)
+	if err := CapEachGPUPowerLimit(n, 150); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 4; g++ {
+		if n.GPUCap(g) != 150 {
+			t.Fatalf("gpu%d cap=%v", g, n.GPUCap(g))
+		}
+	}
+	if err := CapEachGPUPowerLimit(n, 9999); err == nil {
+		t.Fatal("out-of-range GPU cap accepted")
+	}
+	if err := CapEachGPUPowerLimit(tiogaNode(t), 150); !errors.Is(err, ErrCapNotEnabled) {
+		t.Fatal("Tioga GPU capping should be disabled")
+	}
+}
+
+func TestCapGPUPowerLimitSingleDevice(t *testing.T) {
+	n := lassenNode(t)
+	if err := CapGPUPowerLimit(n, 2, 175); err != nil {
+		t.Fatal(err)
+	}
+	if n.GPUCap(2) != 175 || n.GPUCap(0) != 0 {
+		t.Fatalf("per-device caps: %v %v", n.GPUCap(2), n.GPUCap(0))
+	}
+	if err := CapGPUPowerLimit(tiogaNode(t), 0, 175); !errors.Is(err, ErrCapNotEnabled) {
+		t.Fatal("Tioga per-GPU capping should be disabled")
+	}
+}
+
+func TestQueryCapabilities(t *testing.T) {
+	lc := QueryCapabilities(lassenNode(t))
+	if !lc.NodeSensor || !lc.MemSensor || !lc.NodeCap || !lc.GPUCap {
+		t.Fatalf("Lassen caps: %+v", lc)
+	}
+	if lc.GPUs != 4 || lc.GPUMaxW != 300 || lc.NodeMaxW != 3050 {
+		t.Fatalf("Lassen constants: %+v", lc)
+	}
+	tc := QueryCapabilities(tiogaNode(t))
+	if tc.NodeSensor || tc.MemSensor || tc.NodeCap || tc.GPUCap {
+		t.Fatalf("Tioga caps: %+v", tc)
+	}
+	if tc.GPUs != 8 || tc.GPUsPerSensor != 2 {
+		t.Fatalf("Tioga shape: %+v", tc)
+	}
+}
+
+func TestCapEachSocketPowerLimit(t *testing.T) {
+	n := lassenNode(t)
+	if err := CapEachSocketPowerLimit(n, 150); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 2; s++ {
+		if n.SocketCap(s) != 150 {
+			t.Fatalf("socket %d cap=%v", s, n.SocketCap(s))
+		}
+	}
+	if err := CapEachSocketPowerLimit(n, 10); err == nil {
+		t.Fatal("out-of-range socket cap accepted")
+	}
+	if err := CapEachSocketPowerLimit(tiogaNode(t), 150); !errors.Is(err, ErrCapNotEnabled) {
+		t.Fatal("Tioga socket capping should be disabled")
+	}
+	if err := CapSocketPowerLimit(n, 1, 200); err != nil {
+		t.Fatal(err)
+	}
+	if n.SocketCap(1) != 200 || n.SocketCap(0) != 150 {
+		t.Fatalf("per-socket caps: %v %v", n.SocketCap(0), n.SocketCap(1))
+	}
+	if caps := QueryCapabilities(n); !caps.SocketCap {
+		t.Fatal("Lassen should report socket capping")
+	}
+}
+
+// TestGenericX86BestEffort exercises the third capability mix (§II-C):
+// RAPL sockets + NVML GPUs, no node dial — best-effort node capping
+// distributes the budget uniformly, and telemetry estimates node power
+// from components.
+func TestGenericX86BestEffort(t *testing.T) {
+	n, err := hw.NewNode("x86-0", hw.GenericX86Config(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := QueryCapabilities(n)
+	if caps.NodeCap || !caps.GPUCap || !caps.SocketCap || !caps.MemSensor || caps.NodeSensor {
+		t.Fatalf("x86 capability mix: %+v", caps)
+	}
+	if err := CapBestEffortNodePowerLimit(n, 1200); err != nil {
+		t.Fatal(err)
+	}
+	// 1200 W over 4 GPUs + 2 sockets = 200 W per device.
+	for g := 0; g < 4; g++ {
+		if n.GPUCap(g) != 200 {
+			t.Fatalf("gpu%d cap=%v", g, n.GPUCap(g))
+		}
+	}
+	n.SetDemand(hw.Demand{CPUW: []float64{150, 150}, MemW: 70, GPUW: []float64{250, 250, 250, 250}})
+	p := GetNodePower(n, 0)
+	if p.NodeWatts != Unsupported {
+		t.Fatalf("x86 node sensor should be absent: %v", p.NodeWatts)
+	}
+	// GPUs clipped at 200 by the best-effort distribution.
+	if p.TotalGPUWatts() != 800 {
+		t.Fatalf("GPU power %v, want 4x200 under best-effort caps", p.TotalGPUWatts())
+	}
+	// Estimated node power = CPU + GPU sums (mem excluded from the
+	// conservative estimate, matching the Tioga convention).
+	if got := p.TotalWatts(); got != 150+150+800 {
+		t.Fatalf("estimated node power %v", got)
+	}
+}
