@@ -26,6 +26,7 @@ package powermgr
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -79,6 +80,11 @@ type Config struct {
 	// SampleInterval is the node-level manager's power tracking period
 	// (default 2 s).
 	SampleInterval time.Duration
+	// PushTimeout bounds each node-limit RPC issued by the job-level
+	// manager (default 5 s). A node that cannot acknowledge in time is
+	// recorded as a push failure instead of blocking the rest of the
+	// job's ranks.
+	PushTimeout time.Duration
 	// FPP carries Algorithm 1's constants (zero values = paper defaults).
 	FPP fpp.Config
 }
@@ -95,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SampleInterval <= 0 {
 		c.SampleInterval = 2 * time.Second
+	}
+	if c.PushTimeout <= 0 {
+		c.PushTimeout = 5 * time.Second
 	}
 	return c
 }
@@ -127,11 +136,20 @@ type Manager struct {
 
 	// Cluster-level state (rank 0 only).
 	allocs map[uint64]*Allocation
+	// Push diagnostics (rank 0 only): limit RPCs that failed or timed
+	// out, total and most-recent-per-rank. The paper's operational
+	// lesson (§V) is that silently dropped enforcement must be visible.
+	pushFailures uint64
+	pushErrs     map[int32]string
 }
 
 // New creates a manager module instance.
 func New(cfg Config) *Manager {
-	return &Manager{cfg: cfg.withDefaults(), allocs: make(map[uint64]*Allocation)}
+	return &Manager{
+		cfg:      cfg.withDefaults(),
+		allocs:   make(map[uint64]*Allocation),
+		pushErrs: make(map[int32]string),
+	}
 }
 
 // Name implements broker.Module.
@@ -320,7 +338,9 @@ func (m *Manager) maxNodePower() float64 {
 
 // pushAllocation is the job-level manager: equal split across the job's
 // nodes (the allocation is already per-node) pushed to each node-level
-// manager over the TBON.
+// manager over the TBON. All node RPCs are issued before any response is
+// awaited, so the push is one concurrent fan-out rather than N serial
+// round-trips; a slow or dead node only costs its own PushTimeout.
 func (m *Manager) pushAllocation(a *Allocation) {
 	a.JobLimitW = a.PerNodeW * float64(len(a.Ranks))
 	for _, rank := range a.Ranks {
@@ -347,13 +367,27 @@ type nodeLimitRequest struct {
 	Policy Policy  `json:"policy"`
 }
 
-func (m *Manager) sendNodeLimit(rank int32, jobID uint64, limitW float64, policy Policy) {
-	_ = m.ctx.RPC(rank, "power-manager.node.setlimit", nodeLimitRequest{
+// sendNodeLimit pushes one node's limit asynchronously. The returned
+// future resolves with the node's acknowledgement, an error response, or
+// a synthesized ETIMEDOUT after PushTimeout. Failures (e.g. capping
+// disabled on this architecture, or an unreachable node) are recorded in
+// the push diagnostics but are not fatal: telemetry keeps working, as on
+// Tioga.
+func (m *Manager) sendNodeLimit(rank int32, jobID uint64, limitW float64, policy Policy) *broker.Future {
+	f := m.ctx.RPCWithTimeout(rank, "power-manager.node.setlimit", nodeLimitRequest{
 		Op: "setlimit", JobID: jobID, LimitW: limitW, Policy: policy,
-	}, func(resp *msg.Message) {
-		// Failures (e.g. capping disabled on this architecture) are
-		// reported but not fatal: telemetry keeps working, as on Tioga.
+	}, m.cfg.PushTimeout)
+	f.Then(func(resp *msg.Message) {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if err := resp.Err(); err != nil {
+			m.pushFailures++
+			m.pushErrs[rank] = err.Error()
+		} else {
+			delete(m.pushErrs, rank)
+		}
 	})
+	return f
 }
 
 // handleSetGlobal changes the cluster power bound at runtime.
@@ -406,12 +440,19 @@ func (m *Manager) handleStatus(req *broker.Request) {
 		out = append(out, *a)
 	}
 	global := m.cfg.GlobalCapW
+	pushFailures := m.pushFailures
+	pushErrs := make(map[int32]string, len(m.pushErrs))
+	for rank, e := range m.pushErrs {
+		pushErrs[rank] = e
+	}
 	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
 	_ = req.Respond(map[string]any{
-		"policy":       m.cfg.Policy,
-		"global_cap_w": global,
-		"allocations":  out,
+		"policy":        m.cfg.Policy,
+		"global_cap_w":  global,
+		"allocations":   out,
+		"push_failures": pushFailures,
+		"push_errors":   pushErrs,
 	})
 }
 
@@ -520,21 +561,41 @@ func (m *Manager) deriveGPUCap(limitW float64, caps variorum.Capabilities) float
 	return w
 }
 
+// capVerifyEpsilonW is the slack allowed between the cap a device
+// reports and the cap the manager asked for before the write is treated
+// as a silent failure. Devices round caps to their own resolution, so
+// exact float equality misclassifies every legitimately rounded write.
+const capVerifyEpsilonW = 0.5
+
 // writeGPUCapVerified issues an NVML cap write and verifies it took
 // effect, retrying on silent failure. Section V reports that on some
 // Lassen nodes GPU cap writes intermittently failed, "either picking up
 // the last set power cap or defaulting to the maximum power cap" — a
 // production-grade manager cannot trust a successful return code alone.
 // Verification reads the device-reported cap back (what nvidia-smi
-// shows) and compares it with the request.
+// shows) and compares it with what a healthy device would report for
+// this request: the request clamped to the device range, within epsilon
+// plus the device's rounding step. Comparing against the raw request
+// with exact equality (the old behaviour) made every clamped or rounded
+// write look like a failure, burning the retry budget and miscounting
+// healthy nodes as broken.
 func (m *Manager) writeGPUCapVerified(gpu int, watts float64) error {
+	cfg := m.node.Config()
+	want := watts
+	if want > cfg.GPUMaxPowerW {
+		want = cfg.GPUMaxPowerW
+	}
+	if want < cfg.GPUMinPowerW {
+		want = cfg.GPUMinPowerW
+	}
+	tolerance := capVerifyEpsilonW + cfg.GPUCapQuantumW/2
 	const maxAttempts = 3
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		m.capWrites++
-		if err := variorum.CapGPUPowerLimit(m.node, gpu, watts); err != nil {
+		if err := variorum.CapGPUPowerLimit(m.node, gpu, want); err != nil {
 			return err
 		}
-		if m.node.ReportedGPUCap(gpu) == watts {
+		if math.Abs(m.node.ReportedGPUCap(gpu)-want) <= tolerance {
 			return nil
 		}
 		m.capRetries++

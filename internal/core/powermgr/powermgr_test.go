@@ -8,6 +8,8 @@ import (
 	"fluxpower/internal/cluster"
 	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/flux/job"
+	"fluxpower/internal/hw"
+	"fluxpower/internal/simtime"
 )
 
 // managed builds a Lassen cluster with the power manager on every node.
@@ -353,5 +355,129 @@ func TestCapWriteVerificationRetriesSilentFailures(t *testing.T) {
 	}
 	if totalRetries == 0 {
 		t.Fatal("no retries recorded at 40% injected failure rate")
+	}
+}
+
+func TestCapVerificationToleratesDeviceRounding(t *testing.T) {
+	// A device that rounds caps to its own resolution (here 1 W) reports
+	// a cap slightly different from the fractional request. Verification
+	// compares against the clamped request within epsilon plus the
+	// rounding step, so a healthy rounded write must not be classed as a
+	// silent failure (the old exact-equality check retried three times
+	// and counted a failure on every fractional cap).
+	hwCfg := hw.LassenConfig()
+	hwCfg.GPUCapQuantumW = 1.0
+	node, err := hw.NewNode("quantized", hwCfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := broker.NewInstance(broker.InstanceOptions{
+		Size:      1,
+		Scheduler: simtime.NewScheduler(),
+		Local:     func(int32) any { return node },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Policy: PolicyProportional})
+	if err := inst.Root().LoadModule(m); err != nil {
+		t.Fatal(err)
+	}
+	// 1349 W node limit → (1349-400)/4 = 237.25 W per GPU, which the
+	// device rounds to 237 W.
+	if _, err := inst.Root().Call(0, "power-manager.node.setlimit", map[string]any{
+		"op": "setlimit", "jobid": 1, "limit_w": 1349.0, "policy": "proportional",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := NewClient(inst.Root()).NodeInfo(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries := info["cap_retries"].(float64); retries != 0 {
+		t.Fatalf("rounded-but-healthy writes burned %v retries", retries)
+	}
+	if failures := info["cap_failures"].(float64); failures != 0 {
+		t.Fatalf("rounded-but-healthy writes counted %v failures", failures)
+	}
+	for g := 0; g < 4; g++ {
+		if got := node.ReportedGPUCap(g); got != 237 {
+			t.Fatalf("gpu %d reported cap %v, want 237 (quantized)", g, got)
+		}
+	}
+}
+
+func TestCapVerificationComparesAgainstClampedRequest(t *testing.T) {
+	// A request outside the device range is clamped before writing, and
+	// the verification target is the clamped value — a cap above GPUMaxW
+	// lands at GPUMaxW and verifies, instead of erroring or miscounting.
+	node, err := hw.NewNode("clamped", hw.LassenConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := broker.NewInstance(broker.InstanceOptions{
+		Size:      1,
+		Scheduler: simtime.NewScheduler(),
+		Local:     func(int32) any { return node },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Policy: PolicyProportional})
+	if err := inst.Root().LoadModule(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.writeGPUCapVerified(0, 450); err != nil { // above 300 W max
+		t.Fatal(err)
+	}
+	if got := node.ReportedGPUCap(0); got != 300 {
+		t.Fatalf("over-range cap reported %v, want clamped 300", got)
+	}
+	if err := m.writeGPUCapVerified(1, 50); err != nil { // below 100 W min
+		t.Fatal(err)
+	}
+	if got := node.ReportedGPUCap(1); got != 100 {
+		t.Fatalf("under-range cap reported %v, want clamped 100", got)
+	}
+	if m.capRetries != 0 || m.capFailures != 0 {
+		t.Fatalf("clamped writes miscounted: retries=%d failures=%d", m.capRetries, m.capFailures)
+	}
+}
+
+func TestPushFailuresRecordedInStatus(t *testing.T) {
+	// The power manager runs only on rank 0: its limit push to rank 1
+	// (no node-level manager there) fails, and the failure must surface
+	// in the status diagnostics instead of vanishing in a dropped
+	// callback.
+	c, err := cluster.New(cluster.Config{System: cluster.Lassen, Nodes: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Inst.Root().LoadModule(New(Config{Policy: PolicyProportional, GlobalCapW: 2400})); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = c.Submit(job.Spec{App: "gemm", Nodes: 2})
+	c.RunFor(time.Second)
+
+	resp, err := c.Inst.Root().Call(0, "power-manager.status", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		PushFailures uint64           `json:"push_failures"`
+		PushErrors   map[int32]string `json:"push_errors"`
+	}
+	if err := resp.Unmarshal(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.PushFailures == 0 {
+		t.Fatal("failed limit push not counted")
+	}
+	if body.PushErrors[1] == "" {
+		t.Fatalf("rank 1 push error not recorded: %+v", body.PushErrors)
+	}
+	if body.PushErrors[0] != "" {
+		t.Fatalf("healthy rank 0 recorded a push error: %+v", body.PushErrors)
 	}
 }

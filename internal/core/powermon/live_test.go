@@ -5,27 +5,35 @@ import (
 	"time"
 
 	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/job"
 	"fluxpower/internal/hw"
 )
+
+// liveNodes builds n demand-loaded Lassen nodes for live-mode tests.
+func liveNodes(t *testing.T, n int) []*hw.Node {
+	t.Helper()
+	nodes := make([]*hw.Node, n)
+	for i := range nodes {
+		node, err := hw.NewNode("live", hw.LassenConfig(), int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.SetDemand(hw.Demand{
+			CPUW: []float64{150, 150},
+			MemW: 80,
+			GPUW: []float64{200, 200, 200, 200},
+		})
+		nodes[i] = node
+	}
+	return nodes
+}
 
 // TestLiveModeSampling runs the unmodified monitor module on a live TCP
 // TBON with wall-clock timers — the deployment shape of the paper's
 // production system. The node-agents sample concurrently on real timers;
 // a collect RPC crosses real sockets.
 func TestLiveModeSampling(t *testing.T) {
-	nodes := make([]*hw.Node, 3)
-	for i := range nodes {
-		n, err := hw.NewNode("live", hw.LassenConfig(), int64(i+1))
-		if err != nil {
-			t.Fatal(err)
-		}
-		n.SetDemand(hw.Demand{
-			CPUW: []float64{150, 150},
-			MemW: 80,
-			GPUW: []float64{200, 200, 200, 200},
-		})
-		nodes[i] = n
-	}
+	nodes := liveNodes(t, 3)
 	li, err := broker.NewLiveInstance(broker.InstanceOptions{
 		Size:  3,
 		Local: func(rank int32) any { return nodes[rank] },
@@ -62,6 +70,117 @@ func TestLiveModeSampling(t *testing.T) {
 		for _, s := range ns.Samples {
 			if s.TotalWatts() < 1270 || s.TotalWatts() > 1290 {
 				t.Fatalf("live sample %v W, want 1280", s.TotalWatts())
+			}
+		}
+	}
+}
+
+// TestLiveJobPowerQuery is the acceptance test for the root-agent fan-out
+// over live transports: a client submits a job through the live job
+// manager, then queries its power end-to-end — root-agent resolves the
+// job over a blocking RPC, fans collect requests to every node-agent
+// concurrently over TCP, and aggregates the result.
+func TestLiveJobPowerQuery(t *testing.T) {
+	nodes := liveNodes(t, 3)
+	li, err := broker.NewLiveInstance(broker.InstanceOptions{
+		Size:  3,
+		Local: func(rank int32) any { return nodes[rank] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+	if err := li.LoadModuleAll(func(rank int32) broker.Module {
+		return New(Config{SampleInterval: 10 * time.Millisecond})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := li.Root().LoadModule(job.NewManager([]int32{0, 1, 2})); err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := job.NewClient(li.Root()).Submit(job.Spec{App: "bench", Nodes: 3})
+	if err != nil {
+		t.Fatalf("submit over TCP: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond) // real time: ~10 samples per node
+
+	jp, err := NewClient(li.Root()).Query(id)
+	if err != nil {
+		t.Fatalf("job power query over TCP: %v", err)
+	}
+	if jp.JobID != id || len(jp.Nodes) != 3 {
+		t.Fatalf("query result identity: %+v", jp)
+	}
+	if !jp.Complete() {
+		t.Fatal("fresh rings reported partial data")
+	}
+	for _, n := range jp.Nodes {
+		if len(n.Samples) < 3 {
+			t.Fatalf("rank %d contributed %d samples after 100ms at 10ms interval", n.Rank, len(n.Samples))
+		}
+	}
+}
+
+// TestLiveJobPowerQueryDeadNode degrades gracefully: with one node-agent
+// hung (its collect service never answers), the query still returns
+// within the configured per-node timeout, the dead node contributes an
+// explicit empty record, and the job is flagged incomplete.
+func TestLiveJobPowerQueryDeadNode(t *testing.T) {
+	const collectTimeout = 150 * time.Millisecond
+	nodes := liveNodes(t, 3)
+	li, err := broker.NewLiveInstance(broker.InstanceOptions{
+		Size:  3,
+		Local: func(rank int32) any { return nodes[rank] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+	// Healthy agents on ranks 0 and 1; rank 2's agent is hung — requests
+	// reach it but no response ever comes back.
+	for rank := int32(0); rank < 2; rank++ {
+		mod := New(Config{SampleInterval: 10 * time.Millisecond, CollectTimeout: collectTimeout})
+		if err := li.Broker(rank).LoadModule(mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := li.Broker(2).RegisterService("power-monitor.collect", func(req *broker.Request) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := li.Root().LoadModule(job.NewManager([]int32{0, 1, 2})); err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := job.NewClient(li.Root()).Submit(job.Spec{App: "bench", Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	start := time.Now()
+	jp, err := NewClient(li.Root()).Query(id)
+	if err != nil {
+		t.Fatalf("query with a dead node failed outright: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*collectTimeout+time.Second {
+		t.Fatalf("partial query took %v, want ~%v", elapsed, collectTimeout)
+	}
+	if jp.Complete() {
+		t.Fatal("dead node not reflected in completeness")
+	}
+	if len(jp.Nodes) != 3 {
+		t.Fatalf("result has %d node entries, want 3 (dead node included)", len(jp.Nodes))
+	}
+	for _, n := range jp.Nodes {
+		switch n.Rank {
+		case 2:
+			if n.Complete || len(n.Samples) != 0 {
+				t.Fatalf("dead rank 2 entry: complete=%v samples=%d", n.Complete, len(n.Samples))
+			}
+		default:
+			if !n.Complete || len(n.Samples) < 3 {
+				t.Fatalf("healthy rank %d entry: complete=%v samples=%d", n.Rank, n.Complete, len(n.Samples))
 			}
 		}
 	}

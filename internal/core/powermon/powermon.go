@@ -37,13 +37,18 @@ const ModuleName = "power-monitor"
 const (
 	DefaultSampleInterval = 2 * time.Second
 	DefaultBufferSamples  = 100_000
+	DefaultCollectTimeout = 5 * time.Second
 )
 
-// Config tunes the node agent. Both knobs are user-configurable in the
-// paper's module too.
+// Config tunes the node agent. The sampling knobs are user-configurable
+// in the paper's module too.
 type Config struct {
 	SampleInterval time.Duration
 	BufferSamples  int
+	// CollectTimeout bounds each per-node collect RPC during a root-agent
+	// query. A node that cannot answer in time contributes an explicit
+	// incomplete record instead of stalling the whole query.
+	CollectTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +57,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BufferSamples <= 0 {
 		c.BufferSamples = DefaultBufferSamples
+	}
+	if c.CollectTimeout <= 0 {
+		c.CollectTimeout = DefaultCollectTimeout
 	}
 	return c
 }
@@ -253,19 +261,30 @@ func (m *Module) handleQuery(req *broker.Request) {
 	}
 	result := JobPower{JobID: rec.ID, App: rec.Spec.App, StartSec: rec.Start, EndSec: rec.End}
 	creq := collectRequest{StartSec: rec.Start, EndSec: rec.End}
-	for _, rank := range rec.Ranks {
-		var ns NodeSamples
-		ns.Rank = rank
-		resp, err := m.ctx.Broker().Call(rank, "power-monitor.collect", creq)
+	// Fan-out/fan-in: issue every collect RPC before awaiting any, so the
+	// gather costs one round-trip to the slowest node instead of the sum
+	// over all nodes, and a dead node costs one CollectTimeout total —
+	// each future's deadline was armed at issue time, so the waits below
+	// expire concurrently, not back to back.
+	futures := make([]*broker.Future, len(rec.Ranks))
+	for i, rank := range rec.Ranks {
+		futures[i] = m.ctx.RPCWithTimeout(rank, "power-monitor.collect", creq, m.cfg.CollectTimeout)
+	}
+	for i, rank := range rec.Ranks {
+		ns := NodeSamples{Rank: rank}
+		resp, err := futures[i].Wait(m.cfg.CollectTimeout)
 		if err != nil {
-			// A node that cannot answer contributes an explicit
-			// empty/incomplete series rather than failing the query.
-			ns.Complete = false
+			// A node that cannot answer (unreachable, timed out, or
+			// erroring) contributes an explicit empty/incomplete series
+			// rather than failing the query.
 			result.Nodes = append(result.Nodes, ns)
 			continue
 		}
 		if err := resp.Unmarshal(&ns); err != nil {
-			ns.Complete = false
+			// Unmarshal may have partially filled ns before failing;
+			// reset to an explicit empty incomplete record so a corrupt
+			// response cannot masquerade as complete data.
+			ns = NodeSamples{Rank: rank}
 		}
 		result.Nodes = append(result.Nodes, ns)
 	}

@@ -48,7 +48,19 @@ var (
 	ErrDupService  = errors.New("broker: service already registered")
 	ErrDupModule   = errors.New("broker: module already loaded")
 	ErrNoSyncReply = errors.New("broker: no synchronous reply (asynchronous responder?)")
+	// ErrTimeout resolves a Future whose RPC deadline passed with no
+	// response (carried as ETIMEDOUT on the synthesized error response).
+	ErrTimeout = errors.New("broker: rpc timed out")
+	// ErrCanceled resolves a Future abandoned with Cancel.
+	ErrCanceled = errors.New("broker: rpc canceled")
+	// ErrNotResolved is returned by Future.Result before completion.
+	ErrNotResolved = errors.New("broker: rpc not yet resolved")
 )
+
+// DefaultCallTimeout bounds Call's blocking wait over live transports
+// when Options.CallTimeout is unset. Irrelevant in simulation, where
+// responses resolve synchronously.
+const DefaultCallTimeout = 5 * time.Second
 
 // Broker is one flux-broker daemon.
 type Broker struct {
@@ -59,22 +71,33 @@ type Broker struct {
 	clock  simtime.Clock
 	timers simtime.TimerProvider // timer source for modules; nil if unavailable
 
-	mu       sync.Mutex
-	parent   transport.Link
-	children map[int32]transport.Link
-	services map[string]Handler
-	pending  map[uint32]ResponseHandler
-	nextTag  uint32
-	subs     []subscription
-	eventSeq uint64
-	modules  map[string]Module
-	modUndo  map[string][]func()
-	local    any
+	// sync is true when this broker runs under the deterministic
+	// scheduler: delivery is synchronous on one thread, so handlers
+	// dispatch inline and Future.Wait must never block. Live brokers
+	// (wall-clock timers) set it false and dispatch handlers on their
+	// own goroutines.
+	sync        bool
+	wheel       *deadlineWheel // RPC deadline timers; nil without a timer provider
+	callTimeout time.Duration
+
+	mu        sync.Mutex
+	parent    transport.Link
+	children  map[int32]transport.Link
+	services  map[string]Handler
+	pending   map[uint32]*Future
+	nextTag   uint32
+	subs      []subscription
+	nextSubID uint64
+	eventSeq  uint64
+	modules   map[string]Module
+	modUndo   map[string][]func()
+	local     any
 
 	stats Stats
 }
 
 type subscription struct {
+	id      uint64
 	pattern string
 	fn      EventHandler
 }
@@ -88,6 +111,7 @@ type Stats struct {
 	EventsPublished uint64 `json:"events_published"`
 	EventsDelivered uint64 `json:"events_delivered"`
 	RPCsIssued      uint64 `json:"rpcs_issued"`
+	RPCTimeouts     uint64 `json:"rpc_timeouts"`
 	RoutingErrors   uint64 `json:"routing_errors"`
 }
 
@@ -106,6 +130,19 @@ type Options struct {
 	// Local carries per-node resources (the simulated hw.Node) that
 	// modules access through Context.Local.
 	Local any
+	// CallTimeout bounds Call's blocking wait over live transports
+	// (default DefaultCallTimeout). Ignored in simulation.
+	CallTimeout time.Duration
+}
+
+// realTimeProvider is implemented by time sources whose callbacks run
+// concurrently in real time (simtime.Wall). Its absence — or a false
+// return — marks the deterministic single-threaded scheduler.
+type realTimeProvider interface{ RealTime() bool }
+
+func isRealTime(v any) bool {
+	rt, ok := v.(realTimeProvider)
+	return ok && rt.RealTime()
 }
 
 // New creates an unwired broker. Links are attached with SetParent /
@@ -124,17 +161,25 @@ func New(opts Options) (*Broker, error) {
 		return nil, errors.New("broker: Clock is required")
 	}
 	b := &Broker{
-		rank:     opts.Rank,
-		size:     opts.Size,
-		k:        opts.Fanout,
-		clock:    opts.Clock,
-		timers:   opts.Timers,
-		children: make(map[int32]transport.Link),
-		services: make(map[string]Handler),
-		pending:  make(map[uint32]ResponseHandler),
-		modules:  make(map[string]Module),
-		modUndo:  make(map[string][]func()),
-		local:    opts.Local,
+		rank:        opts.Rank,
+		size:        opts.Size,
+		k:           opts.Fanout,
+		clock:       opts.Clock,
+		timers:      opts.Timers,
+		sync:        !isRealTime(opts.Timers) && !isRealTime(opts.Clock),
+		callTimeout: opts.CallTimeout,
+		children:    make(map[int32]transport.Link),
+		services:    make(map[string]Handler),
+		pending:     make(map[uint32]*Future),
+		modules:     make(map[string]Module),
+		modUndo:     make(map[string][]func()),
+		local:       opts.Local,
+	}
+	if b.callTimeout <= 0 {
+		b.callTimeout = DefaultCallTimeout
+	}
+	if opts.Timers != nil {
+		b.wheel = newDeadlineWheel(opts.Timers)
 	}
 	b.registerBuiltins()
 	return b, nil
@@ -160,6 +205,16 @@ func (b *Broker) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.stats
+}
+
+// PendingRPCs returns the number of in-flight RPCs awaiting responses —
+// matchtags not yet reclaimed. Every completion path (response, timeout,
+// cancel, sim no-reply) reclaims its entry, so a steady-state broker
+// reports zero.
+func (b *Broker) PendingRPCs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
 }
 
 // SetParent attaches the upstream link (toward rank 0).
@@ -286,20 +341,33 @@ func (b *Broker) lookupService(topic string) (Handler, bool) {
 }
 
 // Subscribe registers fn for events whose topic matches pattern (exact or
-// "prefix.*" glob). It returns an unsubscribe function.
+// "prefix.*" glob). It returns an unsubscribe function. Subscriptions are
+// identified by id, not slice position, so unsubscribing compacts the
+// table without invalidating other outstanding unsubscribe closures — a
+// module load/unload loop does not grow broker state.
 func (b *Broker) Subscribe(pattern string, fn EventHandler) func() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	sub := subscription{pattern: pattern, fn: fn}
-	b.subs = append(b.subs, sub)
-	idx := len(b.subs) - 1
+	b.nextSubID++
+	id := b.nextSubID
+	b.subs = append(b.subs, subscription{id: id, pattern: pattern, fn: fn})
 	return func() {
 		b.mu.Lock()
 		defer b.mu.Unlock()
-		if idx < len(b.subs) {
-			b.subs[idx].fn = nil
+		for i, s := range b.subs {
+			if s.id == id {
+				b.subs = append(b.subs[:i], b.subs[i+1:]...)
+				return
+			}
 		}
 	}
+}
+
+// Subscriptions returns the number of live event subscriptions.
+func (b *Broker) Subscriptions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
 }
 
 // Publish emits an event. From a non-root broker the event travels
@@ -336,20 +404,30 @@ func (b *Broker) routeEvent(ev *msg.Message, fromBelow bool) error {
 		ev.Seq = b.eventSeq
 		b.mu.Unlock()
 	}
-	// Deliver locally, then flood downward.
+	// Deliver locally, then flood downward. A failed child link must not
+	// starve its siblings: keep flooding, count each failure, and report
+	// them joined.
 	b.deliverEvent(ev)
+	type childLink struct {
+		rank int32
+		l    transport.Link
+	}
 	b.mu.Lock()
-	links := make([]transport.Link, 0, len(b.children))
-	for _, l := range b.children {
-		links = append(links, l)
+	links := make([]childLink, 0, len(b.children))
+	for rank, l := range b.children {
+		links = append(links, childLink{rank, l})
 	}
 	b.mu.Unlock()
-	for _, l := range links {
-		if err := l.Send(ev); err != nil {
-			return err
+	var errs []error
+	for _, c := range links {
+		if err := c.l.Send(ev); err != nil {
+			b.mu.Lock()
+			b.stats.RoutingErrors++
+			b.mu.Unlock()
+			errs = append(errs, fmt.Errorf("broker: event %q to child %d: %w", ev.Topic, c.rank, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 func (b *Broker) deliverEvent(ev *msg.Message) {
@@ -368,45 +446,69 @@ func (b *Broker) deliverEvent(ev *msg.Message) {
 }
 
 // RPC sends a request to nodeID (msg.NodeAny routes upstream to the
-// nearest broker providing the service) and invokes cb with the response.
-// With in-memory links and a synchronous responder, cb runs before RPC
-// returns.
-func (b *Broker) RPC(nodeID int32, topic string, payload any, cb ResponseHandler) error {
-	b.mu.Lock()
-	b.nextTag++
-	tag := b.nextTag
-	if cb != nil {
-		b.pending[tag] = cb
-	}
-	b.stats.RPCsIssued++
-	b.mu.Unlock()
-	req, err := msg.NewRequest(topic, nodeID, b.rank, tag, payload)
-	if err != nil {
-		b.mu.Lock()
-		delete(b.pending, tag)
-		b.mu.Unlock()
-		return err
-	}
-	b.Deliver(req)
-	return nil
+// nearest broker providing the service) and returns a Future for the
+// response. With in-memory links and a synchronous responder, the future
+// is resolved before RPC returns. The future has no broker-side deadline;
+// use RPCWithTimeout to bound it.
+func (b *Broker) RPC(nodeID int32, topic string, payload any) *Future {
+	return b.rpc(nodeID, topic, payload, 0)
 }
 
-// Call is the synchronous convenience used by simulation-side clients: it
-// issues the RPC and requires the response to arrive before it returns
-// (guaranteed with in-memory links and synchronous services). It fails
-// with ErrNoSyncReply otherwise.
+// RPCWithTimeout is RPC with a deadline: if no response arrives within
+// timeout (simulated time under the scheduler, wall time live), the
+// future resolves with ETIMEDOUT and the matchtag's pending entry is
+// reclaimed. A non-positive timeout means no deadline.
+func (b *Broker) RPCWithTimeout(nodeID int32, topic string, payload any, timeout time.Duration) *Future {
+	return b.rpc(nodeID, topic, payload, timeout)
+}
+
+func (b *Broker) rpc(nodeID int32, topic string, payload any, timeout time.Duration) *Future {
+	f := &Future{b: b, topic: topic, nodeID: nodeID, done: make(chan struct{})}
+	b.mu.Lock()
+	b.nextTag++
+	f.tag = b.nextTag
+	b.pending[f.tag] = f
+	b.stats.RPCsIssued++
+	b.mu.Unlock()
+	req, err := msg.NewRequest(topic, nodeID, b.rank, f.tag, payload)
+	if err != nil {
+		b.reclaim(f.tag)
+		f.complete(msg.NewErrorResponse(f.requestStub(), b.rank, msg.EINVAL, err.Error()), err)
+		return f
+	}
+	// Arm the deadline before delivery: a synchronous in-memory response
+	// cancels it on resolve, and a live response cannot race an unarmed
+	// timer.
+	if timeout > 0 && b.wheel != nil {
+		b.wheel.schedule(f, timeout)
+	}
+	b.Deliver(req)
+	return f
+}
+
+// reclaim drops a matchtag's pending-table entry (idempotent).
+func (b *Broker) reclaim(tag uint32) {
+	b.mu.Lock()
+	delete(b.pending, tag)
+	b.mu.Unlock()
+}
+
+// Call issues the RPC and waits for the response, using the broker's
+// configured call timeout (Options.CallTimeout). In simulation the
+// response resolves synchronously and Call returns without blocking; over
+// live transports it blocks until the response or the deadline. The same
+// client code therefore works in both modes.
 func (b *Broker) Call(nodeID int32, topic string, payload any) (*msg.Message, error) {
-	var resp *msg.Message
-	if err := b.RPC(nodeID, topic, payload, func(m *msg.Message) { resp = m }); err != nil {
-		return nil, err
-	}
-	if resp == nil {
-		return nil, ErrNoSyncReply
-	}
-	if err := resp.Err(); err != nil {
-		return resp, err
-	}
-	return resp, nil
+	return b.CallTimeout(nodeID, topic, payload, b.callTimeout)
+}
+
+// CallTimeout is Call with an explicit deadline.
+func (b *Broker) CallTimeout(nodeID int32, topic string, payload any, timeout time.Duration) (*msg.Message, error) {
+	f := b.RPCWithTimeout(nodeID, topic, payload, timeout)
+	// The deadline wheel is the authoritative timeout (it reclaims the
+	// matchtag and counts the expiry); Wait's own timer is a backstop one
+	// quantum later for brokers without a timer provider.
+	return f.Wait(timeout + 2*wheelQuantum)
 }
 
 // Deliver injects a message into this broker, as a transport would. It
@@ -480,14 +582,16 @@ func (b *Broker) deliverRequest(m *msg.Message) {
 func (b *Broker) deliverResponse(m *msg.Message) {
 	if m.NodeID == b.rank {
 		b.mu.Lock()
-		cb, ok := b.pending[m.Matchtag]
+		f, ok := b.pending[m.Matchtag]
 		if ok {
 			delete(b.pending, m.Matchtag)
 		}
 		b.mu.Unlock()
-		if ok && cb != nil {
-			cb(m)
+		if ok {
+			f.resolve(m)
 		}
+		// A response with no pending entry is a stray (late arrival after
+		// its deadline fired): dropped.
 		return
 	}
 	hop, err := b.nextHop(m.NodeID)
@@ -507,7 +611,17 @@ func (b *Broker) dispatch(h Handler, m *msg.Message) {
 	b.mu.Lock()
 	b.stats.RequestsHandled++
 	b.mu.Unlock()
-	h(&Request{Msg: m, broker: b})
+	req := &Request{Msg: m, broker: b}
+	if b.sync {
+		// Deterministic simulation: handlers run inline on the delivering
+		// goroutine.
+		h(req)
+		return
+	}
+	// Live mode: each request gets its own goroutine so a handler that
+	// blocks on downstream RPCs (the root-agent's fan-out) cannot wedge
+	// the transport reader its request arrived on.
+	go h(req)
 }
 
 // respondErr sends an error response back toward the requester. Requests
@@ -624,9 +738,14 @@ func (c *Context) Publish(topic string, payload any) error {
 	return c.broker.Publish(topic, payload)
 }
 
-// RPC issues a request from this broker.
-func (c *Context) RPC(nodeID int32, topic string, payload any, cb ResponseHandler) error {
-	return c.broker.RPC(nodeID, topic, payload, cb)
+// RPC issues a request from this broker and returns its future.
+func (c *Context) RPC(nodeID int32, topic string, payload any) *Future {
+	return c.broker.RPC(nodeID, topic, payload)
+}
+
+// RPCWithTimeout issues a deadline-bounded request from this broker.
+func (c *Context) RPCWithTimeout(nodeID int32, topic string, payload any, timeout time.Duration) *Future {
+	return c.broker.RPCWithTimeout(nodeID, topic, payload, timeout)
 }
 
 // Every arms a periodic timer that is stopped on unload. In simulation

@@ -3,6 +3,7 @@ package broker
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"fluxpower/internal/flux/msg"
 	"fluxpower/internal/simtime"
@@ -39,6 +40,60 @@ func BenchmarkTBONFanout(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkLiveRPCFanout contrasts the root-agent's two gather shapes
+// over real TCP links against responders with a fixed service time: one
+// blocking round-trip per node (the old Broker.Call loop, O(N·latency))
+// versus issuing every RPC before awaiting any (the futures fan-out,
+// O(latency)). With 7 nodes at ~2ms per response, serial costs ~14ms per
+// gather and concurrent ~2ms.
+func BenchmarkLiveRPCFanout(b *testing.B) {
+	const size = 8
+	const delay = 2 * time.Millisecond
+	setup := func(b *testing.B) *LiveInstance {
+		b.Helper()
+		li, err := NewLiveInstance(InstanceOptions{Size: size})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(li.Close)
+		for rank := int32(1); rank < size; rank++ {
+			if err := li.Broker(rank).RegisterService("bench.delay", func(req *Request) {
+				time.Sleep(delay)
+				_ = req.Respond(nil)
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return li
+	}
+	b.Run("serial", func(b *testing.B) {
+		li := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for rank := int32(1); rank < size; rank++ {
+				if _, err := li.Root().CallTimeout(rank, "bench.delay", nil, 5*time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		li := setup(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var futures []*Future
+			for rank := int32(1); rank < size; rank++ {
+				futures = append(futures, li.Root().RPCWithTimeout(rank, "bench.delay", nil, 5*time.Second))
+			}
+			for _, f := range futures {
+				if _, err := f.Wait(5 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkEventBroadcast measures flooding one event to every broker of

@@ -155,25 +155,12 @@ func (li *LiveInstance) LoadModuleAll(factory func(rank int32) Module) error {
 	return nil
 }
 
-// CallWait performs a blocking RPC from broker b with a timeout — the
-// live-mode counterpart of Broker.Call (which requires synchronous
-// delivery).
+// CallWait performs a blocking RPC from broker b with an explicit
+// timeout. Since Broker.Call now works identically over live transports
+// (futures with deadlines), this survives only as a convenience alias
+// for CallTimeout.
 func CallWait(b *Broker, nodeID int32, topic string, payload any, timeout time.Duration) (*msg.Message, error) {
-	ch := make(chan *msg.Message, 1)
-	if err := b.RPC(nodeID, topic, payload, func(resp *msg.Message) {
-		ch <- resp
-	}); err != nil {
-		return nil, err
-	}
-	select {
-	case resp := <-ch:
-		if err := resp.Err(); err != nil {
-			return resp, err
-		}
-		return resp, nil
-	case <-time.After(timeout):
-		return nil, fmt.Errorf("broker: RPC %q to rank %d timed out after %v", topic, nodeID, timeout)
-	}
+	return b.CallTimeout(nodeID, topic, payload, timeout)
 }
 
 // Close tears the instance down: stops wall timers, closes links and

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -130,6 +131,84 @@ func TestLiveModuleWallTimers(t *testing.T) {
 	// Unload stops the wall timers.
 	if err := li.Broker(1).UnloadModule("live-agent"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLiveCallBlocksForResponse is the tentpole regression test: plain
+// Broker.Call over live TCP links must block for the in-flight response
+// instead of failing with ErrNoSyncReply, even when the responder is
+// slow. Before the futures rework, Call only worked over synchronous
+// in-memory links.
+func TestLiveCallBlocksForResponse(t *testing.T) {
+	li := newLive(t, 3, 2, nil)
+	if err := li.Broker(2).RegisterService("slow.svc", func(req *Request) {
+		time.Sleep(50 * time.Millisecond)
+		_ = req.Respond(map[string]string{"who": "slow"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := li.Root().Call(2, "slow.svc", nil)
+	if err != nil {
+		t.Fatalf("Call over live TCP: %v", err)
+	}
+	var body map[string]string
+	if err := resp.Unmarshal(&body); err != nil || body["who"] != "slow" {
+		t.Fatalf("resp %v err=%v", body, err)
+	}
+	if n := li.Root().PendingRPCs(); n != 0 {
+		t.Fatalf("%d pending entries after the call completed", n)
+	}
+}
+
+func TestLiveRPCTimeoutReclaimsMatchtag(t *testing.T) {
+	li := newLive(t, 2, 2, nil)
+	if err := li.Broker(1).RegisterService("blackhole.svc", func(req *Request) {}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	f := li.Root().RPCWithTimeout(1, "blackhole.svc", nil, 100*time.Millisecond)
+	resp, err := f.Wait(5 * time.Second)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err=%v, want ErrTimeout", err)
+	}
+	if resp == nil || resp.Errnum != msg.ETIMEDOUT {
+		t.Fatalf("timeout response %+v, want ETIMEDOUT", resp)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("100ms deadline took %v to fire", elapsed)
+	}
+	if n := li.Root().PendingRPCs(); n != 0 {
+		t.Fatalf("timed-out RPC left %d pending entries", n)
+	}
+	if got := li.Root().Stats().RPCTimeouts; got != 1 {
+		t.Fatalf("RPCTimeouts=%d, want 1", got)
+	}
+}
+
+func TestLiveConcurrentFanoutBoundedByOneTimeout(t *testing.T) {
+	// Futures issued together expire at their own absolute deadlines:
+	// sequentially waiting on N dead peers costs ~one timeout in total,
+	// not N timeouts back to back.
+	li := newLive(t, 5, 2, nil)
+	for rank := int32(1); rank < 5; rank++ {
+		if err := li.Broker(rank).RegisterService("blackhole.svc", func(req *Request) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	var futures []*Future
+	for rank := int32(1); rank < 5; rank++ {
+		futures = append(futures, li.Root().RPCWithTimeout(rank, "blackhole.svc", nil, 200*time.Millisecond))
+	}
+	for _, f := range futures {
+		if _, err := f.Wait(5 * time.Second); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("err=%v, want ErrTimeout", err)
+		}
+	}
+	// 4 × 200ms serially would be 800ms; concurrent deadlines finish in
+	// ~200ms. Allow generous slack for slow CI machines.
+	if elapsed := time.Since(start); elapsed > 600*time.Millisecond {
+		t.Fatalf("4-way fan-out to dead peers took %v, want ~200ms", elapsed)
 	}
 }
 

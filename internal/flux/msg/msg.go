@@ -59,6 +59,7 @@ const (
 	EPERM        = 1
 	ENOENT       = 2
 	EAGAIN       = 11
+	ETIMEDOUT    = 110 // rpc deadline passed with no response
 )
 
 // Message is one protocol unit. The zero Message is invalid; use the

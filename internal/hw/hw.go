@@ -27,6 +27,7 @@ package hw
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"fluxpower/internal/simtime"
@@ -122,6 +123,13 @@ type Config struct {
 	// low node caps). On failure the cap either keeps its previous value
 	// or reverts to GPUMaxPowerW, 50/50.
 	GPUCapFailureProb float64
+
+	// GPUCapQuantumW models the device's cap resolution: a successful
+	// GPU cap write is rounded to the nearest multiple of this value
+	// before taking effect, so the cap read back differs from the
+	// request by up to half a quantum (NVML takes milliwatts but boards
+	// round to coarser steps). Zero disables rounding.
+	GPUCapQuantumW float64
 }
 
 // Validate reports configuration errors early.
@@ -146,6 +154,9 @@ func (c Config) Validate() error {
 	}
 	if c.GPUCapFailureProb < 0 || c.GPUCapFailureProb > 1 {
 		return fmt.Errorf("hw: GPUCapFailureProb %v outside [0,1]", c.GPUCapFailureProb)
+	}
+	if c.GPUCapQuantumW < 0 {
+		return fmt.Errorf("hw: negative GPUCapQuantumW %v", c.GPUCapQuantumW)
 	}
 	return nil
 }
@@ -502,9 +513,18 @@ func (n *Node) SetGPUCap(gpu int, watts float64) error {
 		n.applyDemand()
 		return nil
 	}
-	n.gpuCapEff[gpu] = watts
+	n.gpuCapEff[gpu] = n.quantizeGPUCap(watts)
 	n.applyDemand()
 	return nil
+}
+
+// quantizeGPUCap rounds a cap to the device's resolution (GPUCapQuantumW).
+func (n *Node) quantizeGPUCap(watts float64) float64 {
+	q := n.cfg.GPUCapQuantumW
+	if q <= 0 {
+		return watts
+	}
+	return math.Round(watts/q) * q
 }
 
 // GPUCap returns the requested NVML cap for a GPU (0 = unset).

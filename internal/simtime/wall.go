@@ -32,6 +32,12 @@ func (s *Scheduler) AfterFunc(d time.Duration, fn TimerFunc) TimerHandle {
 	return s.After(d, fn)
 }
 
+// RealTime reports that Scheduler callbacks run deterministically inline
+// on the simulation goroutine, not concurrently in real time. Consumers
+// (the broker) use this to decide whether blocking on a response can ever
+// succeed.
+func (s *Scheduler) RealTime() bool { return false }
+
 var _ TimerProvider = (*Scheduler)(nil)
 
 // Wall is the real-time TimerProvider used when brokers run as live
@@ -52,6 +58,10 @@ func NewWall() *Wall {
 
 // Now implements Clock with real elapsed time.
 func (w *Wall) Now() Time { return Time(time.Since(w.start)) }
+
+// RealTime reports that Wall callbacks run on their own goroutines in
+// real time, so blocking waits (broker RPC futures) make progress.
+func (w *Wall) RealTime() bool { return true }
 
 // Every implements TimerProvider with a ticker goroutine.
 func (w *Wall) Every(period time.Duration, fn TimerFunc) TimerHandle {
