@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -129,6 +130,13 @@ var registry = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	"scale": func(o experiments.Options) (string, error) {
+		r, err := experiments.Scale(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 }
 
 // csvRegistry covers the experiments with a CSV rendering (-format csv).
@@ -161,6 +169,13 @@ var csvRegistry = map[string]runner{
 		}
 		return r.RenderCSV(), nil
 	},
+	"scale": func(o experiments.Options) (string, error) {
+		r, err := experiments.Scale(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderCSV(), nil
+	},
 }
 
 func names() []string {
@@ -172,23 +187,30 @@ func names() []string {
 	return out
 }
 
-func main() {
-	exp := flag.String("exp", "", "experiment to run: "+strings.Join(names(), ", ")+", or 'all'")
-	quick := flag.Bool("quick", false, "shrink sweeps/repetitions for a fast run")
-	format := flag.String("format", "text", "output format: text, or csv (table2, table3, table4, sweep)")
-	seed := flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
-	list := flag.Bool("list", false, "list experiments and exit")
-	flag.Parse()
+// run is main minus the process exit, so tests can drive the CLI
+// end-to-end: parse args, run the selected experiments, return the exit
+// code (0 ok, 1 experiment failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fluxpowersim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "experiment to run: "+strings.Join(names(), ", ")+", or 'all'")
+	quick := fs.Bool("quick", false, "shrink sweeps/repetitions for a fast run")
+	format := fs.String("format", "text", "output format: text, or csv (table2, table3, table4, scale, sweep)")
+	seed := fs.Int64("seed", experiments.DefaultSeed, "simulation seed")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, n := range names() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "fluxpowersim: -exp required (or -list); e.g. -exp table4")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "fluxpowersim: -exp required (or -list); e.g. -exp table4")
+		return 2
 	}
 	opts := experiments.Options{Seed: *seed, Quick: *quick}
 	targets := []string{*exp}
@@ -197,23 +219,28 @@ func main() {
 	}
 	for _, name := range targets {
 		run, ok := registry[name]
+		if !ok {
+			fmt.Fprintf(stderr, "fluxpowersim: unknown experiment %q (have %s)\n", name, strings.Join(names(), ", "))
+			return 2
+		}
 		if *format == "csv" {
 			if csvRun, csvOK := csvRegistry[name]; csvOK {
-				run, ok = csvRun, true
+				run = csvRun
 			} else {
-				fmt.Fprintf(os.Stderr, "fluxpowersim: %q has no CSV rendering\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "fluxpowersim: %q has no CSV rendering\n", name)
+				return 2
 			}
-		}
-		if !ok {
-			fmt.Fprintf(os.Stderr, "fluxpowersim: unknown experiment %q (have %s)\n", name, strings.Join(names(), ", "))
-			os.Exit(2)
 		}
 		out, err := run(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fluxpowersim: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "fluxpowersim: %s: %v\n", name, err)
+			return 1
 		}
-		fmt.Printf("==== %s ====\n%s\n", name, out)
+		fmt.Fprintf(stdout, "==== %s ====\n%s\n", name, out)
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

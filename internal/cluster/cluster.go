@@ -31,6 +31,7 @@ import (
 	"fluxpower/internal/flux/job"
 	"fluxpower/internal/flux/kvs"
 	"fluxpower/internal/flux/msg"
+	"fluxpower/internal/flux/transport"
 	"fluxpower/internal/hw"
 	"fluxpower/internal/simtime"
 )
@@ -70,6 +71,10 @@ type Config struct {
 	// Jitter enables run-to-run variability: a per-job slowdown drawn at
 	// start, heavy for Laghos/Quicksilver at <=2 Lassen nodes (Fig 4).
 	Jitter bool
+	// WrapLink, when set, wraps every TBON link as it is wired, in both
+	// directions — instrumentation hook for byte/message accounting
+	// (see transport.NewCounter and the scale experiment).
+	WrapLink func(from, to int32, l transport.Link) transport.Link
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +195,7 @@ func New(cfg Config) (*Cluster, error) {
 		Fanout:    cfg.Fanout,
 		Scheduler: sched,
 		Local:     func(rank int32) any { return c.nodes[rank] },
+		WrapLink:  cfg.WrapLink,
 	})
 	if err != nil {
 		return nil, err

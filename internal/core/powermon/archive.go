@@ -1,0 +1,234 @@
+package powermon
+
+import (
+	"time"
+
+	"fluxpower/internal/ringbuf"
+	"fluxpower/internal/variorum"
+)
+
+// TierSpec configures one downsampled archive tier: samples are folded
+// into fixed Period buckets, and the newest Buckets buckets are kept.
+// Retention is therefore Period × Buckets — coarser tiers remember
+// further back at lower resolution.
+type TierSpec struct {
+	Period  time.Duration
+	Buckets int
+}
+
+// DefaultTiers is the two-tier archive the node agent keeps alongside
+// the raw ring: 1-minute buckets for a day, 10-minute buckets for a
+// week. With the raw ring's ~55 hours (100k × 2 s) of full-rate data,
+// a job query picks the finest tier that still covers its window.
+func DefaultTiers() []TierSpec {
+	return []TierSpec{
+		{Period: time.Minute, Buckets: 1440},
+		{Period: 10 * time.Minute, Buckets: 1008},
+	}
+}
+
+// DefaultMaxRawPoints bounds how many raw samples a window may span
+// before the archive prefers a downsampled tier for aggregate queries.
+const DefaultMaxRawPoints = 10_000
+
+// TierSample is one finalized archive bucket: the mergeable
+// per-component summary of every raw sample whose timestamp fell in
+// [StartSec, EndSec), plus the trapezoid energy of the segment.
+type TierSample struct {
+	StartSec float64           `json:"start_sec"`
+	EndSec   float64           `json:"end_sec"`
+	Power    variorum.PowerAgg `json:"power"`
+	EnergyJ  float64           `json:"energy_j"`
+}
+
+// tier accumulates one downsampling resolution.
+type tier struct {
+	spec   TierSpec
+	ring   *ringbuf.Ring[TierSample]
+	cur    TierSample
+	curSet bool
+	lastTS float64 // previous sample, for trapezoid energy
+	lastW  float64
+}
+
+// archive is the node agent's storage: the raw full-rate ring plus the
+// downsampled tiers, all fed by the same Push.
+type archive struct {
+	raw          *ringbuf.Ring[variorum.NodePower]
+	tiers        []*tier
+	maxRawPoints int
+	rawPeriodSec float64
+}
+
+func newArchive(rawSamples int, sampleInterval time.Duration, specs []TierSpec, maxRawPoints int) *archive {
+	a := &archive{
+		raw:          ringbuf.New[variorum.NodePower](rawSamples),
+		maxRawPoints: maxRawPoints,
+		rawPeriodSec: sampleInterval.Seconds(),
+	}
+	if a.maxRawPoints <= 0 {
+		a.maxRawPoints = DefaultMaxRawPoints
+	}
+	for _, s := range specs {
+		if s.Period <= 0 || s.Buckets <= 0 {
+			continue
+		}
+		a.tiers = append(a.tiers, &tier{spec: s, ring: ringbuf.New[TierSample](s.Buckets)})
+	}
+	return a
+}
+
+// push folds one sample into the raw ring and every tier.
+func (a *archive) push(p variorum.NodePower) {
+	a.raw.Push(p)
+	for _, t := range a.tiers {
+		t.push(p)
+	}
+}
+
+func (t *tier) push(p variorum.NodePower) {
+	period := t.spec.Period.Seconds()
+	bucketStart := float64(int64(p.Timestamp/period)) * period
+	if t.curSet && bucketStart != t.cur.StartSec {
+		t.ring.Push(t.cur)
+		t.curSet = false
+	}
+	if !t.curSet {
+		t.cur = TierSample{StartSec: bucketStart, EndSec: bucketStart + period}
+		t.curSet = true
+	}
+	w := p.TotalWatts()
+	if t.lastTS > 0 && p.Timestamp > t.lastTS {
+		// The inter-sample energy segment lands in the bucket where it
+		// ends; a boundary-crossing segment is charged to the new bucket.
+		t.cur.EnergyJ += (p.Timestamp - t.lastTS) * (w + t.lastW) / 2
+	}
+	t.cur.Power.Add(p)
+	t.lastTS, t.lastW = p.Timestamp, w
+}
+
+// buckets returns the tier's finalized buckets intersecting [start, end],
+// plus the still-accumulating bucket if it intersects too.
+func (t *tier) buckets(start, end float64) []TierSample {
+	out := t.ring.SelectRange(start-t.spec.Period.Seconds(), end,
+		func(s TierSample) float64 { return s.StartSec })
+	// SelectRange keyed on StartSec over-selects by up to one period at
+	// the left edge; drop buckets that end before the window starts.
+	keep := out[:0]
+	for _, b := range out {
+		if b.EndSec > start {
+			keep = append(keep, b)
+		}
+	}
+	out = keep
+	if t.curSet && t.cur.StartSec <= end && t.cur.EndSec > start {
+		out = append(out, t.cur)
+	}
+	return out
+}
+
+// covers reports whether the tier's retained data reaches back to start.
+func (t *tier) covers(start float64) bool {
+	if oldest, ok := t.ring.Oldest(); ok {
+		return t.ring.Evicted() == 0 || oldest.StartSec <= start
+	}
+	return t.curSet && t.ring.Evicted() == 0
+}
+
+// rawCovers reports whether the raw ring still holds the window start.
+func (a *archive) rawCovers(start float64) bool {
+	if a.raw.Evicted() == 0 {
+		return true
+	}
+	oldest, ok := a.raw.Oldest()
+	return ok && oldest.Timestamp <= start
+}
+
+// windowAgg is the node-local aggregate over one time window — the
+// contribution a node agent hands the in-network reduction.
+type windowAgg struct {
+	Power    variorum.PowerAgg
+	EnergyJ  float64
+	TierSec  float64 // resolution the data came from (0 = raw samples)
+	Complete bool
+}
+
+// aggregate summarizes the window from the best available resolution:
+// raw samples when the window is short enough and still fully buffered,
+// else the finest tier covering the window, else the coarsest tier that
+// has anything — flagged incomplete when even that lost the window's
+// beginning.
+func (a *archive) aggregate(start, end float64) windowAgg {
+	expectedRaw := (end - start) / a.rawPeriodSec
+	if a.rawCovers(start) && expectedRaw <= float64(a.maxRawPoints) {
+		return a.aggregateRaw(start, end)
+	}
+	for _, t := range a.tiers {
+		if t.covers(start) {
+			return t.aggregate(start, end)
+		}
+	}
+	// Nothing covers the window start; answer from the longest memory
+	// available and say the data is partial.
+	if len(a.tiers) > 0 {
+		coarsest := a.tiers[len(a.tiers)-1]
+		out := coarsest.aggregate(start, end)
+		out.Complete = false
+		return out
+	}
+	out := a.aggregateRaw(start, end)
+	out.Complete = a.rawCovers(start)
+	return out
+}
+
+func (a *archive) aggregateRaw(start, end float64) windowAgg {
+	out := windowAgg{Complete: a.rawCovers(start)}
+	samples := a.raw.SelectRange(start, end, func(p variorum.NodePower) float64 { return p.Timestamp })
+	var lastTS, lastW float64
+	for i, p := range samples {
+		w := p.TotalWatts()
+		if i > 0 && p.Timestamp > lastTS {
+			out.EnergyJ += (p.Timestamp - lastTS) * (w + lastW) / 2
+		}
+		out.Power.Add(p)
+		lastTS, lastW = p.Timestamp, w
+	}
+	return out
+}
+
+func (t *tier) aggregate(start, end float64) windowAgg {
+	out := windowAgg{TierSec: t.spec.Period.Seconds(), Complete: t.covers(start)}
+	for _, b := range t.buckets(start, end) {
+		out.Power.Merge(b.Power)
+		out.EnergyJ += b.EnergyJ
+	}
+	return out
+}
+
+// tierStats describes one tier for power-monitor.stats.
+type tierStats struct {
+	PeriodSec float64 `json:"period_sec"`
+	Buckets   int     `json:"buckets"`
+	Capacity  int     `json:"capacity"`
+	Evicted   uint64  `json:"evicted"`
+	OldestSec float64 `json:"oldest_sec,omitempty"`
+}
+
+func (a *archive) stats() []tierStats {
+	out := make([]tierStats, 0, len(a.tiers))
+	for _, t := range a.tiers {
+		ts := tierStats{
+			PeriodSec: t.spec.Period.Seconds(),
+			Buckets:   t.ring.Len(),
+			Capacity:  t.ring.Cap(),
+			Evicted:   t.ring.Evicted(),
+		}
+		if oldest, ok := t.ring.Oldest(); ok {
+			ts.OldestSec = oldest.StartSec
+		} else if t.curSet {
+			ts.OldestSec = t.cur.StartSec
+		}
+		out = append(out, ts)
+	}
+	return out
+}

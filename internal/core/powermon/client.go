@@ -38,6 +38,22 @@ func (c *Client) Query(jobID uint64) (JobPower, error) {
 	return jp, nil
 }
 
+// QueryAggregate fetches a job's summary statistics computed in-network:
+// only aggregate-sized payloads cross the TBON, so the call stays cheap
+// no matter how many nodes the job spans.
+func (c *Client) QueryAggregate(jobID uint64) (JobAggregate, error) {
+	resp, err := c.b.Call(msg.NodeAny, "power-monitor.query",
+		queryRequest{JobID: jobID, Mode: ModeAggregate})
+	if err != nil {
+		return JobAggregate{}, err
+	}
+	var ja JobAggregate
+	if err := resp.Unmarshal(&ja); err != nil {
+		return JobAggregate{}, err
+	}
+	return ja, nil
+}
+
 // CSVHeader is the column layout of WriteCSV.
 var CSVHeader = []string{
 	"jobid", "app", "rank", "hostname", "timestamp_sec",

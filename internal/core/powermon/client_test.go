@@ -1,0 +1,120 @@
+package powermon
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/simtime"
+	"fluxpower/internal/variorum"
+)
+
+// bareRoot builds a 1-broker instance with no monitor loaded, so tests
+// can install fake query services or exercise missing-service errors.
+func bareRoot(t *testing.T) *broker.Broker {
+	t.Helper()
+	inst, err := broker.NewInstance(broker.InstanceOptions{Size: 1, Scheduler: simtime.NewScheduler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst.Root()
+}
+
+func TestClientQueryNoService(t *testing.T) {
+	b := bareRoot(t)
+	if _, err := NewClient(b).Query(1); err == nil {
+		t.Fatal("query without a power-monitor module succeeded")
+	}
+	if _, err := NewClient(b).QueryAggregate(1); err == nil {
+		t.Fatal("aggregate query without a power-monitor module succeeded")
+	}
+}
+
+func TestClientQueryMalformedResponse(t *testing.T) {
+	// A root-agent answering with a payload that does not decode into the
+	// result type must surface as an error, not a zero-value result.
+	b := bareRoot(t)
+	if err := b.RegisterService("power-monitor.query", func(req *broker.Request) {
+		_ = req.Respond(map[string]any{"jobid": "not-a-number"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClient(b).Query(1); err == nil {
+		t.Fatal("malformed query response decoded without error")
+	}
+	if _, err := NewClient(b).QueryAggregate(1); err == nil {
+		t.Fatal("malformed aggregate response decoded without error")
+	}
+}
+
+// failingWriter errors after allowing n successful writes.
+type failingWriter struct {
+	n   int
+	err error
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}
+
+func testJobPower() JobPower {
+	return JobPower{
+		JobID: 7,
+		App:   "laghos",
+		Nodes: []NodeSamples{{
+			Rank:     0,
+			Hostname: "n0",
+			Complete: true,
+			Samples: []variorum.NodePower{{
+				Timestamp:      2,
+				NodeWatts:      400,
+				SocketCPUWatts: []float64{100, 100},
+				SocketMemWatts: []float64{40},
+				GPUWatts:       []float64{50, 50},
+			}},
+		}},
+	}
+}
+
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	wantErr := errors.New("disk full")
+	// csv.Writer buffers through bufio, so a small render hits the
+	// underlying writer once, at the final flush.
+	if err := WriteCSV(&failingWriter{n: 0, err: wantErr}, testJobPower()); !errors.Is(err, wantErr) {
+		t.Fatalf("flush error: %v", err)
+	}
+	// A render larger than bufio's 4 KiB buffer flushes mid-stream; the
+	// error from a row-time flush must propagate too, not just the final
+	// one. One sample renders to ~60 bytes, so 400 samples ≫ one buffer.
+	big := testJobPower()
+	s := big.Nodes[0].Samples[0]
+	for i := 0; i < 400; i++ {
+		big.Nodes[0].Samples = append(big.Nodes[0].Samples, s)
+	}
+	if err := WriteCSV(&failingWriter{n: 1, err: wantErr}, big); !errors.Is(err, wantErr) {
+		t.Fatalf("mid-stream write error: %v", err)
+	}
+}
+
+func TestWriteCSVEmptyJob(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, JobPower{JobID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Header only.
+	if got := buf.String(); len(bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))) != 1 {
+		t.Fatalf("empty job CSV: %q", got)
+	}
+}
+
+func TestSummarizeNoSamples(t *testing.T) {
+	jp := JobPower{JobID: 9, Nodes: []NodeSamples{{Rank: 0, Complete: true}}}
+	if _, err := Summarize(jp); err == nil {
+		t.Fatal("summary of a sampleless job succeeded")
+	}
+}

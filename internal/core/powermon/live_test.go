@@ -122,6 +122,121 @@ func TestLiveJobPowerQuery(t *testing.T) {
 	}
 }
 
+// TestLiveAggregateQuery runs the in-network aggregate path over live TCP
+// links: a 7-broker binary TBON, so the reduction actually merges at
+// internal ranks 1 and 2 before the partials reach the root.
+func TestLiveAggregateQuery(t *testing.T) {
+	const n = 7
+	nodes := liveNodes(t, n)
+	li, err := broker.NewLiveInstance(broker.InstanceOptions{
+		Size:  n,
+		Local: func(rank int32) any { return nodes[rank] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+	if err := li.LoadModuleAll(func(rank int32) broker.Module {
+		return New(Config{SampleInterval: 10 * time.Millisecond})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ranks := make([]int32, n)
+	for i := range ranks {
+		ranks[i] = int32(i)
+	}
+	if err := li.Root().LoadModule(job.NewManager(ranks)); err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := job.NewClient(li.Root()).Submit(job.Spec{App: "bench", Nodes: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	ja, err := NewClient(li.Root()).QueryAggregate(id)
+	if err != nil {
+		t.Fatalf("aggregate query over TCP: %v", err)
+	}
+	if ja.NodesQueried != n || ja.NodesReporting != n || ja.NodesWithData != n {
+		t.Fatalf("node accounting: %+v", ja)
+	}
+	if ja.Partial || !ja.Complete {
+		t.Fatalf("healthy instance: partial=%v complete=%v", ja.Partial, ja.Complete)
+	}
+	// 2x150 CPU + 80 mem + 4x200 GPU + 100 uncore = 1280 W per node.
+	if ja.AvgNodePowerW < 1270 || ja.AvgNodePowerW > 1290 {
+		t.Fatalf("aggregate avg node power %v W, want ~1280", ja.AvgNodePowerW)
+	}
+	if ja.SampleCount < n*3 {
+		t.Fatalf("aggregate covers %d samples", ja.SampleCount)
+	}
+}
+
+// TestLiveAggregateQueryDeadSubtree hangs internal rank 1's reduction
+// service: its whole subtree {1,3,4} must be degraded to Partial within
+// the timeout budget, not turned into a query failure.
+func TestLiveAggregateQueryDeadSubtree(t *testing.T) {
+	const n = 7
+	const collectTimeout = 200 * time.Millisecond
+	nodes := liveNodes(t, n)
+	li, err := broker.NewLiveInstance(broker.InstanceOptions{
+		Size:  n,
+		Local: func(rank int32) any { return nodes[rank] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+	for rank := int32(0); rank < n; rank++ {
+		if rank == 1 {
+			// Hung internal rank: reduction requests reach it but never
+			// come back, taking leaves 3 and 4 down with it.
+			if err := li.Broker(rank).RegisterService(ReduceTopic,
+				func(req *broker.Request) {}); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		mod := New(Config{SampleInterval: 10 * time.Millisecond, CollectTimeout: collectTimeout})
+		if err := li.Broker(rank).LoadModule(mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ranks := make([]int32, n)
+	for i := range ranks {
+		ranks[i] = int32(i)
+	}
+	if err := li.Root().LoadModule(job.NewManager(ranks)); err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := job.NewClient(li.Root()).Submit(job.Spec{App: "bench", Nodes: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	start := time.Now()
+	ja, err := NewClient(li.Root()).QueryAggregate(id)
+	if err != nil {
+		t.Fatalf("aggregate query with dead subtree failed outright: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 4*collectTimeout+time.Second {
+		t.Fatalf("partial aggregate took %v, want ~%v", elapsed, collectTimeout)
+	}
+	if !ja.Partial || ja.Complete {
+		t.Fatalf("dead subtree not flagged: %+v", ja)
+	}
+	if ja.NodesQueried != n || ja.NodesReporting != n-3 {
+		t.Fatalf("node accounting with dead subtree {1,3,4}: %+v", ja)
+	}
+	if ja.AvgNodePowerW < 1270 || ja.AvgNodePowerW > 1290 {
+		t.Fatalf("surviving aggregate avg %v W, want ~1280", ja.AvgNodePowerW)
+	}
+}
+
 // TestLiveJobPowerQueryDeadNode degrades gracefully: with one node-agent
 // hung (its collect service never answers), the query still returns
 // within the configured per-node timeout, the dead node contributes an

@@ -15,23 +15,35 @@
 // The client receives a CSV with one row per (node, sample) and a column
 // stating whether the buffer still held the job's full window or only a
 // partial one.
+//
+// Beyond the paper's flat gather, each node agent also maintains
+// downsampled archive tiers (mean/max/min per component per bucket), and
+// the root-agent offers an *aggregate* query mode whose per-job summary
+// statistics are computed in-network: partial aggregates merge at every
+// TBON rank (internal/flux/reduce), so only one aggregate-sized payload
+// crosses the root link no matter how many nodes the job spans. Raw-CSV
+// mode remains for full-fidelity extraction.
 package powermon
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
 
 	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/flux/msg"
+	"fluxpower/internal/flux/reduce"
 	"fluxpower/internal/hw"
-	"fluxpower/internal/ringbuf"
 	"fluxpower/internal/simtime"
 	"fluxpower/internal/variorum"
 )
 
 // ModuleName is the monitor's registered module/service name.
 const ModuleName = "power-monitor"
+
+// ReduceTopic is the in-network reduction topic for aggregate queries.
+const ReduceTopic = "power-monitor.reduce.window"
 
 // Defaults from §III-A.
 const (
@@ -46,9 +58,17 @@ type Config struct {
 	SampleInterval time.Duration
 	BufferSamples  int
 	// CollectTimeout bounds each per-node collect RPC during a root-agent
-	// query. A node that cannot answer in time contributes an explicit
-	// incomplete record instead of stalling the whole query.
+	// query (and the per-subtree deadline of in-network reductions). A
+	// node that cannot answer in time contributes an explicit incomplete
+	// record instead of stalling the whole query.
 	CollectTimeout time.Duration
+	// Tiers configures the downsampled archive; nil selects DefaultTiers.
+	// An explicit empty, non-nil slice disables tiering.
+	Tiers []TierSpec
+	// MaxRawPoints bounds how many raw samples an aggregate-query window
+	// may span before the node agent answers from a downsampled tier
+	// (default DefaultMaxRawPoints).
+	MaxRawPoints int
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +80,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CollectTimeout <= 0 {
 		c.CollectTimeout = DefaultCollectTimeout
+	}
+	if c.Tiers == nil {
+		c.Tiers = DefaultTiers()
+	}
+	if c.MaxRawPoints <= 0 {
+		c.MaxRawPoints = DefaultMaxRawPoints
 	}
 	return c
 }
@@ -74,8 +100,10 @@ type Module struct {
 	cfg Config
 	ctx *broker.Context
 
+	reducer *reduce.Reducer[AggPartial]
+
 	mu   sync.Mutex
-	ring *ringbuf.Ring[variorum.NodePower]
+	arch *archive
 	// samples counts sensor reads, for overhead accounting in benchmarks.
 	samples uint64
 }
@@ -85,7 +113,7 @@ func New(cfg Config) *Module {
 	cfg = cfg.withDefaults()
 	return &Module{
 		cfg:  cfg,
-		ring: ringbuf.New[variorum.NodePower](cfg.BufferSamples),
+		arch: newArchive(cfg.BufferSamples, cfg.SampleInterval, cfg.Tiers, cfg.MaxRawPoints),
 	}
 }
 
@@ -96,8 +124,8 @@ func (m *Module) Name() string { return ModuleName }
 func (m *Module) Shutdown() error { return nil }
 
 // Init implements broker.Module: starts the sampling loop and registers
-// the node-agent collect service; on rank 0 also the root-agent query
-// service.
+// the node-agent collect service and the in-network reduction topic; on
+// rank 0 also the root-agent query service.
 func (m *Module) Init(ctx *broker.Context) error {
 	m.ctx = ctx
 	node, ok := ctx.Local().(*hw.Node)
@@ -107,7 +135,7 @@ func (m *Module) Init(ctx *broker.Context) error {
 	if _, err := ctx.Every(m.cfg.SampleInterval, func(now simtime.Time) {
 		p := variorum.GetNodePower(node, now)
 		m.mu.Lock()
-		m.ring.Push(p)
+		m.arch.push(p)
 		m.samples++
 		m.mu.Unlock()
 	}); err != nil {
@@ -117,6 +145,14 @@ func (m *Module) Init(ctx *broker.Context) error {
 		return err
 	}
 	if err := ctx.RegisterService("power-monitor.stats", m.handleStats); err != nil {
+		return err
+	}
+	var err error
+	m.reducer, err = reduce.Register(ctx, ReduceTopic, reduce.Op[AggPartial]{
+		Local: m.localWindowAgg,
+		Merge: mergeAggPartials,
+	}, reduce.Config{ChildTimeout: m.cfg.CollectTimeout})
+	if err != nil {
 		return err
 	}
 	if ctx.Rank() == 0 {
@@ -167,16 +203,15 @@ func (m *Module) handleCollect(req *broker.Request) {
 		out.Hostname = node.Name()
 	}
 	m.mu.Lock()
-	out.Samples = m.ring.Select(func(p variorum.NodePower) bool {
-		return p.Timestamp >= body.StartSec && p.Timestamp <= end
-	})
+	// Sample times are monotonic, so the window is a binary search plus a
+	// copy of the matching run — not a scan of the whole 100k ring.
+	out.Samples = m.arch.raw.SelectRange(body.StartSec, end,
+		func(p variorum.NodePower) float64 { return p.Timestamp })
 	// Completeness (§III-A): if the ring has wrapped and its oldest
 	// surviving sample post-dates the window start, part of the job's
 	// data has been flushed out.
-	if m.ring.Evicted() > 0 {
-		if oldest, ok := m.ring.Oldest(); ok && oldest.Timestamp > body.StartSec {
-			out.Complete = false
-		}
+	if !m.arch.rawCovers(body.StartSec) {
+		out.Complete = false
 	}
 	m.mu.Unlock()
 	_ = req.Respond(out)
@@ -190,21 +225,116 @@ func (m *Module) handleStats(req *broker.Request) {
 	stats := map[string]any{
 		"rank":                m.ctx.Rank(),
 		"samples_taken":       m.samples,
-		"ring_len":            m.ring.Len(),
-		"ring_cap":            m.ring.Cap(),
-		"ring_evicted":        m.ring.Evicted(),
+		"ring_len":            m.arch.raw.Len(),
+		"ring_cap":            m.arch.raw.Cap(),
+		"ring_evicted":        m.arch.raw.Evicted(),
 		"sample_interval_sec": m.cfg.SampleInterval.Seconds(),
+		"tiers":               m.arch.stats(),
 	}
-	if oldest, ok := m.ring.Oldest(); ok {
+	if oldest, ok := m.arch.raw.Oldest(); ok {
 		stats["oldest_sample_sec"] = oldest.Timestamp
 	}
 	m.mu.Unlock()
 	_ = req.Respond(stats)
 }
 
-// queryRequest asks the root-agent for a job's aggregated power data.
+// AggPartial is a mergeable partial aggregate of an aggregate-mode
+// query: what one TBON subtree knows about a job's power. Partials from
+// sibling subtrees merge at their parent, so the payload crossing any
+// link stays aggregate-sized.
+type AggPartial struct {
+	// Nodes counts agents that contributed at least one sample.
+	Nodes int `json:"nodes"`
+	// Power aggregates every sample of every contributing node.
+	Power variorum.PowerAgg `json:"power"`
+	// NodeMeanSumW sums each contributing node's mean node power, so the
+	// root can report the paper's "average per-node power" (mean of
+	// node means) without per-node series.
+	NodeMeanSumW float64 `json:"node_mean_sum_w"`
+	CPUMeanSumW  float64 `json:"cpu_mean_sum_w"`
+	GPUMeanSumW  float64 `json:"gpu_mean_sum_w"`
+	// MemMeanSumW sums mem means over MemNodes (nodes that measure it).
+	MemMeanSumW float64 `json:"mem_mean_sum_w"`
+	MemNodes    int     `json:"mem_nodes"`
+	// EnergySumJ sums per-node trapezoid energy over the window.
+	EnergySumJ float64 `json:"energy_sum_j"`
+	// Complete is the AND of per-node window completeness.
+	Complete bool `json:"complete"`
+	// CoarsestTierSec is the coarsest archive resolution consulted
+	// (0 = all contributions came from raw samples).
+	CoarsestTierSec float64 `json:"coarsest_tier_sec,omitempty"`
+}
+
+// localWindowAgg is the reduction's Local: this node's window aggregate
+// from the best archive resolution.
+func (m *Module) localWindowAgg(body json.RawMessage) (AggPartial, error) {
+	var req collectRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return AggPartial{}, err
+		}
+	}
+	end := req.EndSec
+	if end == 0 {
+		end = m.ctx.Clock().Now().Seconds()
+	}
+	if end < req.StartSec {
+		return AggPartial{}, fmt.Errorf("powermon: window ends before it starts")
+	}
+	m.mu.Lock()
+	wa := m.arch.aggregate(req.StartSec, end)
+	m.mu.Unlock()
+	out := AggPartial{Complete: wa.Complete, CoarsestTierSec: wa.TierSec}
+	if wa.Power.Node.Count == 0 {
+		// No samples in-window: still a (complete or not) contribution,
+		// just an empty one.
+		return out, nil
+	}
+	out.Nodes = 1
+	out.Power = wa.Power
+	out.NodeMeanSumW = wa.Power.Node.Mean()
+	out.CPUMeanSumW = wa.Power.CPU.Mean()
+	out.GPUMeanSumW = wa.Power.GPU.Mean()
+	if wa.Power.Mem.Count > 0 {
+		out.MemMeanSumW = wa.Power.Mem.Mean()
+		out.MemNodes = 1
+	}
+	out.EnergySumJ = wa.EnergyJ
+	return out, nil
+}
+
+// mergeAggPartials is the reduction's Merge.
+func mergeAggPartials(a, b AggPartial) (AggPartial, error) {
+	a.Nodes += b.Nodes
+	a.Power.Merge(b.Power)
+	a.NodeMeanSumW += b.NodeMeanSumW
+	a.CPUMeanSumW += b.CPUMeanSumW
+	a.GPUMeanSumW += b.GPUMeanSumW
+	a.MemMeanSumW += b.MemMeanSumW
+	a.MemNodes += b.MemNodes
+	a.EnergySumJ += b.EnergySumJ
+	a.Complete = a.Complete && b.Complete
+	if b.CoarsestTierSec > a.CoarsestTierSec {
+		a.CoarsestTierSec = b.CoarsestTierSec
+	}
+	return a, nil
+}
+
+// Query modes.
+const (
+	// ModeRaw gathers every matching sample from every node — the
+	// paper's flat CSV path, full fidelity.
+	ModeRaw = "raw"
+	// ModeAggregate answers per-job summary statistics computed
+	// in-network; only aggregates cross the TBON.
+	ModeAggregate = "aggregate"
+)
+
+// queryRequest asks the root-agent for a job's power data.
 type queryRequest struct {
 	JobID uint64 `json:"jobid"`
+	// Mode selects ModeRaw (default) or ModeAggregate.
+	Mode string `json:"mode,omitempty"`
 }
 
 // JobPower is the aggregated result for one job: per-node sample series
@@ -227,36 +357,96 @@ func (jp JobPower) Complete() bool {
 	return true
 }
 
-// handleQuery is the root-agent: resolve the job, fan collect requests to
-// its node-agents over the TBON, aggregate.
+// JobAggregate is the aggregate-mode result: the per-job figures the
+// paper's tables report, computed in-network.
+type JobAggregate struct {
+	JobID    uint64  `json:"jobid"`
+	App      string  `json:"app"`
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"` // 0 = still running at query time
+
+	// NodesQueried is the job's node count; NodesReporting is how many
+	// agents answered; NodesWithData is how many had in-window samples.
+	NodesQueried   int `json:"nodes_queried"`
+	NodesReporting int `json:"nodes_reporting"`
+	NodesWithData  int `json:"nodes_with_data"`
+	// Partial is true when any agent was unreachable (dead broker or
+	// subtree); Complete is false when a reporting agent had already
+	// evicted part of the window.
+	Partial  bool `json:"partial,omitempty"`
+	Complete bool `json:"complete"`
+
+	SampleCount int `json:"sample_count"`
+	// TierSec is the coarsest archive resolution consulted (0 = raw).
+	TierSec float64 `json:"tier_sec,omitempty"`
+
+	// The paper's summary figures (Table II shape): mean of per-node
+	// mean power, peak single-sample node power, per-component means
+	// (-1 where unmeasurable), and energy.
+	AvgNodePowerW     float64 `json:"avg_node_power_w"`
+	MaxNodePowerW     float64 `json:"max_node_power_w"`
+	AvgCPUW           float64 `json:"avg_cpu_w"`
+	AvgMemW           float64 `json:"avg_mem_w"`
+	AvgGPUW           float64 `json:"avg_gpu_w"`
+	AvgEnergyPerNodeJ float64 `json:"avg_energy_per_node_j"`
+	TotalEnergyJ      float64 `json:"total_energy_j"`
+}
+
+// jobRecord is the job-manager metadata a query resolves.
+type jobRecord struct {
+	ID    uint64  `json:"id"`
+	Ranks []int32 `json:"ranks"`
+	Start float64 `json:"start_sec"`
+	End   float64 `json:"end_sec"`
+	Spec  struct {
+		App string `json:"app"`
+	} `json:"spec"`
+}
+
+// resolveJob looks the job up through the job manager (the paper's
+// client script does this with the job identifier). It fails the
+// request itself on error.
+func (m *Module) resolveJob(req *broker.Request, jobID uint64) (jobRecord, bool) {
+	var rec jobRecord
+	infoResp, err := m.ctx.Broker().Call(msg.NodeAny, "job-manager.info", map[string]uint64{"id": jobID})
+	if err != nil {
+		_ = req.Fail(msg.ENOENT, fmt.Sprintf("powermon: job %d: %v", jobID, err))
+		return rec, false
+	}
+	if err := infoResp.Unmarshal(&rec); err != nil {
+		_ = req.Fail(msg.EPROTO, err.Error())
+		return rec, false
+	}
+	if len(rec.Ranks) == 0 {
+		_ = req.Fail(msg.EINVAL, fmt.Sprintf("powermon: job %d has not started", jobID))
+		return rec, false
+	}
+	return rec, true
+}
+
+// handleQuery is the root-agent: resolve the job, then answer either by
+// flat raw gather (ModeRaw) or by in-network reduction (ModeAggregate).
 func (m *Module) handleQuery(req *broker.Request) {
 	var body queryRequest
 	if err := req.Msg.Unmarshal(&body); err != nil {
 		_ = req.Fail(msg.EINVAL, err.Error())
 		return
 	}
-	// Resolve job metadata through the job manager (the paper's client
-	// script does this with the job identifier).
-	var rec struct {
-		ID    uint64  `json:"id"`
-		Ranks []int32 `json:"ranks"`
-		Start float64 `json:"start_sec"`
-		End   float64 `json:"end_sec"`
-		Spec  struct {
-			App string `json:"app"`
-		} `json:"spec"`
+	switch body.Mode {
+	case "", ModeRaw:
+		m.queryRaw(req, body)
+	case ModeAggregate:
+		m.queryAggregate(req, body)
+	default:
+		_ = req.Fail(msg.EINVAL, fmt.Sprintf("powermon: unknown query mode %q", body.Mode))
 	}
-	infoResp, err := m.ctx.Broker().Call(msg.NodeAny, "job-manager.info", map[string]uint64{"id": body.JobID})
-	if err != nil {
-		_ = req.Fail(msg.ENOENT, fmt.Sprintf("powermon: job %d: %v", body.JobID, err))
-		return
-	}
-	if err := infoResp.Unmarshal(&rec); err != nil {
-		_ = req.Fail(msg.EPROTO, err.Error())
-		return
-	}
-	if len(rec.Ranks) == 0 {
-		_ = req.Fail(msg.EINVAL, fmt.Sprintf("powermon: job %d has not started", body.JobID))
+}
+
+// queryRaw fans collect requests to the job's node-agents over the TBON
+// and gathers every sample — the paper's flat CSV path.
+func (m *Module) queryRaw(req *broker.Request, body queryRequest) {
+	rec, ok := m.resolveJob(req, body.JobID)
+	if !ok {
 		return
 	}
 	result := JobPower{JobID: rec.ID, App: rec.Spec.App, StartSec: rec.Start, EndSec: rec.End}
@@ -289,4 +479,49 @@ func (m *Module) handleQuery(req *broker.Request) {
 		result.Nodes = append(result.Nodes, ns)
 	}
 	_ = req.Respond(result)
+}
+
+// queryAggregate answers the job's summary statistics via in-network
+// reduction: each TBON rank merges its subtree's partials, so the root
+// link carries one aggregate instead of every raw sample.
+func (m *Module) queryAggregate(req *broker.Request, body queryRequest) {
+	rec, ok := m.resolveJob(req, body.JobID)
+	if !ok {
+		return
+	}
+	res, err := m.reducer.Reduce(rec.Ranks,
+		collectRequest{StartSec: rec.Start, EndSec: rec.End}, m.cfg.CollectTimeout)
+	if err != nil {
+		_ = req.Fail(msg.EPROTO, err.Error())
+		return
+	}
+	out := JobAggregate{
+		JobID:          rec.ID,
+		App:            rec.Spec.App,
+		StartSec:       rec.Start,
+		EndSec:         rec.End,
+		NodesQueried:   len(rec.Ranks),
+		NodesReporting: res.Ranks,
+		Partial:        res.Partial,
+	}
+	agg := res.Aggregate
+	out.NodesWithData = agg.Nodes
+	out.Complete = res.Ranks > 0 && agg.Complete && !res.Partial
+	out.SampleCount = agg.Power.Node.Count
+	out.TierSec = agg.CoarsestTierSec
+	if agg.Nodes > 0 {
+		n := float64(agg.Nodes)
+		out.AvgNodePowerW = agg.NodeMeanSumW / n
+		out.MaxNodePowerW = agg.Power.Node.Max
+		out.AvgCPUW = agg.CPUMeanSumW / n
+		out.AvgGPUW = agg.GPUMeanSumW / n
+		if agg.MemNodes > 0 {
+			out.AvgMemW = agg.MemMeanSumW / float64(agg.MemNodes)
+		} else {
+			out.AvgMemW = variorum.Unsupported
+		}
+		out.AvgEnergyPerNodeJ = agg.EnergySumJ / n
+		out.TotalEnergyJ = agg.EnergySumJ
+	}
+	_ = req.Respond(out)
 }

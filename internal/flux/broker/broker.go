@@ -252,6 +252,29 @@ func ChildRanks(r int32, k int, size int32) []int32 {
 	return out
 }
 
+// SubtreeSize returns the number of ranks in the subtree rooted at r
+// (including r itself) in a k-ary tree of the given size. The reduction
+// plane uses it to account for how many contributions a dead child's
+// subtree takes with it.
+func SubtreeSize(r int32, k int, size int32) int {
+	if r < 0 || r >= size {
+		return 0
+	}
+	// Level l of the subtree spans the contiguous rank range produced by
+	// applying the child formula l times to [r, r].
+	n := 0
+	lo, hi := r, r
+	for lo < size {
+		if hi >= size {
+			hi = size - 1
+		}
+		n += int(hi - lo + 1)
+		lo = lo*int32(k) + 1
+		hi = hi*int32(k) + int32(k)
+	}
+	return n
+}
+
 // TreeDepth returns the depth of rank r (root = 0).
 func TreeDepth(r int32, k int) int {
 	d := 0
@@ -694,6 +717,34 @@ type Module interface {
 	Init(ctx *Context) error
 	// Shutdown releases module resources. Called on unload.
 	Shutdown() error
+}
+
+// ModuleFuncs adapts function literals into a Module — the convenient
+// form for small single-purpose modules (test fixtures, one-service
+// shims) that don't warrant a named type.
+type ModuleFuncs struct {
+	NameFn     string
+	InitFn     func(ctx *Context) error
+	ShutdownFn func() error // optional
+}
+
+// Name implements Module.
+func (m ModuleFuncs) Name() string { return m.NameFn }
+
+// Init implements Module.
+func (m ModuleFuncs) Init(ctx *Context) error {
+	if m.InitFn == nil {
+		return errors.New("broker: ModuleFuncs without InitFn")
+	}
+	return m.InitFn(ctx)
+}
+
+// Shutdown implements Module.
+func (m ModuleFuncs) Shutdown() error {
+	if m.ShutdownFn == nil {
+		return nil
+	}
+	return m.ShutdownFn()
 }
 
 // Context is the capability surface handed to a module at load time.

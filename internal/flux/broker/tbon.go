@@ -26,6 +26,11 @@ type InstanceOptions struct {
 	// Local, if set, supplies the per-node resource attached to each
 	// broker (the rank's simulated hw.Node).
 	Local func(rank int32) any
+	// WrapLink, if set, wraps each directed link before it is attached:
+	// the link carries messages from rank `from` to rank `to`. The scale
+	// experiments use it to interpose transport.Counters and measure the
+	// bytes crossing specific links (the root link, notably).
+	WrapLink func(from, to int32, l transport.Link) transport.Link
 }
 
 // NewInstance builds Size brokers wired into a k-ary TBON with in-memory
@@ -63,8 +68,13 @@ func NewInstance(opts InstanceOptions) (*Instance, error) {
 	// Wire parent-child links.
 	for rank := int32(1); rank < int32(opts.Size); rank++ {
 		child := inst.Brokers[rank]
-		parent := inst.Brokers[ParentRank(rank, k)]
+		parentRank := ParentRank(rank, k)
+		parent := inst.Brokers[parentRank]
 		childEnd, parentEnd := transport.MemPair(child.Deliver, parent.Deliver)
+		if opts.WrapLink != nil {
+			childEnd = opts.WrapLink(rank, parentRank, childEnd)
+			parentEnd = opts.WrapLink(parentRank, rank, parentEnd)
+		}
 		child.SetParent(childEnd)
 		parent.AddChild(rank, parentEnd)
 	}

@@ -259,6 +259,18 @@ func (m *Message) Encode(w io.Writer) error {
 // job power telemetry aggregates (bounded by ring capacity).
 const MaxFrameSize = 64 << 20
 
+// EncodedSize returns the number of bytes the message occupies on the
+// wire (header plus JSON body) — the unit the scale experiments use to
+// account for bytes crossing a TBON link. In-memory links never encode,
+// so this is computed on demand rather than cached.
+func (m *Message) EncodedSize() int {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return 0
+	}
+	return 4 + len(body)
+}
+
 // Decode reads one length-prefixed frame from r.
 func Decode(r io.Reader) (*Message, error) {
 	var hdr [4]byte

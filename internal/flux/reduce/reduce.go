@@ -1,0 +1,325 @@
+// Package reduce implements generic in-network reductions over the TBON
+// — the mechanism Flux itself uses to keep telemetry gathers from
+// overwhelming rank 0, applied to this reproduction's power plane.
+//
+// A module loaded on every broker registers a typed combiner under a
+// topic: a Local function producing the rank's own contribution and a
+// Merge function combining two partial aggregates. A reduction request
+// then flows *down* the tree: each rank forwards the request to the
+// children whose subtrees contain target ranks, computes its local
+// contribution, merges its children's partial aggregates with it, and
+// sends only the combined aggregate *up*. The payload crossing any
+// single link — the root link above all — is one aggregate, so a
+// cluster-wide gather costs O(fanout · aggregate) bytes at the root
+// instead of the O(N · raw) of a flat rank-0 fan-out.
+//
+// Failure degrades instead of propagating: a child that cannot answer
+// within its share of the deadline (dead broker, unloaded module, hung
+// handler) is counted as its whole subtree missing, and the aggregate
+// comes back with Partial=true rather than the reduction failing. The
+// per-child fan-in uses the broker's RPC futures, so one dead child
+// costs one timeout, concurrently with its siblings.
+package reduce
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/msg"
+)
+
+// Defaults for Config.
+const (
+	DefaultChildTimeout = 5 * time.Second
+	DefaultHopMargin    = 250 * time.Millisecond
+)
+
+// Config tunes a reducer's failure handling.
+type Config struct {
+	// ChildTimeout bounds each child's subtree reduction when the request
+	// carries no deadline of its own.
+	ChildTimeout time.Duration
+	// HopMargin is subtracted from the deadline budget passed downstream
+	// at each hop, so a parent still has time to assemble a partial
+	// aggregate after a grandchild's timeout fires below it.
+	HopMargin time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChildTimeout <= 0 {
+		c.ChildTimeout = DefaultChildTimeout
+	}
+	if c.HopMargin <= 0 {
+		c.HopMargin = DefaultHopMargin
+	}
+	return c
+}
+
+// Op is the typed combiner a module registers under a topic. P must
+// round-trip through JSON: partial aggregates travel the tree as message
+// payloads.
+type Op[P any] struct {
+	// Local computes this rank's contribution from the request body.
+	Local func(body json.RawMessage) (P, error)
+	// Merge combines two partial aggregates built over disjoint rank
+	// sets. It must be insensitive to combining order (the tree imposes
+	// its own).
+	Merge func(a, b P) (P, error)
+}
+
+// Result is a completed reduction.
+type Result[P any] struct {
+	// Aggregate is the merged value; meaningful only when Ranks > 0.
+	Aggregate P
+	// Ranks counts the ranks whose contributions are in the aggregate.
+	Ranks int
+	// Missing counts target ranks that did not contribute.
+	Missing int
+	// Partial is true when any target's contribution is missing.
+	Partial bool
+}
+
+// Reducer executes tree reductions for one registered topic.
+type Reducer[P any] struct {
+	topic string
+	op    Op[P]
+	cfg   Config
+	b     *broker.Broker
+}
+
+// Register installs a reduction topic on the module's broker. Every
+// broker of the instance must register the same topic (load the module
+// instance-wide) for the tree protocol to cover all ranks; the service
+// is removed on module unload like any other registration.
+func Register[P any](ctx *broker.Context, topic string, op Op[P], cfg Config) (*Reducer[P], error) {
+	if op.Local == nil || op.Merge == nil {
+		return nil, errors.New("reduce: Op needs both Local and Merge")
+	}
+	r := &Reducer[P]{topic: topic, op: op, cfg: cfg.withDefaults(), b: ctx.Broker()}
+	if err := ctx.RegisterService(topic, r.handle); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// treeRequest is the reduction request flowing down the tree.
+type treeRequest struct {
+	// Targets are the ranks that must contribute; nil means every rank
+	// in the receiving rank's subtree.
+	Targets []int32 `json:"targets,omitempty"`
+	// TimeoutSec is the remaining deadline budget for this subtree.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Body is the op-specific request (e.g. a sample window).
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// treeResponse is the combined partial aggregate flowing up.
+type treeResponse struct {
+	Ranks     int             `json:"ranks"`
+	Missing   int             `json:"missing,omitempty"`
+	Partial   bool            `json:"partial,omitempty"`
+	Aggregate json.RawMessage `json:"aggregate,omitempty"`
+}
+
+// Reduce runs a reduction rooted at this broker's rank, covering targets
+// (nil = every rank in this rank's subtree; from rank 0 that is the
+// whole instance). A non-positive timeout selects Config.ChildTimeout.
+// Targets outside this rank's subtree cannot be reached by downward
+// routing and are reported in Missing.
+func (r *Reducer[P]) Reduce(targets []int32, body any, timeout time.Duration) (Result[P], error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return Result[P]{}, fmt.Errorf("reduce: marshal body: %w", err)
+	}
+	if timeout <= 0 {
+		timeout = r.cfg.ChildTimeout
+	}
+	tresp := r.run(treeRequest{Targets: targets, TimeoutSec: timeout.Seconds(), Body: raw})
+	out := Result[P]{Ranks: tresp.Ranks, Missing: tresp.Missing, Partial: tresp.Partial}
+	if tresp.Ranks > 0 {
+		if err := json.Unmarshal(tresp.Aggregate, &out.Aggregate); err != nil {
+			return Result[P]{}, fmt.Errorf("reduce: decode aggregate: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// Topic returns the registered reduction topic.
+func (r *Reducer[P]) Topic() string { return r.topic }
+
+// handle serves the topic on every rank: run the subtree reduction and
+// respond with the combined partial.
+func (r *Reducer[P]) handle(req *broker.Request) {
+	var tr treeRequest
+	if err := req.Msg.Unmarshal(&tr); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	_ = req.Respond(r.run(tr))
+}
+
+// childPart is one child's share of the reduction: the targets in its
+// subtree, or all of it (everything == true) for an unscoped request.
+type childPart struct {
+	targets    []int32
+	everything bool
+}
+
+// expected returns how many contributions the child's share covers.
+func (r *Reducer[P]) expected(child int32, part childPart) int {
+	if part.everything {
+		return broker.SubtreeSize(child, r.b.Fanout(), r.b.Size())
+	}
+	return len(part.targets)
+}
+
+// partition splits the request's targets among this rank and its direct
+// children. outOfScope counts targets outside this rank's subtree
+// (unreachable by downward routing).
+func (r *Reducer[P]) partition(targets []int32) (local bool, parts map[int32]childPart, outOfScope int) {
+	rank, k, size := r.b.Rank(), r.b.Fanout(), r.b.Size()
+	parts = make(map[int32]childPart)
+	if targets == nil {
+		for _, c := range broker.ChildRanks(rank, k, size) {
+			parts[c] = childPart{everything: true}
+		}
+		return true, parts, 0
+	}
+	seen := make(map[int32]bool, len(targets))
+	for _, t := range targets {
+		if t < 0 || t >= size || seen[t] {
+			continue
+		}
+		seen[t] = true
+		if t == rank {
+			local = true
+			continue
+		}
+		// Walk t's ancestor chain; if it passes through this rank, the
+		// node just below on the chain is the direct child owning t.
+		cur, below := t, int32(-1)
+		for cur != -1 && cur != rank {
+			below = cur
+			cur = broker.ParentRank(below, k)
+		}
+		if cur != rank {
+			outOfScope++
+			continue
+		}
+		p := parts[below]
+		p.targets = append(p.targets, t)
+		parts[below] = p
+	}
+	return local, parts, outOfScope
+}
+
+// run reduces this rank's subtree for one request: fan the request out
+// to the owning children, fold in the local contribution, merge the
+// partials, and account every rank that could not contribute.
+func (r *Reducer[P]) run(tr treeRequest) treeResponse {
+	local, parts, outOfScope := r.partition(tr.Targets)
+
+	timeout := r.cfg.ChildTimeout
+	if tr.TimeoutSec > 0 {
+		timeout = time.Duration(tr.TimeoutSec * float64(time.Second))
+	}
+	// Leave this rank headroom to assemble a partial answer after a
+	// timeout fires in a child's subtree.
+	childBudget := timeout - r.cfg.HopMargin
+	if childBudget < r.cfg.HopMargin {
+		childBudget = timeout / 2
+	}
+
+	// Fan out before any fan-in, so child subtrees reduce concurrently
+	// and a dead child costs one timeout total, not one per child.
+	type pendingChild struct {
+		rank   int32
+		part   childPart
+		future *broker.Future
+	}
+	pending := make([]pendingChild, 0, len(parts))
+	for _, c := range broker.ChildRanks(r.b.Rank(), r.b.Fanout(), r.b.Size()) {
+		part, ok := parts[c]
+		if !ok || (!part.everything && len(part.targets) == 0) {
+			continue
+		}
+		sub := treeRequest{TimeoutSec: childBudget.Seconds(), Body: tr.Body}
+		if !part.everything {
+			sub.Targets = part.targets
+		}
+		pending = append(pending, pendingChild{
+			rank:   c,
+			part:   part,
+			future: r.b.RPCWithTimeout(c, r.topic, sub, timeout),
+		})
+	}
+
+	out := treeResponse{Missing: outOfScope}
+	var agg P
+	if local {
+		p, err := r.op.Local(tr.Body)
+		if err != nil {
+			out.Missing++
+		} else {
+			agg = p
+			out.Ranks = 1
+		}
+	}
+	for _, pc := range pending {
+		resp, err := pc.future.Wait(timeout)
+		if err != nil {
+			// Dead or deaf subtree: every rank it covers is missing.
+			out.Missing += r.expected(pc.rank, pc.part)
+			continue
+		}
+		var cr treeResponse
+		if err := resp.Unmarshal(&cr); err != nil {
+			out.Missing += r.expected(pc.rank, pc.part)
+			continue
+		}
+		out.Missing += cr.Missing
+		if cr.Ranks == 0 {
+			continue
+		}
+		var cp P
+		if err := json.Unmarshal(cr.Aggregate, &cp); err != nil {
+			out.Missing += cr.Ranks
+			continue
+		}
+		if out.Ranks == 0 {
+			agg = cp
+		} else {
+			merged, err := r.op.Merge(agg, cp)
+			if err != nil {
+				out.Missing += cr.Ranks
+				continue
+			}
+			agg = merged
+		}
+		out.Ranks += cr.Ranks
+	}
+	out.Partial = out.Missing > 0
+	if out.Ranks > 0 {
+		raw, err := json.Marshal(agg)
+		if err != nil {
+			// An unmarshalable aggregate loses every contribution below
+			// this rank; report them missing rather than lying upward.
+			return treeResponse{Missing: out.Missing + out.Ranks, Partial: true}
+		}
+		out.Aggregate = raw
+	}
+	return out
+}
+
+// CountOp is a ready-made combiner counting contributing ranks — the
+// "are you all there" liveness sweep, and the simplest demonstration of
+// the plane.
+func CountOp() Op[int] {
+	return Op[int]{
+		Local: func(json.RawMessage) (int, error) { return 1, nil },
+		Merge: func(a, b int) (int, error) { return a + b, nil },
+	}
+}

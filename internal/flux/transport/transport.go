@@ -205,3 +205,40 @@ func (l *Listener) Close() error {
 	l.wg.Wait()
 	return err
 }
+
+// Counter wraps a Link and accounts for the traffic crossing it: message
+// count and encoded bytes (msg.Message.EncodedSize). The scale
+// experiments wrap the links into rank 0 with Counters to measure how
+// much telemetry crosses the root link under flat gather versus
+// in-network reduction. Counters are safe for concurrent use.
+type Counter struct {
+	inner Link
+
+	mu       sync.Mutex
+	messages uint64
+	bytes    uint64
+}
+
+// NewCounter wraps inner with traffic accounting.
+func NewCounter(inner Link) *Counter { return &Counter{inner: inner} }
+
+// Send accounts for m and forwards it to the wrapped link.
+func (c *Counter) Send(m *msg.Message) error {
+	n := uint64(m.EncodedSize())
+	c.mu.Lock()
+	c.messages++
+	c.bytes += n
+	c.mu.Unlock()
+	return c.inner.Send(m)
+}
+
+// Close closes the wrapped link.
+func (c *Counter) Close() error { return c.inner.Close() }
+
+// Stats returns the messages and encoded bytes sent through the link so
+// far.
+func (c *Counter) Stats() (messages, bytes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.messages, c.bytes
+}

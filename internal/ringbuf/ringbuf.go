@@ -9,7 +9,10 @@
 // the monitor's CSV output carries.
 package ringbuf
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Ring is a generic fixed-capacity circular buffer. The zero value is not
 // usable; construct with New. Ring is not safe for concurrent use: in the
@@ -109,6 +112,34 @@ func (r *Ring[T]) Select(keep func(v T) bool) []T {
 		}
 		return true
 	})
+	return out
+}
+
+// IndexRange returns the half-open index interval [lo, hi) of live
+// elements whose key falls inside [min, max], assuming key is
+// non-decreasing over the live elements (oldest to newest) — true for
+// the monitor's monotonic sample timestamps. Both bounds are found by
+// binary search, so a window query costs O(log n + matches) instead of
+// the O(n) predicate scan of Select.
+func (r *Ring[T]) IndexRange(min, max float64, key func(T) float64) (lo, hi int) {
+	lo = sort.Search(r.length, func(i int) bool { return key(r.At(i)) >= min })
+	hi = lo + sort.Search(r.length-lo, func(i int) bool { return key(r.At(lo+i)) > max })
+	return lo, hi
+}
+
+// SelectRange returns the live elements whose key falls inside
+// [min, max], oldest first, assuming key is non-decreasing over the live
+// elements. It is the binary-search counterpart of Select for
+// timestamp-window queries.
+func (r *Ring[T]) SelectRange(min, max float64, key func(T) float64) []T {
+	lo, hi := r.IndexRange(min, max, key)
+	if hi <= lo {
+		return nil
+	}
+	out := make([]T, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, r.At(i))
+	}
 	return out
 }
 

@@ -196,3 +196,70 @@ func TestQuickEvictionCount(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSelectRangeMatchesSelect(t *testing.T) {
+	key := func(v float64) float64 { return v }
+	r := New[float64](64)
+	// Wrapped ring: keys 36..99 survive, monotonic oldest-to-newest.
+	for i := 0; i < 100; i++ {
+		r.Push(float64(i))
+	}
+	cases := [][2]float64{
+		{40, 50},     // interior window
+		{0, 36},      // clipped at the oldest survivor
+		{99, 200},    // clipped at the newest
+		{-10, 1000},  // whole ring
+		{50.5, 50.9}, // empty: between samples
+		{200, 300},   // empty: past the end
+		{0, 10},      // empty: fully evicted
+	}
+	for _, c := range cases {
+		want := r.Select(func(v float64) bool { return v >= c[0] && v <= c[1] })
+		got := r.SelectRange(c[0], c[1], key)
+		if len(want) != len(got) {
+			t.Fatalf("window [%v,%v]: Select %d elements, SelectRange %d", c[0], c[1], len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("window [%v,%v][%d]: %v vs %v", c[0], c[1], i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestSelectRangeEmptyRing(t *testing.T) {
+	r := New[float64](8)
+	if got := r.SelectRange(0, 100, func(v float64) float64 { return v }); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+}
+
+// BenchmarkRingSelectRange pins the satellite win: a small time window
+// selected out of a full 100k-sample ring by binary search versus the
+// full-ring predicate scan the monitor used to do on every collect.
+func BenchmarkRingSelectRange(b *testing.B) {
+	const cap = 100_000
+	key := func(v float64) float64 { return v }
+	r := New[float64](cap)
+	for i := 0; i < cap+cap/2; i++ { // wrapped, like a long-running agent
+		r.Push(float64(i))
+	}
+	oldest, _ := r.Oldest()
+	lo, hi := oldest+float64(cap)-32, oldest+float64(cap)-1 // 30-ish recent samples
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := r.Select(func(v float64) bool { return v >= lo && v <= hi })
+			if len(out) == 0 {
+				b.Fatal("empty window")
+			}
+		}
+	})
+	b.Run("binary-search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := r.SelectRange(lo, hi, key)
+			if len(out) == 0 {
+				b.Fatal("empty window")
+			}
+		}
+	})
+}

@@ -222,3 +222,57 @@ func Downsample(xs []float64, n int) []float64 {
 	}
 	return out
 }
+
+// Agg is a mergeable streaming aggregate: count, sum, min and max over a
+// series of observations. Unlike the slice reductions above, two Aggs
+// built over disjoint data can be merged into the aggregate of the
+// union, which is what lets power telemetry be combined pairwise up a
+// reduction tree (each TBON rank merges its children's partials) and
+// what the monitor's downsampled archive tiers store per bucket. The
+// zero Agg is the identity for Merge.
+type Agg struct {
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Add folds one observation into the aggregate.
+func (a *Agg) Add(x float64) {
+	if a.Count == 0 || x < a.Min {
+		a.Min = x
+	}
+	if a.Count == 0 || x > a.Max {
+		a.Max = x
+	}
+	a.Count++
+	a.Sum += x
+}
+
+// Merge folds another aggregate in; the result summarizes the union of
+// both inputs' observations.
+func (a *Agg) Merge(o Agg) {
+	if o.Count == 0 {
+		return
+	}
+	if a.Count == 0 {
+		*a = o
+		return
+	}
+	if o.Min < a.Min {
+		a.Min = o.Min
+	}
+	if o.Max > a.Max {
+		a.Max = o.Max
+	}
+	a.Count += o.Count
+	a.Sum += o.Sum
+}
+
+// Mean returns Sum/Count, or 0 for the empty aggregate.
+func (a Agg) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}

@@ -244,3 +244,45 @@ func TestQuickBoxPlotMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAggAddAndMean(t *testing.T) {
+	var a Agg
+	if a.Mean() != 0 {
+		t.Fatal("empty aggregate mean not 0")
+	}
+	for _, x := range []float64{3, -1, 4, 1, 5} {
+		a.Add(x)
+	}
+	if a.Count != 5 || a.Min != -1 || a.Max != 5 || a.Sum != 12 {
+		t.Fatalf("agg after adds: %+v", a)
+	}
+	if a.Mean() != 12.0/5 {
+		t.Fatalf("mean %v", a.Mean())
+	}
+}
+
+func TestAggMergeEqualsUnion(t *testing.T) {
+	xs := []float64{9, 2, 7, 7, 0, -3, 12, 5}
+	var whole Agg
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	// Every split point, merged in both orders, must reproduce the whole.
+	for cut := 0; cut <= len(xs); cut++ {
+		var left, right Agg
+		for _, x := range xs[:cut] {
+			left.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			right.Add(x)
+		}
+		ab, ba := left, right
+		ab.Merge(right)
+		ba.Merge(left)
+		for name, got := range map[string]Agg{"left+right": ab, "right+left": ba} {
+			if got != whole {
+				t.Fatalf("cut %d %s: %+v, want %+v", cut, name, got, whole)
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"fluxpower/internal/hw"
 	"fluxpower/internal/simtime"
+	"fluxpower/internal/stats"
 )
 
 // Unsupported is the sentinel Variorum reports for sensors an architecture
@@ -289,4 +290,46 @@ func QueryCapabilities(n *hw.Node) Capabilities {
 		NodeMaxW:      cfg.MaxNodePowerW,
 		NodeMinSoftW:  cfg.MinSoftNodeCapW,
 	}
+}
+
+// PowerAgg is a mergeable per-component summary of NodePower samples:
+// count/sum/min/max for node, CPU, memory and GPU power. Memory samples
+// reading Unsupported are excluded, so a merged aggregate reports memory
+// only from nodes that can measure it (Mem.Count == 0 means nobody
+// could). Two PowerAggs built over disjoint sample sets merge into the
+// aggregate of the union — the property the monitor's in-network
+// reduction and archive tiers are built on.
+type PowerAgg struct {
+	Node stats.Agg `json:"node"`
+	CPU  stats.Agg `json:"cpu"`
+	Mem  stats.Agg `json:"mem"`
+	GPU  stats.Agg `json:"gpu"`
+}
+
+// Add folds one telemetry sample into the aggregate. Node power uses
+// TotalWatts (the direct sensor, or the CPU+GPU estimate where absent).
+func (a *PowerAgg) Add(p NodePower) {
+	a.Node.Add(p.TotalWatts())
+	a.CPU.Add(p.CPUWatts())
+	if m := p.MemWatts(); m != Unsupported {
+		a.Mem.Add(m)
+	}
+	a.GPU.Add(p.TotalGPUWatts())
+}
+
+// Merge folds another aggregate in, component-wise.
+func (a *PowerAgg) Merge(o PowerAgg) {
+	a.Node.Merge(o.Node)
+	a.CPU.Merge(o.CPU)
+	a.Mem.Merge(o.Mem)
+	a.GPU.Merge(o.GPU)
+}
+
+// MemMeanW returns the mean memory power, or Unsupported when no sample
+// in the aggregate could measure memory.
+func (a PowerAgg) MemMeanW() float64 {
+	if a.Mem.Count == 0 {
+		return Unsupported
+	}
+	return a.Mem.Mean()
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"fluxpower/internal/hw"
 	"fluxpower/internal/simtime"
@@ -273,5 +274,49 @@ func TestGenericX86BestEffort(t *testing.T) {
 	// conservative estimate, matching the Tioga convention).
 	if got := p.TotalWatts(); got != 150+150+800 {
 		t.Fatalf("estimated node power %v", got)
+	}
+}
+
+func TestPowerAggMergeMatchesUnion(t *testing.T) {
+	ln := lassenNode(t)
+	ln.SetDemand(hw.Demand{CPUW: []float64{150, 160}, MemW: 80, GPUW: []float64{200, 210, 220, 230}})
+	tn := tiogaNode(t)
+	tn.SetDemand(hw.Demand{CPUW: []float64{240}, GPUW: []float64{150, 150, 155, 155, 160, 160, 165, 165}})
+
+	var samples []NodePower
+	for i := 0; i < 6; i++ {
+		now := simtime.Time(time.Duration(2*i) * time.Second)
+		samples = append(samples, GetNodePower(ln, now), GetNodePower(tn, now))
+	}
+	var whole PowerAgg
+	for _, p := range samples {
+		whole.Add(p)
+	}
+	var left, right PowerAgg
+	for i, p := range samples {
+		if i%2 == 0 {
+			left.Add(p)
+		} else {
+			right.Add(p)
+		}
+	}
+	left.Merge(right)
+	if left != whole {
+		t.Fatalf("merged %+v, want %+v", left, whole)
+	}
+	// Tioga cannot measure memory: only the Lassen samples count.
+	if whole.Mem.Count != 6 {
+		t.Fatalf("mem samples %d, want 6 (Lassen only)", whole.Mem.Count)
+	}
+	if whole.Node.Count != 12 || whole.CPU.Count != 12 || whole.GPU.Count != 12 {
+		t.Fatalf("component counts: %+v", whole)
+	}
+	if whole.MemMeanW() <= 0 {
+		t.Fatalf("mem mean %v", whole.MemMeanW())
+	}
+	var tiogaOnly PowerAgg
+	tiogaOnly.Add(GetNodePower(tn, simtime.Time(0)))
+	if tiogaOnly.MemMeanW() != Unsupported {
+		t.Fatalf("memless aggregate reports %v", tiogaOnly.MemMeanW())
 	}
 }
