@@ -137,6 +137,13 @@ var registry = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	"chaos": func(o experiments.Options) (string, error) {
+		r, err := experiments.Chaos(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 }
 
 // csvRegistry covers the experiments with a CSV rendering (-format csv).
@@ -171,6 +178,13 @@ var csvRegistry = map[string]runner{
 	},
 	"scale": func(o experiments.Options) (string, error) {
 		r, err := experiments.Scale(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderCSV(), nil
+	},
+	"chaos": func(o experiments.Options) (string, error) {
+		r, err := experiments.Chaos(o)
 		if err != nil {
 			return "", err
 		}

@@ -73,8 +73,12 @@ type Config struct {
 	Jitter bool
 	// WrapLink, when set, wraps every TBON link as it is wired, in both
 	// directions — instrumentation hook for byte/message accounting
-	// (see transport.NewCounter and the scale experiment).
+	// (see transport.NewCounter) and for fault injection (internal/flux/chaos).
 	WrapLink func(from, to int32, l transport.Link) transport.Link
+	// CallTimeout bounds blocking Calls on every broker (default
+	// broker.DefaultCallTimeout). The chaos experiments shorten it so
+	// query failures surface quickly.
+	CallTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -191,11 +195,12 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	inst, err := broker.NewInstance(broker.InstanceOptions{
-		Size:      cfg.Nodes,
-		Fanout:    cfg.Fanout,
-		Scheduler: sched,
-		Local:     func(rank int32) any { return c.nodes[rank] },
-		WrapLink:  cfg.WrapLink,
+		Size:        cfg.Nodes,
+		Fanout:      cfg.Fanout,
+		Scheduler:   sched,
+		Local:       func(rank int32) any { return c.nodes[rank] },
+		WrapLink:    cfg.WrapLink,
+		CallTimeout: cfg.CallTimeout,
 	})
 	if err != nil {
 		return nil, err

@@ -141,14 +141,25 @@ type Manager struct {
 	// lesson (§V) is that silently dropped enforcement must be visible.
 	pushFailures uint64
 	pushErrs     map[int32]string
+	// Positive acknowledgements per rank, with timestamps (instance
+	// seconds, capped at maxAckTimes per rank). The chaos invariant
+	// checker uses these to prove no cap-limit push was acknowledged by
+	// a rank while it was crashed.
+	pushAcks   map[int32]uint64
+	pushAckSec map[int32][]float64
 }
+
+// maxAckTimes bounds the per-rank acknowledgement timestamp history.
+const maxAckTimes = 256
 
 // New creates a manager module instance.
 func New(cfg Config) *Manager {
 	return &Manager{
-		cfg:      cfg.withDefaults(),
-		allocs:   make(map[uint64]*Allocation),
-		pushErrs: make(map[int32]string),
+		cfg:        cfg.withDefaults(),
+		allocs:     make(map[uint64]*Allocation),
+		pushErrs:   make(map[int32]string),
+		pushAcks:   make(map[int32]uint64),
+		pushAckSec: make(map[int32][]float64),
 	}
 }
 
@@ -385,6 +396,10 @@ func (m *Manager) sendNodeLimit(rank int32, jobID uint64, limitW float64, policy
 			m.pushErrs[rank] = err.Error()
 		} else {
 			delete(m.pushErrs, rank)
+			m.pushAcks[rank]++
+			if times := m.pushAckSec[rank]; len(times) < maxAckTimes {
+				m.pushAckSec[rank] = append(times, m.ctx.Clock().Now().Seconds())
+			}
 		}
 	})
 	return f
@@ -445,6 +460,14 @@ func (m *Manager) handleStatus(req *broker.Request) {
 	for rank, e := range m.pushErrs {
 		pushErrs[rank] = e
 	}
+	pushAcks := make(map[int32]uint64, len(m.pushAcks))
+	for rank, n := range m.pushAcks {
+		pushAcks[rank] = n
+	}
+	pushAckSec := make(map[int32][]float64, len(m.pushAckSec))
+	for rank, times := range m.pushAckSec {
+		pushAckSec[rank] = append([]float64(nil), times...)
+	}
 	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
 	_ = req.Respond(map[string]any{
@@ -453,6 +476,8 @@ func (m *Manager) handleStatus(req *broker.Request) {
 		"allocations":   out,
 		"push_failures": pushFailures,
 		"push_errors":   pushErrs,
+		"push_acks":     pushAcks,
+		"push_ack_sec":  pushAckSec,
 	})
 }
 

@@ -54,6 +54,19 @@ func (c *Client) QueryAggregate(jobID uint64) (JobAggregate, error) {
 	return ja, nil
 }
 
+// Status fetches the root-agent's instance-wide broker health report.
+func (c *Client) Status() (InstanceStatus, error) {
+	resp, err := c.b.Call(msg.NodeAny, "power-monitor.status", nil)
+	if err != nil {
+		return InstanceStatus{}, err
+	}
+	var st InstanceStatus
+	if err := resp.Unmarshal(&st); err != nil {
+		return InstanceStatus{}, err
+	}
+	return st, nil
+}
+
 // CSVHeader is the column layout of WriteCSV.
 var CSVHeader = []string{
 	"jobid", "app", "rank", "hostname", "timestamp_sec",

@@ -159,8 +159,47 @@ func (m *Module) Init(ctx *broker.Context) error {
 		if err := ctx.RegisterService("power-monitor.query", m.handleQuery); err != nil {
 			return err
 		}
+		if err := ctx.RegisterService("power-monitor.status", m.handleStatus); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// InstanceStatus is the root-agent's instance-wide health report: one
+// broker.Health snapshot per reachable rank, and the ranks that could not
+// answer within the collect timeout. The chaos invariant checker asserts
+// over it; operators use it to spot leaking matchtags or dark subtrees.
+type InstanceStatus struct {
+	Size        int32           `json:"size"`
+	Ranks       []broker.Health `json:"ranks"`
+	Unreachable []int32         `json:"unreachable,omitempty"`
+}
+
+// handleStatus (rank 0 only) fans broker.health probes to every rank —
+// the same concurrent fan-out/fan-in discipline as queryRaw, so a dead
+// subtree costs one CollectTimeout, not one per rank.
+func (m *Module) handleStatus(req *broker.Request) {
+	size := m.ctx.Size()
+	futures := make([]*broker.Future, size)
+	for rank := int32(0); rank < size; rank++ {
+		futures[rank] = m.ctx.RPCWithTimeout(rank, "broker.health", nil, m.cfg.CollectTimeout)
+	}
+	out := InstanceStatus{Size: size}
+	for rank := int32(0); rank < size; rank++ {
+		resp, err := futures[rank].Wait(m.cfg.CollectTimeout)
+		if err != nil {
+			out.Unreachable = append(out.Unreachable, rank)
+			continue
+		}
+		var h broker.Health
+		if err := resp.Unmarshal(&h); err != nil {
+			out.Unreachable = append(out.Unreachable, rank)
+			continue
+		}
+		out.Ranks = append(out.Ranks, h)
+	}
+	_ = req.Respond(out)
 }
 
 // Samples returns how many sensor reads this agent has performed.

@@ -113,6 +113,35 @@ type Stats struct {
 	RPCsIssued      uint64 `json:"rpcs_issued"`
 	RPCTimeouts     uint64 `json:"rpc_timeouts"`
 	RoutingErrors   uint64 `json:"routing_errors"`
+	// TagsReclaimed counts matchtag pending-table entries actually removed
+	// (response delivery, deadline expiry, cancel, sim no-reply). At
+	// quiescence TagsReclaimed == RPCsIssued and PendingRPCs() == 0; the
+	// chaos invariant checker asserts exactly that.
+	TagsReclaimed uint64 `json:"tags_reclaimed"`
+}
+
+// Health is the liveness/leak snapshot served by the builtin broker.health
+// service: the counters an operator (or the chaos invariant checker) needs
+// to tell "quiet" from "leaking".
+type Health struct {
+	Rank          int32 `json:"rank"`
+	PendingRPCs   int   `json:"pending_rpcs"`
+	Subscriptions int   `json:"subscriptions"`
+	Modules       int   `json:"modules"`
+	Stats         Stats `json:"stats"`
+}
+
+// Health returns a snapshot of the broker's health counters.
+func (b *Broker) Health() Health {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Health{
+		Rank:          b.rank,
+		PendingRPCs:   len(b.pending),
+		Subscriptions: len(b.subs),
+		Modules:       len(b.modules),
+		Stats:         b.stats,
+	}
 }
 
 // Options configures a broker.
@@ -509,10 +538,16 @@ func (b *Broker) rpc(nodeID int32, topic string, payload any, timeout time.Durat
 	return f
 }
 
-// reclaim drops a matchtag's pending-table entry (idempotent).
+// reclaim drops a matchtag's pending-table entry (idempotent). The
+// reclaim counter only moves when an entry was actually present, so
+// double reclaims (wheel expiry then Wait backstop) cannot inflate it
+// past RPCsIssued.
 func (b *Broker) reclaim(tag uint32) {
 	b.mu.Lock()
-	delete(b.pending, tag)
+	if _, ok := b.pending[tag]; ok {
+		delete(b.pending, tag)
+		b.stats.TagsReclaimed++
+	}
 	b.mu.Unlock()
 }
 
@@ -608,6 +643,7 @@ func (b *Broker) deliverResponse(m *msg.Message) {
 		f, ok := b.pending[m.Matchtag]
 		if ok {
 			delete(b.pending, m.Matchtag)
+			b.stats.TagsReclaimed++
 		}
 		b.mu.Unlock()
 		if ok {
@@ -692,6 +728,11 @@ func (b *Broker) registerBuiltins() {
 	// broker.stats: activity counters.
 	_ = b.RegisterService("broker.stats", func(req *Request) {
 		_ = req.Respond(b.Stats())
+	})
+	// broker.health: leak/liveness snapshot for the invariant checker and
+	// power-monitor.status fan-out.
+	_ = b.RegisterService("broker.health", func(req *Request) {
+		_ = req.Respond(b.Health())
 	})
 	// broker.services: registry listing, for debugging.
 	_ = b.RegisterService("broker.services", func(req *Request) {

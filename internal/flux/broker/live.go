@@ -47,12 +47,13 @@ func NewLiveInstance(opts InstanceOptions) (*LiveInstance, error) {
 			local = opts.Local(rank)
 		}
 		b, err := New(Options{
-			Rank:   rank,
-			Size:   int32(opts.Size),
-			Fanout: k,
-			Clock:  li.Wall,
-			Timers: li.Wall,
-			Local:  local,
+			Rank:        rank,
+			Size:        int32(opts.Size),
+			Fanout:      k,
+			Clock:       li.Wall,
+			Timers:      li.Wall,
+			Local:       local,
+			CallTimeout: opts.CallTimeout,
 		})
 		if err != nil {
 			li.Close()
@@ -70,7 +71,7 @@ func NewLiveInstance(opts InstanceOptions) (*LiveInstance, error) {
 		parent := li.Brokers[rank]
 		ln, err := transport.ListenTCP("127.0.0.1:0", func(link transport.Link) transport.Handler {
 			li.trackLink(link)
-			return li.acceptChild(parent, link)
+			return li.acceptChild(parent, link, opts.WrapLink)
 		})
 		if err != nil {
 			li.Close()
@@ -90,7 +91,13 @@ func NewLiveInstance(opts InstanceOptions) (*LiveInstance, error) {
 			return nil, err
 		}
 		li.trackLink(link)
-		child.SetParent(link)
+		// The hello handshake below bypasses the wrapper on purpose: fault
+		// injectors start disarmed, but wiring must never depend on that.
+		up := transport.Link(link)
+		if opts.WrapLink != nil {
+			up = opts.WrapLink(rank, parentRank, up)
+		}
+		child.SetParent(up)
 		hello := &msg.Message{Type: msg.TypeControl, Topic: helloTopic, Sender: rank}
 		if err := link.Send(hello); err != nil {
 			li.Close()
@@ -115,14 +122,20 @@ func NewLiveInstance(opts InstanceOptions) (*LiveInstance, error) {
 
 // acceptChild returns the inbound handler for a freshly accepted
 // connection: the first message must be the hello control identifying the
-// child rank; everything after flows into the parent broker.
-func (li *LiveInstance) acceptChild(parent *Broker, link transport.Link) transport.Handler {
+// child rank; everything after flows into the parent broker. The child
+// rank is only known at hello time, so the parent's downstream wrapper
+// (fault injection, byte counting) is applied here rather than at accept.
+func (li *LiveInstance) acceptChild(parent *Broker, link transport.Link, wrap func(from, to int32, l transport.Link) transport.Link) transport.Handler {
 	var once sync.Once
 	return func(m *msg.Message) {
 		handled := false
 		once.Do(func() {
 			if m.Type == msg.TypeControl && m.Topic == helloTopic {
-				parent.AddChild(m.Sender, link)
+				down := link
+				if wrap != nil {
+					down = wrap(parent.Rank(), m.Sender, down)
+				}
+				parent.AddChild(m.Sender, down)
 				handled = true
 			}
 		})

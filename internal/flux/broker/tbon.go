@@ -2,6 +2,7 @@ package broker
 
 import (
 	"fmt"
+	"time"
 
 	"fluxpower/internal/flux/transport"
 	"fluxpower/internal/simtime"
@@ -29,8 +30,13 @@ type InstanceOptions struct {
 	// WrapLink, if set, wraps each directed link before it is attached:
 	// the link carries messages from rank `from` to rank `to`. The scale
 	// experiments use it to interpose transport.Counters and measure the
-	// bytes crossing specific links (the root link, notably).
+	// bytes crossing specific links (the root link, notably); the chaos
+	// harness uses it to inject faults.
 	WrapLink func(from, to int32, l transport.Link) transport.Link
+	// CallTimeout bounds Call's blocking wait on every broker (default
+	// DefaultCallTimeout). Ignored in simulation mode, where responses
+	// resolve synchronously.
+	CallTimeout time.Duration
 }
 
 // NewInstance builds Size brokers wired into a k-ary TBON with in-memory
@@ -53,12 +59,13 @@ func NewInstance(opts InstanceOptions) (*Instance, error) {
 			local = opts.Local(rank)
 		}
 		b, err := New(Options{
-			Rank:   rank,
-			Size:   int32(opts.Size),
-			Fanout: k,
-			Clock:  opts.Scheduler,
-			Timers: opts.Scheduler,
-			Local:  local,
+			Rank:        rank,
+			Size:        int32(opts.Size),
+			Fanout:      k,
+			Clock:       opts.Scheduler,
+			Timers:      opts.Scheduler,
+			Local:       local,
+			CallTimeout: opts.CallTimeout,
 		})
 		if err != nil {
 			return nil, err

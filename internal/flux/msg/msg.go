@@ -10,6 +10,7 @@
 package msg
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -271,6 +272,13 @@ func (m *Message) EncodedSize() int {
 	return 4 + len(body)
 }
 
+// maxPrealloc caps the up-front allocation for an incoming frame. A
+// length prefix is attacker-controlled (or fault-injector-corrupted)
+// until the body actually arrives, so larger frames grow a buffer as
+// bytes are read: a truncated frame claiming MaxFrameSize costs an
+// error, not a 64 MB allocation.
+const maxPrealloc = 64 << 10
+
 // Decode reads one length-prefixed frame from r.
 func Decode(r io.Reader) (*Message, error) {
 	var hdr [4]byte
@@ -281,9 +289,19 @@ func Decode(r io.Reader) (*Message, error) {
 	if n == 0 || n > MaxFrameSize {
 		return nil, fmt.Errorf("msg: invalid frame length %d", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("msg: short frame: %w", err)
+	var body []byte
+	if n <= maxPrealloc {
+		body = make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, fmt.Errorf("msg: short frame: %w", err)
+		}
+	} else {
+		var buf bytes.Buffer
+		buf.Grow(maxPrealloc)
+		if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+			return nil, fmt.Errorf("msg: short frame: %w", err)
+		}
+		body = buf.Bytes()
 	}
 	var m Message
 	if err := json.Unmarshal(body, &m); err != nil {

@@ -1,0 +1,63 @@
+package ringbuf
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzSelectRange cross-checks the binary-search window query against the
+// reference predicate scan on fuzzer-chosen ring shapes: capacity, number
+// of pushes (driving wrap-around and eviction), key spacing and query
+// window all vary. The property is exact agreement — SelectRange exists
+// only as a faster Select for monotonic keys, so any divergence is a bug.
+func FuzzSelectRange(f *testing.F) {
+	f.Add(int64(8), int64(5), 1.0, 3.0, int64(1))
+	f.Add(int64(4), int64(16), 0.0, 100.0, int64(2)) // wrapped several times
+	f.Add(int64(1), int64(3), 2.0, 2.0, int64(3))    // capacity 1, point window
+	f.Add(int64(16), int64(0), 0.0, 10.0, int64(4))  // empty ring
+	f.Add(int64(8), int64(8), 5.0, 1.0, int64(5))    // inverted window
+	f.Add(int64(8), int64(8), -10.0, -1.0, int64(6)) // window before all keys
+	f.Add(int64(8), int64(8), 1e12, 2e12, int64(7))  // window after all keys
+	f.Add(int64(512), int64(4096), 100.0, 200.0, int64(8))
+
+	f.Fuzz(func(t *testing.T, capacity, pushes int64, min, max float64, gapSeed int64) {
+		if capacity <= 0 || capacity > 4096 {
+			return // New panics on purpose for non-positive capacity
+		}
+		if pushes < 0 || pushes > 16384 {
+			return
+		}
+		if math.IsNaN(min) || math.IsNaN(max) {
+			return // a NaN window violates sort.Search's predicate contract
+		}
+		r := New[float64](int(capacity))
+		// Non-decreasing keys with seed-dependent spacing, including runs
+		// of duplicates — the shape of monotonic sample timestamps.
+		key := 0.0
+		for i := int64(0); i < pushes; i++ {
+			gap := float64((gapSeed+i)%7) / 2 // 0, .5, 1, ... incl. repeats
+			if gap < 0 {
+				gap = -gap
+			}
+			key += gap
+			r.Push(key)
+		}
+
+		id := func(v float64) float64 { return v }
+		got := r.SelectRange(min, max, id)
+		want := r.Select(func(v float64) bool { return v >= min && v <= max })
+		if len(got) != len(want) || (len(got) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("SelectRange disagrees with Select scan:\ncap=%d pushes=%d window=[%v,%v]\nfast: %v\nscan: %v",
+				capacity, pushes, min, max, got, want)
+		}
+
+		lo, hi := r.IndexRange(min, max, id)
+		if lo < 0 || hi < lo || hi > r.Len() {
+			t.Fatalf("IndexRange out of bounds: [%d,%d) with len %d", lo, hi, r.Len())
+		}
+		if hi-lo != len(want) {
+			t.Fatalf("IndexRange width %d != %d matches", hi-lo, len(want))
+		}
+	})
+}
