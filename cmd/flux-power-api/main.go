@@ -1,0 +1,188 @@
+// Command flux-power-api serves the powerapi HTTP/SSE gateway over a
+// simulated cluster — the production front door of the paper's telemetry
+// plane, runnable on a laptop.
+//
+// It builds a monitored Lassen/Tioga instance, keeps a synthetic
+// workload running (a new job is submitted whenever the cluster drains),
+// advances simulated time in step with wall-clock time, and serves the
+// gateway's REST and SSE endpoints:
+//
+//	flux-power-api -listen :8080 -nodes 8 -speed 4
+//	curl localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/1/power?mode=aggregate
+//	curl -N localhost:8080/v1/jobs/1/stream
+//
+// SIGINT/SIGTERM shut down gracefully: the HTTP server stops accepting,
+// in-flight requests and SSE streams drain, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/job"
+	"fluxpower/internal/powerapi"
+)
+
+// demoApps is the workload mix the driver cycles through.
+var demoApps = []string{"gemm", "lammps", "quicksilver", "laghos", "nqueens"}
+
+// demo bundles the simulated instance and its gateway.
+type demo struct {
+	c  *cluster.Cluster
+	gw *powerapi.Gateway
+}
+
+// newDemo assembles the monitored cluster and attaches a gateway to its
+// root broker.
+func newDemo(system cluster.System, nodes int, seed int64, apiCfg powerapi.Config) (*demo, error) {
+	c, err := cluster.New(cluster.Config{System: system, Nodes: nodes, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		// Live sample publication feeds the SSE streams.
+		return powermon.New(powermon.Config{PublishSamples: true})
+	}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	apiCfg.Broker = c.Inst.Root()
+	gw, err := powerapi.New(apiCfg)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &demo{c: c, gw: gw}, nil
+}
+
+// advance moves simulated time forward by d and keeps the workload
+// saturated: whenever nothing is running, a fresh job is submitted. All
+// cluster access goes through gw.Sync so the single-threaded sim
+// scheduler never races concurrent HTTP handlers.
+func (d *demo) advance(dur time.Duration, rng *rand.Rand, nodes int, logf func(string, ...any)) {
+	d.gw.Sync(func() {
+		d.c.RunFor(dur)
+		if len(d.c.RunningJobs()) > 0 {
+			return
+		}
+		app := demoApps[rng.Intn(len(demoApps))]
+		n := 1 + rng.Intn(nodes)
+		id, err := d.c.Submit(job.Spec{Name: fmt.Sprintf("demo-%s", app), App: app, Nodes: n})
+		if err != nil {
+			logf("submit %s: %v", app, err)
+			return
+		}
+		logf("submitted job %d: %s on %d nodes", id, app, n)
+	})
+}
+
+func (d *demo) close() {
+	d.gw.Close()
+	d.c.Close()
+}
+
+// run is main minus process exit, factored for tests: it serves until
+// ctx is cancelled, announcing the bound address via started (tests bind
+// port 0).
+func run(ctx context.Context, args []string, started chan<- string, logw io.Writer) error {
+	fs := flag.NewFlagSet("flux-power-api", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	listen := fs.String("listen", ":8080", "HTTP listen address")
+	nodes := fs.Int("nodes", 8, "simulated node count")
+	system := fs.String("system", "lassen", "simulated system: lassen or tioga")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	speed := fs.Float64("speed", 1, "simulated seconds per wall second")
+	rate := fs.Float64("rate", 0, "per-client rate limit in requests/sec (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger := log.New(logw, "flux-power-api: ", log.LstdFlags)
+
+	var sys cluster.System
+	switch *system {
+	case "lassen":
+		sys = cluster.Lassen
+	case "tioga":
+		sys = cluster.Tioga
+	default:
+		return fmt.Errorf("unknown system %q (want lassen or tioga)", *system)
+	}
+	d, err := newDemo(sys, *nodes, *seed, powerapi.Config{RateLimit: *rate})
+	if err != nil {
+		return err
+	}
+	defer d.close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving %s %d-node instance on http://%s", *system, *nodes, ln.Addr())
+	if started != nil {
+		started <- ln.Addr().String()
+	}
+
+	// Drive simulated time from wall time on a single goroutine.
+	rng := rand.New(rand.NewSource(*seed))
+	driverDone := make(chan struct{})
+	go func() {
+		defer close(driverDone)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		last := time.Now()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case now := <-tick.C:
+				dur := time.Duration(float64(now.Sub(last)) * *speed)
+				last = now
+				d.advance(dur, rng, *nodes, logger.Printf)
+			}
+		}
+	}()
+
+	srv := &http.Server{Handler: d.gw}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		return err
+	}
+	logger.Printf("shutting down: draining requests and streams")
+	<-driverDone
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	d.gw.Close()
+	logger.Printf("drained cleanly")
+	return nil
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil, os.Stderr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "flux-power-api:", err)
+		os.Exit(1)
+	}
+}

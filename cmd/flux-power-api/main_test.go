@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeEndToEnd boots the demo binary on an ephemeral port, queries
+// it over real TCP while the sim driver advances time, and shuts it down
+// with the signal path's context cancellation.
+func TestServeEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-listen", "127.0.0.1:0", "-nodes", "4", "-speed", "50"}, started, io.Discard)
+	}()
+	var addr string
+	select {
+	case addr = <-started:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never started")
+	}
+
+	get := func(path string) (*http.Response, error) {
+		return http.Get("http://" + addr + path)
+	}
+	// The driver submits a job within a tick or two; poll the listing.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := get("/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Jobs []struct {
+				ID uint64 `json:"id"`
+			} `json:"jobs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(body.Jobs) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("driver never submitted a job")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err := get("/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"size":4`) {
+		t.Fatalf("status: %d %s", resp.StatusCode, raw)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain on cancellation")
+	}
+}

@@ -1,10 +1,12 @@
 package powermon
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
 	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/flux/msg"
@@ -25,9 +27,12 @@ type Client struct {
 // NewClient attaches a telemetry client to a broker.
 func NewClient(b *broker.Broker) *Client { return &Client{b: b} }
 
-// Query fetches a job's power data.
-func (c *Client) Query(jobID uint64) (JobPower, error) {
-	resp, err := c.b.Call(msg.NodeAny, "power-monitor.query", map[string]uint64{"jobid": jobID})
+// QueryContext fetches a job's power data, bounding the whole exchange by
+// the context's deadline and abandoning it on cancellation. Server-side
+// callers (the powerapi gateway) use this to enforce per-request deadlines
+// instead of relying solely on the broker's configured call timeout.
+func (c *Client) QueryContext(ctx context.Context, jobID uint64) (JobPower, error) {
+	resp, err := c.b.CallContext(ctx, msg.NodeAny, "power-monitor.query", map[string]uint64{"jobid": jobID})
 	if err != nil {
 		return JobPower{}, err
 	}
@@ -38,11 +43,20 @@ func (c *Client) Query(jobID uint64) (JobPower, error) {
 	return jp, nil
 }
 
-// QueryAggregate fetches a job's summary statistics computed in-network:
-// only aggregate-sized payloads cross the TBON, so the call stays cheap
-// no matter how many nodes the job spans.
-func (c *Client) QueryAggregate(jobID uint64) (JobAggregate, error) {
-	resp, err := c.b.Call(msg.NodeAny, "power-monitor.query",
+// Query fetches a job's power data.
+//
+// Deprecated: use QueryContext; Query delegates to it with a background
+// context (the broker's configured call timeout still applies).
+func (c *Client) Query(jobID uint64) (JobPower, error) {
+	return c.QueryContext(context.Background(), jobID)
+}
+
+// QueryAggregateContext fetches a job's summary statistics computed
+// in-network — only aggregate-sized payloads cross the TBON, so the call
+// stays cheap no matter how many nodes the job spans — under the
+// context's deadline.
+func (c *Client) QueryAggregateContext(ctx context.Context, jobID uint64) (JobAggregate, error) {
+	resp, err := c.b.CallContext(ctx, msg.NodeAny, "power-monitor.query",
 		queryRequest{JobID: jobID, Mode: ModeAggregate})
 	if err != nil {
 		return JobAggregate{}, err
@@ -54,9 +68,18 @@ func (c *Client) QueryAggregate(jobID uint64) (JobAggregate, error) {
 	return ja, nil
 }
 
-// Status fetches the root-agent's instance-wide broker health report.
-func (c *Client) Status() (InstanceStatus, error) {
-	resp, err := c.b.Call(msg.NodeAny, "power-monitor.status", nil)
+// QueryAggregate fetches a job's summary statistics computed in-network.
+//
+// Deprecated: use QueryAggregateContext; this delegates to it with a
+// background context.
+func (c *Client) QueryAggregate(jobID uint64) (JobAggregate, error) {
+	return c.QueryAggregateContext(context.Background(), jobID)
+}
+
+// StatusContext fetches the root-agent's instance-wide broker health
+// report under the context's deadline.
+func (c *Client) StatusContext(ctx context.Context) (InstanceStatus, error) {
+	resp, err := c.b.CallContext(ctx, msg.NodeAny, "power-monitor.status", nil)
 	if err != nil {
 		return InstanceStatus{}, err
 	}
@@ -65,6 +88,32 @@ func (c *Client) Status() (InstanceStatus, error) {
 		return InstanceStatus{}, err
 	}
 	return st, nil
+}
+
+// Status fetches the root-agent's instance-wide broker health report.
+//
+// Deprecated: use StatusContext; this delegates to it with a background
+// context.
+func (c *Client) Status() (InstanceStatus, error) {
+	return c.StatusContext(context.Background())
+}
+
+// CollectNodeContext asks one node-agent directly for its raw samples in
+// [startSec, endSec] (endSec 0 = now). This is the rank-addressed window
+// query the gateway's /v1/nodes/{rank}/power endpoint serves; job queries
+// should go through QueryContext, which matches the job's window and
+// ranks automatically.
+func (c *Client) CollectNodeContext(ctx context.Context, rank int32, startSec, endSec float64) (NodeSamples, error) {
+	resp, err := c.b.CallContext(ctx, rank, "power-monitor.collect",
+		collectRequest{StartSec: startSec, EndSec: endSec})
+	if err != nil {
+		return NodeSamples{}, err
+	}
+	var ns NodeSamples
+	if err := resp.Unmarshal(&ns); err != nil {
+		return NodeSamples{}, err
+	}
+	return ns, nil
 }
 
 // CSVHeader is the column layout of WriteCSV.
@@ -84,14 +133,18 @@ func WriteCSV(w io.Writer, jp JobPower) error {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	// Appending with += rebuilt the list string once per GPU — O(n²)
+	// copying per row, which hurts on wide-GPU nodes. The Builder grows
+	// amortized, so the row costs O(total digits).
+	var gpuList strings.Builder
 	for _, node := range jp.Nodes {
 		for _, s := range node.Samples {
-			gpuList := ""
+			gpuList.Reset()
 			for i, g := range s.GPUWatts {
 				if i > 0 {
-					gpuList += ";"
+					gpuList.WriteByte(';')
 				}
-				gpuList += strconv.FormatFloat(g, 'f', 1, 64)
+				gpuList.WriteString(strconv.FormatFloat(g, 'f', 1, 64))
 			}
 			row := []string{
 				strconv.FormatUint(jp.JobID, 10),
@@ -103,7 +156,7 @@ func WriteCSV(w io.Writer, jp JobPower) error {
 				f(s.CPUWatts()),
 				f(s.MemWatts()),
 				f(s.TotalGPUWatts()),
-				gpuList,
+				gpuList.String(),
 				strconv.FormatBool(node.Complete),
 			}
 			if err := cw.Write(row); err != nil {

@@ -2,9 +2,14 @@ package powermon
 
 import (
 	"bytes"
+	"context"
 	"errors"
+	"io"
+	"strings"
 	"testing"
+	"time"
 
+	"fluxpower/internal/cluster"
 	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/simtime"
 	"fluxpower/internal/variorum"
@@ -116,5 +121,101 @@ func TestSummarizeNoSamples(t *testing.T) {
 	jp := JobPower{JobID: 9, Nodes: []NodeSamples{{Rank: 0, Complete: true}}}
 	if _, err := Summarize(jp); err == nil {
 		t.Fatal("summary of a sampleless job succeeded")
+	}
+}
+
+func TestCollectNodeContext(t *testing.T) {
+	c := monitored(t, cluster.Lassen, 4, Config{})
+	c.RunFor(10 * time.Second) // let the rings fill
+	client := NewClient(c.Inst.Root())
+	ns, err := client.CollectNodeContext(context.Background(), 3, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.Rank != 3 {
+		t.Fatalf("rank: %d", ns.Rank)
+	}
+	if len(ns.Samples) < 3 {
+		t.Fatalf("10 s window at 2 s sampling yielded %d samples", len(ns.Samples))
+	}
+	if !ns.Complete {
+		t.Fatal("fresh ring reported incomplete window")
+	}
+	// Out-of-range rank is a routing error, not a hang.
+	if _, err := client.CollectNodeContext(context.Background(), 99, 0, 10); err == nil {
+		t.Fatal("collect from rank outside the instance succeeded")
+	}
+}
+
+func TestClientContextPreCanceled(t *testing.T) {
+	c := monitored(t, cluster.Lassen, 2, Config{})
+	client := NewClient(c.Inst.Root())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := client.QueryContext(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryContext: %v", err)
+	}
+	if _, err := client.QueryAggregateContext(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryAggregateContext: %v", err)
+	}
+	if _, err := client.StatusContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("StatusContext: %v", err)
+	}
+	if _, err := client.CollectNodeContext(ctx, 0, 0, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CollectNodeContext: %v", err)
+	}
+	if n := c.Inst.Root().PendingRPCs(); n != 0 {
+		t.Fatalf("canceled client calls leaked %d matchtags", n)
+	}
+}
+
+// wideGPUJobPower builds a job with per-sample GPU lists wide enough that
+// the old O(n²) string concatenation dominated row rendering.
+func wideGPUJobPower(gpus, samples int) JobPower {
+	gw := make([]float64, gpus)
+	for i := range gw {
+		gw[i] = 100 + float64(i)
+	}
+	var ss []variorum.NodePower
+	for i := 0; i < samples; i++ {
+		ss = append(ss, variorum.NodePower{
+			Timestamp:      float64(i) * 2,
+			NodeWatts:      900,
+			SocketCPUWatts: []float64{100, 100},
+			SocketMemWatts: []float64{40},
+			GPUWatts:       gw,
+		})
+	}
+	return JobPower{JobID: 42, App: "gemm",
+		Nodes: []NodeSamples{{Rank: 0, Hostname: "n0", Complete: true, Samples: ss}}}
+}
+
+// BenchmarkWriteCSVWideGPU pins the strings.Builder gpuList rendering: at
+// 64 GPUs per sample the old += concatenation copied the growing list 64
+// times per row.
+func BenchmarkWriteCSVWideGPU(b *testing.B) {
+	jp := wideGPUJobPower(64, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteCSV(io.Discard, jp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWriteCSVWideGPUList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, wideGPUJobPower(8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows: %d", len(lines))
+	}
+	// Each data row carries all 8 GPUs, semicolon-separated, in order.
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, "100.0;101.0;102.0;103.0;104.0;105.0;106.0;107.0") {
+			t.Fatalf("gpu list mangled: %q", line)
+		}
 	}
 }

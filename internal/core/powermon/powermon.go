@@ -45,6 +45,21 @@ const ModuleName = "power-monitor"
 // ReduceTopic is the in-network reduction topic for aggregate queries.
 const ReduceTopic = "power-monitor.reduce.window"
 
+// SampleEvent is the topic node-agents publish each sensor read on when
+// Config.PublishSamples is set. Events funnel to rank 0 and flood the
+// instance, so live subscribers (the powerapi gateway's SSE streams)
+// see every node's samples at the root without polling. Off by default:
+// flooding every sample is O(size²) messages per interval, a price only
+// deployments that want live streaming should pay.
+const SampleEvent = "power-monitor.sample"
+
+// SamplePayload is the body of a SampleEvent.
+type SamplePayload struct {
+	Rank     int32              `json:"rank"`
+	Hostname string             `json:"hostname"`
+	Sample   variorum.NodePower `json:"sample"`
+}
+
 // Defaults from §III-A.
 const (
 	DefaultSampleInterval = 2 * time.Second
@@ -69,6 +84,10 @@ type Config struct {
 	// may span before the node agent answers from a downsampled tier
 	// (default DefaultMaxRawPoints).
 	MaxRawPoints int
+	// PublishSamples makes every node-agent publish each sensor read as a
+	// SampleEvent for live subscribers (SSE streaming). Default off; see
+	// SampleEvent for the cost.
+	PublishSamples bool
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +157,15 @@ func (m *Module) Init(ctx *broker.Context) error {
 		m.arch.push(p)
 		m.samples++
 		m.mu.Unlock()
+		// Publish outside the lock: event delivery is synchronous in the
+		// simulation and subscribers must not observe the module mid-push.
+		if m.cfg.PublishSamples {
+			_ = ctx.Publish(SampleEvent, SamplePayload{
+				Rank:     ctx.Rank(),
+				Hostname: node.Name(),
+				Sample:   p,
+			})
+		}
 	}); err != nil {
 		return err
 	}

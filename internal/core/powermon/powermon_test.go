@@ -10,6 +10,7 @@ import (
 	"fluxpower/internal/cluster"
 	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/flux/job"
+	"fluxpower/internal/flux/msg"
 	"fluxpower/internal/simtime"
 )
 
@@ -277,5 +278,45 @@ func TestMonitorStatsService(t *testing.T) {
 	// Oldest surviving sample: t = 2*(15-8+1) = 16.
 	if stats["oldest_sample_sec"].(float64) != 16 {
 		t.Fatalf("oldest: %+v", stats)
+	}
+}
+
+func TestPublishSamplesEvents(t *testing.T) {
+	c := monitored(t, cluster.Lassen, 2, Config{PublishSamples: true})
+	var got []SamplePayload
+	c.Inst.Root().Subscribe(SampleEvent, func(ev *msg.Message) {
+		var p SamplePayload
+		if err := ev.Unmarshal(&p); err == nil {
+			got = append(got, p)
+		}
+	})
+	c.RunFor(6 * time.Second)
+	// 2 nodes sampling every 2 s for 6 s: 3 publishes each, all flooded
+	// to the root.
+	if len(got) != 6 {
+		t.Fatalf("root saw %d sample events, want 6", len(got))
+	}
+	seen := map[int32]int{}
+	for _, p := range got {
+		seen[p.Rank]++
+		if p.Sample.Timestamp <= 0 || p.Sample.TotalWatts() <= 0 {
+			t.Fatalf("empty sample payload: %+v", p)
+		}
+		if p.Hostname == "" {
+			t.Fatalf("sample event without hostname: %+v", p)
+		}
+	}
+	if seen[0] != 3 || seen[1] != 3 {
+		t.Fatalf("per-rank event counts: %v", seen)
+	}
+}
+
+func TestNoSampleEventsByDefault(t *testing.T) {
+	c := monitored(t, cluster.Lassen, 2, Config{})
+	events := 0
+	c.Inst.Root().Subscribe(SampleEvent, func(ev *msg.Message) { events++ })
+	c.RunFor(6 * time.Second)
+	if events != 0 {
+		t.Fatalf("sample events published without PublishSamples: %d", events)
 	}
 }

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/job"
+	"fluxpower/internal/powerapi"
+	"fluxpower/internal/stats"
+)
+
+// ServeRow is one client-count point of the gateway load experiment.
+type ServeRow struct {
+	Clients  int
+	Requests int
+	// RootRPCs is how many RPCs the root broker issued while serving;
+	// Amplification is RootRPCs / Requests. The gateway's caching and
+	// coalescing should hold this far below 1: most HTTP requests must
+	// cost the TBON nothing.
+	RootRPCs      uint64
+	Amplification float64
+	// Request latency percentiles in milliseconds (host wall clock).
+	P50Ms, P95Ms, P99Ms float64
+	// Gateway-side accounting for the same run.
+	CacheHits uint64
+	Coalesced uint64
+	Upstream  uint64
+	Errors5xx uint64
+}
+
+// ServeResult is the gateway load experiment's output.
+type ServeResult struct {
+	Nodes int
+	Rows  []ServeRow
+}
+
+// serveClientMix is the request mix every synthetic client cycles
+// through: job listing, both power renderings, and cluster health.
+func serveClientMix(jobID uint64) []string {
+	id := fmt.Sprintf("%d", jobID)
+	return []string{
+		"/v1/jobs",
+		"/v1/jobs/" + id + "/power",
+		"/v1/jobs/" + id + "/power?mode=raw",
+		"/v1/cluster/status",
+	}
+}
+
+// Serve measures the powerapi gateway under concurrent synthetic load:
+// an 8-node Lassen instance runs a whole-cluster job to completion, a
+// gateway attaches to the root, and K concurrent clients each issue a
+// fixed mix of requests. The row reports request latency percentiles
+// and RPC amplification — root-broker RPCs issued per HTTP request
+// served. Without the gateway every request would be ≥ 1 RPC; response
+// caching and request coalescing should hold amplification near zero.
+func Serve(o Options) (*ServeResult, error) {
+	o = o.withDefaults()
+	const nodes = 8
+	clientCounts := []int{64, 256, 512}
+	perClient := 16
+	if o.Quick {
+		clientCounts = []int{16, 64}
+		perClient = 8
+	}
+
+	c, err := cluster.New(cluster.Config{System: cluster.Lassen, Nodes: nodes, Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		return powermon.New(powermon.Config{})
+	}); err != nil {
+		return nil, err
+	}
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: nodes})
+	if err != nil {
+		return nil, err
+	}
+	if _, idle := c.RunUntilIdle(2 * time.Hour); !idle {
+		return nil, fmt.Errorf("serve: job never finished")
+	}
+
+	res := &ServeResult{Nodes: nodes}
+	for _, clients := range clientCounts {
+		row, err := serveOne(c, id, clients, perClient)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %d clients: %w", clients, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func serveOne(c *cluster.Cluster, jobID uint64, clients, perClient int) (ServeRow, error) {
+	row := ServeRow{Clients: clients}
+	// A fresh gateway per row keeps metrics and cache state comparable
+	// across client counts: every row pays the same cold-cache misses.
+	gw, err := powerapi.New(powerapi.Config{Broker: c.Inst.Root()})
+	if err != nil {
+		return row, err
+	}
+	defer gw.Close()
+
+	paths := serveClientMix(jobID)
+	rpcsBefore := c.Inst.Root().Stats().RPCsIssued
+
+	latencies := make([][]float64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			addr := fmt.Sprintf("10.%d.%d.%d:4040", i/65536, (i/256)%256, i%256)
+			for j := 0; j < perClient; j++ {
+				req := httptest.NewRequest(http.MethodGet, paths[(i+j)%len(paths)], nil)
+				req.RemoteAddr = addr
+				rec := httptest.NewRecorder()
+				start := time.Now()
+				gw.ServeHTTP(rec, req)
+				latencies[i] = append(latencies[i],
+					float64(time.Since(start))/float64(time.Millisecond))
+				if rec.Code != http.StatusOK {
+					errs[i] = fmt.Errorf("client %d: %s -> %d", i, paths[(i+j)%len(paths)], rec.Code)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return row, err
+		}
+	}
+
+	var all []float64
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Float64s(all)
+	row.Requests = len(all)
+	row.RootRPCs = c.Inst.Root().Stats().RPCsIssued - rpcsBefore
+	row.Amplification = float64(row.RootRPCs) / float64(row.Requests)
+	for _, pt := range []struct {
+		p   float64
+		dst *float64
+	}{{50, &row.P50Ms}, {95, &row.P95Ms}, {99, &row.P99Ms}} {
+		v, err := stats.Percentile(all, pt.p)
+		if err != nil {
+			return row, err
+		}
+		*pt.dst = v
+	}
+	m := gw.Metrics()
+	row.CacheHits = m.CacheHits
+	row.Coalesced = m.Coalesced
+	row.Upstream = m.UpstreamCalls
+	row.Errors5xx = m.Errors5xx
+	return row, nil
+}
+
+func (r *ServeResult) tabular() ([]string, [][]string) {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Clients),
+			fmt.Sprintf("%d", row.Requests),
+			fmt.Sprintf("%d", row.RootRPCs),
+			fmt.Sprintf("%.3f", row.Amplification),
+			fmt.Sprintf("%.3f", row.P50Ms),
+			fmt.Sprintf("%.3f", row.P95Ms),
+			fmt.Sprintf("%.3f", row.P99Ms),
+			fmt.Sprintf("%d", row.CacheHits),
+			fmt.Sprintf("%d", row.Coalesced),
+			fmt.Sprintf("%d", row.Upstream),
+			fmt.Sprintf("%d", row.Errors5xx),
+		})
+	}
+	return []string{"clients", "requests", "root_rpcs", "amplification",
+		"p50_ms", "p95_ms", "p99_ms", "cache_hits", "coalesced", "upstream", "5xx"}, rows
+}
+
+// Render prints the gateway load table.
+func (r *ServeResult) Render() string {
+	header, rows := r.tabular()
+	return fmt.Sprintf("Serve: powerapi gateway under concurrent load, %d-node Lassen\n", r.Nodes) +
+		table(header, rows) +
+		"amplification = root-broker RPCs issued / HTTP requests served; caching and\n" +
+		"coalescing make it sublinear — most requests never touch the TBON. Latency\n" +
+		"percentiles are host wall-clock milliseconds per request.\n"
+}
+
+// RenderCSV emits the load table as CSV.
+func (r *ServeResult) RenderCSV() string {
+	header, rows := r.tabular()
+	return csvTable(header, rows)
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeQuick runs the gateway load experiment at quick scale and
+// pins its contract: every request served (no 5xx), and RPC
+// amplification strictly sublinear — the gateway's caching and
+// coalescing must keep root-broker RPCs per HTTP request below 0.1
+// even with a cold cache per row.
+func TestServeQuick(t *testing.T) {
+	r, err := Serve(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("quick rows: %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Errors5xx != 0 {
+			t.Fatalf("%d clients: %d requests failed 5xx", row.Clients, row.Errors5xx)
+		}
+		if row.Amplification >= 1.0 {
+			t.Fatalf("%d clients: amplification %.3f ≥ 1.0", row.Clients, row.Amplification)
+		}
+		if row.P50Ms < 0 || row.P95Ms < row.P50Ms || row.P99Ms < row.P95Ms {
+			t.Fatalf("%d clients: percentile ordering p50=%v p95=%v p99=%v",
+				row.Clients, row.P50Ms, row.P95Ms, row.P99Ms)
+		}
+		if row.Requests != row.Clients*8 {
+			t.Fatalf("%d clients: served %d requests", row.Clients, row.Requests)
+		}
+	}
+	// Larger client fleets must not cost proportionally more RPCs: the
+	// absolute root RPC count should stay flat as clients scale, so
+	// amplification falls with load. The largest quick row (64 clients,
+	// 512 requests) already meets the paper-grade ≤ 0.1 bar that the
+	// full experiment demonstrates at 512 clients.
+	if r.Rows[1].RootRPCs > 4*r.Rows[0].RootRPCs {
+		t.Fatalf("root RPCs grew with client count: %d -> %d",
+			r.Rows[0].RootRPCs, r.Rows[1].RootRPCs)
+	}
+	if last := r.Rows[len(r.Rows)-1]; last.Amplification > 0.1 {
+		t.Fatalf("%d clients: amplification %.3f > 0.1", last.Clients, last.Amplification)
+	}
+	out := r.Render()
+	for _, want := range []string{"p50_ms", "p95_ms", "p99_ms", "amplification"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -20,6 +20,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -567,6 +568,26 @@ func (b *Broker) CallTimeout(nodeID int32, topic string, payload any, timeout ti
 	// matchtag and counts the expiry); Wait's own timer is a backstop one
 	// quantum later for brokers without a timer provider.
 	return f.Wait(timeout + 2*wheelQuantum)
+}
+
+// CallContext is Call with a caller-supplied context: the RPC's deadline
+// comes from the context (falling back to the broker's configured call
+// timeout when the context carries none), and cancellation abandons the
+// RPC mid-flight. This is the entry point request-scoped callers (HTTP
+// handlers) use to propagate per-request deadlines down to the TBON.
+func (b *Broker) CallContext(ctx context.Context, nodeID int32, topic string, payload any) (*msg.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	timeout := b.callTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		timeout = time.Until(dl)
+		if timeout <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+	}
+	f := b.RPCWithTimeout(nodeID, topic, payload, timeout)
+	return f.WaitContext(ctx)
 }
 
 // Deliver injects a message into this broker, as a transport would. It

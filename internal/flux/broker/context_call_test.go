@@ -1,0 +1,128 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fluxpower/internal/simtime"
+)
+
+// simBroker builds a single-rank deterministic broker for context tests.
+func simBroker(t *testing.T) (*Broker, *simtime.Scheduler) {
+	t.Helper()
+	sched := simtime.NewScheduler()
+	b, err := New(Options{Rank: 0, Size: 1, Fanout: 2, Clock: sched, Timers: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, sched
+}
+
+func TestCallContextSimResolvesSynchronously(t *testing.T) {
+	b, _ := simBroker(t)
+	if err := b.RegisterService("echo", func(req *Request) {
+		_ = req.Respond(map[string]int{"x": 7})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := b.CallContext(context.Background(), 0, "echo", nil)
+	if err != nil {
+		t.Fatalf("CallContext: %v", err)
+	}
+	var body map[string]int
+	if err := resp.Unmarshal(&body); err != nil || body["x"] != 7 {
+		t.Fatalf("bad response: %v %v", body, err)
+	}
+	if n := b.PendingRPCs(); n != 0 {
+		t.Fatalf("pending RPCs after call: %d", n)
+	}
+}
+
+func TestCallContextPreCanceled(t *testing.T) {
+	b, _ := simBroker(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.CallContext(ctx, 0, "broker.ping", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := b.PendingRPCs(); n != 0 {
+		t.Fatalf("pre-canceled call leaked a matchtag: %d pending", n)
+	}
+}
+
+func TestCallContextExpiredDeadline(t *testing.T) {
+	b, _ := simBroker(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := b.CallContext(ctx, 0, "broker.ping", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestCallContextLiveCancelMidFlight issues a context call against a live
+// (wall-clock) broker whose service never responds, cancels it, and
+// asserts the call returns promptly with the context error and that the
+// matchtag was reclaimed — an abandoned HTTP request must not leak broker
+// state.
+func TestCallContextLiveCancelMidFlight(t *testing.T) {
+	li, err := NewLiveInstance(InstanceOptions{Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+	b := li.Root()
+	if err := b.RegisterService("blackhole", func(req *Request) {
+		// Accept and never answer.
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.CallContext(ctx, 0, "blackhole", nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("CallContext did not return after cancel")
+	}
+	if n := b.PendingRPCs(); n != 0 {
+		t.Fatalf("canceled call leaked a matchtag: %d pending", n)
+	}
+}
+
+// TestCallContextLiveDeadline maps a context deadline onto the RPC
+// deadline wheel: an unanswered request times out at the context
+// deadline, not at the broker's (longer) default call timeout.
+func TestCallContextLiveDeadline(t *testing.T) {
+	li, err := NewLiveInstance(InstanceOptions{Size: 1, CallTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer li.Close()
+	b := li.Root()
+	if err := b.RegisterService("blackhole", func(req *Request) {}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = b.CallContext(ctx, 0, "blackhole", nil)
+	if err == nil {
+		t.Fatal("blackhole call succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("context deadline ignored: call took %v", elapsed)
+	}
+	if n := b.PendingRPCs(); n != 0 {
+		t.Fatalf("timed-out call leaked a matchtag: %d pending", n)
+	}
+}

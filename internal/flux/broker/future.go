@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -100,6 +101,33 @@ func (f *Future) Wait(timeout time.Duration) (*msg.Message, error) {
 		f.expire()
 	}
 	return f.Result()
+}
+
+// WaitContext blocks until the future resolves or ctx is done, whichever
+// is first. Cancellation abandons the RPC (the matchtag is reclaimed, a
+// late response is dropped as a stray) and returns ctx.Err().
+//
+// On a broker driven by the deterministic scheduler it behaves exactly
+// like Wait: it never blocks, failing unresolved futures immediately with
+// ErrNoSyncReply — blocking on ctx would deadlock the single simulation
+// thread. Callers holding a context therefore work unchanged in both
+// modes, which is what lets HTTP handlers enforce per-request deadlines
+// over either transport.
+func (f *Future) WaitContext(ctx context.Context) (*msg.Message, error) {
+	if f.b.sync {
+		if err := ctx.Err(); err != nil {
+			f.Cancel()
+			return nil, err
+		}
+		return f.Wait(0)
+	}
+	select {
+	case <-f.done:
+		return f.Result()
+	case <-ctx.Done():
+		f.Cancel()
+		return nil, ctx.Err()
+	}
 }
 
 // Then registers cb to run when the future resolves; if it already has,

@@ -1,0 +1,193 @@
+package powerapi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func fakeClock(start time.Time) (func() time.Time, func(time.Duration)) {
+	var mu sync.Mutex
+	now := start
+	return func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		}, func(d time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			now = now.Add(d)
+		}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	now, advance := fakeClock(time.Unix(0, 0))
+	c := newResponseCache(4, now)
+	c.put("k", 1, cached{body: []byte("v"), status: 200}, time.Second)
+	if _, ok := c.get("k"); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	advance(2 * time.Second)
+	if _, ok := c.get("k"); ok {
+		t.Fatal("expired entry served")
+	}
+	if hits, misses, entries := c.stats(); hits != 1 || misses != 1 || entries != 0 {
+		t.Fatalf("stats: hits=%d misses=%d entries=%d", hits, misses, entries)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	now, _ := fakeClock(time.Unix(0, 0))
+	c := newResponseCache(2, now)
+	c.put("a", 0, cached{}, time.Hour)
+	c.put("b", 0, cached{}, time.Hour)
+	c.get("a") // promote a; b is now LRU
+	c.put("c", 0, cached{}, time.Hour)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("promoted entry was evicted")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("new entry missing")
+	}
+}
+
+func TestCacheInvalidateJob(t *testing.T) {
+	now, _ := fakeClock(time.Unix(0, 0))
+	c := newResponseCache(8, now)
+	c.put("power:7:raw", 7, cached{}, time.Hour)
+	c.put("power:7:aggregate", 7, cached{}, time.Hour)
+	c.put("power:8:aggregate", 8, cached{}, time.Hour)
+	c.put("status", 0, cached{}, time.Hour)
+	c.invalidateJob(7)
+	for _, gone := range []string{"power:7:raw", "power:7:aggregate"} {
+		if _, ok := c.get(gone); ok {
+			t.Fatalf("%s survived invalidation", gone)
+		}
+	}
+	for _, kept := range []string{"power:8:aggregate", "status"} {
+		if _, ok := c.get(kept); !ok {
+			t.Fatalf("%s wrongly invalidated", kept)
+		}
+	}
+	// jobID 0 marks unscoped entries; invalidating 0 must be a no-op, not
+	// a wipe of every unscoped answer.
+	c.invalidateJob(0)
+	if _, ok := c.get("status"); !ok {
+		t.Fatal("invalidateJob(0) dropped an unscoped entry")
+	}
+}
+
+func TestCacheZeroTTLNotStored(t *testing.T) {
+	now, _ := fakeClock(time.Unix(0, 0))
+	c := newResponseCache(4, now)
+	c.put("k", 0, cached{}, 0)
+	if _, ok := c.get("k"); ok {
+		t.Fatal("zero-TTL entry stored")
+	}
+}
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	gate := make(chan struct{})
+	var calls int
+	var mu sync.Mutex
+	fn := func() (cached, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		<-gate
+		return cached{body: []byte("x")}, nil
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	shared := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, sh := g.do("k", fn)
+			if err != nil || string(v.body) != "x" {
+				t.Errorf("do: %v %q", err, v.body)
+			}
+			shared[i] = sh
+		}(i)
+	}
+	// Let followers pile up behind the leader, then release it.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if calls != 1 {
+		t.Fatalf("fn ran %d times", calls)
+	}
+	var nShared int
+	for _, sh := range shared {
+		if sh {
+			nShared++
+		}
+	}
+	if nShared != n-1 {
+		t.Fatalf("%d of %d coalesced, want %d", nShared, n, n-1)
+	}
+	// A later call runs fresh — the completed flight must not linger.
+	if _, _, sh := g.do("k", func() (cached, error) { return cached{}, nil }); sh {
+		t.Fatal("finished flight still coalescing")
+	}
+}
+
+func TestLimiterBurstAndRefill(t *testing.T) {
+	now, advance := fakeClock(time.Unix(0, 0))
+	p := newLimiterPool(2, 3, now) // 2 tokens/s, burst 3
+	for i := 0; i < 3; i++ {
+		if ok, _ := p.allow("c"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retry := p.allow("c")
+	if ok {
+		t.Fatal("empty bucket admitted a request")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v", retry)
+	}
+	advance(retry)
+	if ok, _ := p.allow("c"); !ok {
+		t.Fatal("request after advertised wait rejected")
+	}
+	// Other clients have independent buckets.
+	if ok, _ := p.allow("other"); !ok {
+		t.Fatal("fresh client rejected")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	now, _ := fakeClock(time.Unix(0, 0))
+	p := newLimiterPool(0, 1, now)
+	for i := 0; i < 100; i++ {
+		if ok, _ := p.allow("c"); !ok {
+			t.Fatal("disabled limiter rejected a request")
+		}
+	}
+}
+
+func TestLimiterPrunesIdleBuckets(t *testing.T) {
+	now, advance := fakeClock(time.Unix(0, 0))
+	p := newLimiterPool(1, 2, now)
+	for i := 0; i < 50; i++ {
+		p.allow("client-" + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+	}
+	if p.size() == 0 {
+		t.Fatal("no buckets recorded")
+	}
+	// After every bucket has fully refilled and the prune interval
+	// passed, one more request sweeps the idle ones.
+	advance(2 * time.Minute)
+	p.allow("fresh")
+	if got := p.size(); got != 1 {
+		t.Fatalf("idle buckets not pruned: %d live", got)
+	}
+}

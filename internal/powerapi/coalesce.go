@@ -1,0 +1,47 @@
+package powerapi
+
+import "sync"
+
+// flightGroup is request coalescing (singleflight): when N concurrent
+// requests miss the cache on the same key, one leader performs the
+// upstream fetch and the other N-1 wait for its result instead of each
+// issuing their own TBON reduce. Combined with the response cache this is
+// what makes root-broker load sublinear in client count.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val cached
+	err error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do executes fn once per key at a time; concurrent callers with the same
+// key share the leader's result. shared reports whether this caller
+// piggybacked on another's fetch.
+func (g *flightGroup) do(key string, fn func() (cached, error)) (val cached, err error, shared bool) {
+	g.mu.Lock()
+	if call, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		call.wg.Wait()
+		return call.val, call.err, true
+	}
+	call := &flightCall{}
+	call.wg.Add(1)
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	call.val, call.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	call.wg.Done()
+	return call.val, call.err, false
+}

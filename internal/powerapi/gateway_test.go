@@ -1,0 +1,326 @@
+package powerapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/job"
+	"fluxpower/internal/simtime"
+)
+
+// testCluster builds a monitored Lassen instance. The gateway attaches
+// to its root exactly as an external client would.
+func testCluster(t *testing.T, nodes int, pmCfg powermon.Config) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{System: cluster.Lassen, Nodes: nodes, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		return powermon.New(pmCfg)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// newGateway wires a gateway to the cluster root and arranges a
+// once-only Close at test end.
+func newGateway(t *testing.T, c *cluster.Cluster, cfg Config) *Gateway {
+	t.Helper()
+	cfg.Broker = c.Inst.Root()
+	gw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gw.Close)
+	return gw
+}
+
+// runJob submits a job and drains the cluster, returning the job id.
+func runJob(t *testing.T, c *cluster.Cluster, app string, nodes int) uint64 {
+	t.Helper()
+	id, err := c.Submit(job.Spec{App: app, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, idle := c.RunUntilIdle(2 * time.Hour); !idle {
+		t.Fatalf("job %d never finished", id)
+	}
+	return id
+}
+
+// get performs one request against the gateway handler directly.
+func get(gw *Gateway, path, remoteAddr string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if remoteAddr != "" {
+		req.RemoteAddr = remoteAddr
+	}
+	rec := httptest.NewRecorder()
+	gw.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestJobsEndpoint(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{})
+	gw := newGateway(t, c, Config{})
+	id := runJob(t, c, "nqueens", 1)
+
+	rec := get(gw, "/v1/jobs", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var body jobsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Jobs) != 1 || body.Jobs[0].ID != id || body.Jobs[0].State != job.StateInactive {
+		t.Fatalf("jobs body: %+v", body)
+	}
+}
+
+func TestJobPowerAggregate(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{})
+	gw := newGateway(t, c, Config{})
+	id := runJob(t, c, "gemm", 2)
+
+	rec := get(gw, "/v1/jobs/"+strconv.FormatUint(id, 10)+"/power?mode=aggregate", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var ja powermon.JobAggregate
+	if err := json.Unmarshal(rec.Body.Bytes(), &ja); err != nil {
+		t.Fatal(err)
+	}
+	if ja.JobID != id || !ja.Complete || ja.AvgNodePowerW <= 0 {
+		t.Fatalf("aggregate: %+v", ja)
+	}
+	if got := rec.Header().Get("X-Complete"); got != "true" {
+		t.Fatalf("X-Complete: %q", got)
+	}
+}
+
+func TestJobPowerRaw(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{})
+	gw := newGateway(t, c, Config{})
+	id := runJob(t, c, "gemm", 2)
+
+	rec := get(gw, "/v1/jobs/"+strconv.FormatUint(id, 10)+"/power?mode=raw", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if lines[0] != strings.Join(powermon.CSVHeader, ",") {
+		t.Fatalf("csv header: %q", lines[0])
+	}
+	if len(lines) < 3 {
+		t.Fatalf("csv rows: %d", len(lines))
+	}
+}
+
+func TestJobPowerBadRequests(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{})
+	gw := newGateway(t, c, Config{})
+	runJob(t, c, "nqueens", 1)
+
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/jobs/abc/power", http.StatusBadRequest},
+		{"/v1/jobs/1/power?mode=xml", http.StatusBadRequest},
+		{"/v1/jobs/999/power", http.StatusNotFound},
+		{"/v1/nodes/abc/power", http.StatusBadRequest},
+		{"/v1/nodes/99/power", http.StatusNotFound},
+		{"/v1/nodes/0/power?start=nope", http.StatusBadRequest},
+	} {
+		if rec := get(gw, tc.path, ""); rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.path, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+	m := gw.Metrics()
+	if m.Errors5xx != 0 {
+		t.Fatalf("client errors counted as 5xx: %+v", m)
+	}
+	if m.Errors4xx != 6 {
+		t.Fatalf("Errors4xx = %d, want 6", m.Errors4xx)
+	}
+}
+
+func TestNodePowerWindow(t *testing.T) {
+	c := testCluster(t, 4, powermon.Config{})
+	gw := newGateway(t, c, Config{})
+	c.RunFor(10 * time.Second)
+
+	rec := get(gw, "/v1/nodes/3/power?start=0&end=10", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var ns powermon.NodeSamples
+	if err := json.Unmarshal(rec.Body.Bytes(), &ns); err != nil {
+		t.Fatal(err)
+	}
+	if ns.Rank != 3 || len(ns.Samples) < 3 {
+		t.Fatalf("node samples: rank %d, %d samples", ns.Rank, len(ns.Samples))
+	}
+}
+
+func TestClusterStatus(t *testing.T) {
+	c := testCluster(t, 4, powermon.Config{})
+	gw := newGateway(t, c, Config{})
+
+	rec := get(gw, "/v1/cluster/status", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var st powermon.InstanceStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != 4 || len(st.Unreachable) != 0 {
+		t.Fatalf("instance status: %+v", st)
+	}
+}
+
+func TestDeadRootReturns502(t *testing.T) {
+	// An instance with no power-monitor module is the gateway's view of a
+	// dead telemetry plane: upstream calls fail and must surface as 502,
+	// never a hang or a 200.
+	inst, err := broker.NewInstance(broker.InstanceOptions{Size: 1, Scheduler: simtime.NewScheduler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := New(Config{Broker: inst.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	rec := get(gw, "/v1/cluster/status", "")
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if m := gw.Metrics(); m.Errors5xx != 1 {
+		t.Fatalf("Errors5xx = %d", m.Errors5xx)
+	}
+}
+
+func TestCacheHitsAndFinishInvalidation(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{})
+	gw := newGateway(t, c, Config{CacheTTL: time.Hour, CacheTTLDone: time.Hour})
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(30 * time.Second) // job running, samples flowing
+	path := "/v1/jobs/" + strconv.FormatUint(id, 10) + "/power"
+
+	for i := 0; i < 3; i++ {
+		if rec := get(gw, path, ""); rec.Code != http.StatusOK {
+			t.Fatalf("status %d", rec.Code)
+		}
+	}
+	if m := gw.Metrics(); m.UpstreamCalls != 1 || m.CacheHits < 2 {
+		t.Fatalf("after 3 identical queries: %+v", m)
+	}
+
+	// Finishing the job publishes job.finish, which must invalidate the
+	// cached running-state answer even though its TTL is an hour.
+	if _, idle := c.RunUntilIdle(2 * time.Hour); !idle {
+		t.Fatal("job never finished")
+	}
+	rec := get(gw, path, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var ja powermon.JobAggregate
+	if err := json.Unmarshal(rec.Body.Bytes(), &ja); err != nil {
+		t.Fatal(err)
+	}
+	if ja.EndSec == 0 {
+		t.Fatal("post-finish query served the stale running-state answer")
+	}
+	if m := gw.Metrics(); m.UpstreamCalls != 2 {
+		t.Fatalf("post-finish query did not go upstream: %+v", m)
+	}
+}
+
+func TestRateLimit429(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{})
+	now := time.Unix(1000, 0)
+	gw := newGateway(t, c, Config{
+		RateLimit: 1, RateBurst: 2,
+		Now: func() time.Time { return now },
+	})
+	runJob(t, c, "nqueens", 1)
+
+	addr := "203.0.113.9:4242"
+	for i := 0; i < 2; i++ {
+		if rec := get(gw, "/v1/jobs", addr); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	rec := get(gw, "/v1/jobs", addr)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After %q", rec.Header().Get("Retry-After"))
+	}
+	// A different client is unaffected.
+	if rec := get(gw, "/v1/jobs", "198.51.100.7:999"); rec.Code != http.StatusOK {
+		t.Fatalf("second client: status %d", rec.Code)
+	}
+	// After the advertised wait, the original client is admitted again.
+	now = now.Add(time.Duration(ra) * time.Second)
+	if rec := get(gw, "/v1/jobs", addr); rec.Code != http.StatusOK {
+		t.Fatalf("post-wait: status %d", rec.Code)
+	}
+	if m := gw.Metrics(); m.RateLimited != 1 {
+		t.Fatalf("RateLimited = %d", m.RateLimited)
+	}
+}
+
+func TestGracefulShutdown503(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{})
+	gw := newGateway(t, c, Config{})
+	gw.Close()
+	rec := get(gw, "/v1/jobs", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status after Close: %d", rec.Code)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{})
+	gw := newGateway(t, c, Config{})
+	get(gw, "/v1/cluster/status", "")
+
+	rec := get(gw, "/v1/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var m Metrics
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 2 || m.UpstreamCalls != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}

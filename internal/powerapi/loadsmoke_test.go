@@ -1,0 +1,111 @@
+package powerapi
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"fluxpower/internal/core/powermon"
+)
+
+// TestServeLoadSmoke is the CI gate for the gateway's whole point: many
+// concurrent clients must not translate into many root-broker RPCs. 64
+// clients hammer a drained 4-node instance with identical queries; the
+// run must produce zero 5xx responses and strictly sublinear RPC
+// amplification (broker RPCs issued ÷ HTTP requests served < 1.0).
+// Run it under -race: the concurrency discipline (brokerMu, coalescer,
+// cache) is exactly what it exercises.
+func TestServeLoadSmoke(t *testing.T) {
+	c := testCluster(t, 4, powermon.Config{})
+	gw := newGateway(t, c, Config{})
+	id := runJob(t, c, "gemm", 4)
+
+	root := c.Inst.Root()
+	rpcsBefore := root.Stats().RPCsIssued
+
+	paths := []string{
+		"/v1/jobs",
+		"/v1/jobs/" + strconv.FormatUint(id, 10) + "/power",
+		"/v1/jobs/" + strconv.FormatUint(id, 10) + "/power?mode=raw",
+		"/v1/cluster/status",
+	}
+	const clients = 64
+	const perClient = 8
+	codes := make([][]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			addr := fmt.Sprintf("10.0.%d.%d:5000", i/256, i%256)
+			for j := 0; j < perClient; j++ {
+				req := httptest.NewRequest(http.MethodGet, paths[(i+j)%len(paths)], nil)
+				req.RemoteAddr = addr
+				rec := httptest.NewRecorder()
+				gw.ServeHTTP(rec, req)
+				codes[i] = append(codes[i], rec.Code)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	total := 0
+	for i, cs := range codes {
+		for _, code := range cs {
+			total++
+			if code >= 500 {
+				t.Fatalf("client %d got %d", i, code)
+			}
+			if code != http.StatusOK {
+				t.Fatalf("client %d got %d, want 200", i, code)
+			}
+		}
+	}
+	if total != clients*perClient {
+		t.Fatalf("served %d of %d requests", total, clients*perClient)
+	}
+
+	rpcs := root.Stats().RPCsIssued - rpcsBefore
+	amp := float64(rpcs) / float64(total)
+	t.Logf("%d requests, %d root RPCs, amplification %.3f", total, rpcs, amp)
+	if amp >= 1.0 {
+		t.Fatalf("amplification %.3f ≥ 1.0: coalescing/caching not engaging", amp)
+	}
+
+	m := gw.Metrics()
+	if m.Errors5xx != 0 {
+		t.Fatalf("5xx under load: %+v", m)
+	}
+	if m.CacheHits+m.Coalesced == 0 {
+		t.Fatal("no request ever hit the cache or coalesced")
+	}
+
+	// Graceful drain must leave no RPC outstanding at the broker.
+	gw.Close()
+	if n := root.PendingRPCs(); n != 0 {
+		t.Fatalf("%d RPCs still pending after drain", n)
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	for _, tc := range []struct {
+		remote, xff, want string
+	}{
+		{"192.0.2.1:1234", "", "192.0.2.1"},
+		{"192.0.2.1:1234", "203.0.113.5", "203.0.113.5"},
+		{"192.0.2.1:1234", "203.0.113.5, 10.0.0.1", "203.0.113.5"},
+		{"unix-socket", "", "unix-socket"},
+	} {
+		req := httptest.NewRequest(http.MethodGet, "/v1/jobs", nil)
+		req.RemoteAddr = tc.remote
+		if tc.xff != "" {
+			req.Header.Set("X-Forwarded-For", tc.xff)
+		}
+		if got := clientKey(req); got != tc.want {
+			t.Errorf("clientKey(remote=%q xff=%q) = %q, want %q", tc.remote, tc.xff, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package powerapi
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// limiterPool holds one token bucket per client key. Buckets refill at
+// rate tokens/sec up to burst; an empty bucket rejects the request with
+// the time until the next token, which the gateway surfaces as a 429
+// with a Retry-After header. Idle buckets are pruned lazily so a churn
+// of one-shot clients cannot grow the pool without bound.
+type limiterPool struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+	now     func() time.Time
+
+	// pruneEvery bounds how often the pool sweeps for idle buckets.
+	pruneEvery time.Duration
+	lastPrune  time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiterPool(rate float64, burst int, now func() time.Time) *limiterPool {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiterPool{
+		rate:       rate,
+		burst:      float64(burst),
+		buckets:    make(map[string]*bucket),
+		now:        now,
+		pruneEvery: time.Minute,
+	}
+}
+
+// allow consumes one token from key's bucket. When the bucket is empty it
+// returns ok=false and how long until a token will be available.
+func (p *limiterPool) allow(key string) (ok bool, retryAfter time.Duration) {
+	if p == nil || p.rate <= 0 {
+		return true, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	b, found := p.buckets[key]
+	if !found {
+		b = &bucket{tokens: p.burst, last: now}
+		p.buckets[key] = b
+	} else {
+		b.tokens = math.Min(p.burst, b.tokens+now.Sub(b.last).Seconds()*p.rate)
+		b.last = now
+	}
+	p.maybePrune(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / p.rate * float64(time.Second))
+}
+
+// maybePrune drops buckets idle long enough to have refilled completely —
+// forgetting them loses no state, since a fresh bucket starts full.
+// Caller holds p.mu.
+func (p *limiterPool) maybePrune(now time.Time) {
+	if now.Sub(p.lastPrune) < p.pruneEvery {
+		return
+	}
+	p.lastPrune = now
+	full := time.Duration(p.burst / p.rate * float64(time.Second))
+	for key, b := range p.buckets {
+		if now.Sub(b.last) > full {
+			delete(p.buckets, key)
+		}
+	}
+}
+
+// size reports the live bucket count (for tests).
+func (p *limiterPool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buckets)
+}
+
+// clientKey identifies the client for rate limiting: the first entry of
+// X-Forwarded-For when present (the gateway may sit behind a proxy),
+// otherwise the connection's remote host without the port, so one
+// client's parallel connections share a bucket.
+func clientKey(r *http.Request) string {
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		if i := strings.IndexByte(xff, ','); i >= 0 {
+			xff = xff[:i]
+		}
+		return strings.TrimSpace(xff)
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,561 @@
+// Package powerapi is the HTTP/JSON gateway onto the power-telemetry
+// plane: the production front door the paper's Python client script
+// grows into. It attaches to the root broker (like a client holding the
+// system instance's local socket) and exposes job power data, node
+// sample windows, cluster health, and live SSE sample streams.
+//
+// Three mechanisms keep root-broker load sublinear in HTTP client count,
+// which is what makes the gateway safe to put in front of a whole
+// center's dashboards:
+//
+//   - response caching: rendered responses are cached with a TTL and
+//     evicted LRU; job-scoped entries are invalidated the moment the
+//     job's finish event arrives, so completion is never stale.
+//   - request coalescing: concurrent cache misses on one key elect a
+//     leader to perform the single upstream TBON reduce; everyone else
+//     waits for that result (hand-rolled singleflight).
+//   - rate limiting: per-client token buckets turn overload into 429 +
+//     Retry-After instead of a pile-up on the broker.
+//
+// Requests carry context deadlines end-to-end: the HTTP request context,
+// bounded by Config.RequestTimeout, flows through powermon.Client's
+// context methods into broker RPC timeouts.
+package powerapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/job"
+	"fluxpower/internal/flux/msg"
+)
+
+// Config parameterizes a Gateway. The zero value of every field except
+// Broker is usable; defaults are filled in by New.
+type Config struct {
+	// Broker is the attach point — normally the root, like the system
+	// instance's local socket. Required.
+	Broker *broker.Broker
+
+	// RequestTimeout bounds each request's upstream work. Default 5s.
+	RequestTimeout time.Duration
+	// CacheTTL is the response-cache lifetime for running-job and
+	// cluster-level answers. Default 2s (one sampling interval).
+	CacheTTL time.Duration
+	// CacheTTLDone is the lifetime for finished jobs, whose telemetry
+	// window is immutable. Default 5m.
+	CacheTTLDone time.Duration
+	// CacheSize is the LRU capacity in entries. Default 1024; negative
+	// disables caching.
+	CacheSize int
+
+	// RateLimit is the per-client sustained request rate in requests per
+	// second; 0 disables limiting. RateBurst is the bucket depth
+	// (default max(1, 2*RateLimit)).
+	RateLimit float64
+	RateBurst int
+
+	// StreamBuffer is the per-SSE-stream sample channel depth; a slow
+	// consumer drops samples rather than stalling event delivery.
+	// Default 64.
+	StreamBuffer int
+
+	// Now overrides the clock (tests). Default time.Now. Cache TTLs and
+	// rate-limit refill are measured on this clock.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.CacheTTL <= 0 {
+		c.CacheTTL = 2 * time.Second
+	}
+	if c.CacheTTLDone <= 0 {
+		c.CacheTTLDone = 5 * time.Minute
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = int(2 * c.RateLimit)
+		if c.RateBurst < 1 {
+			c.RateBurst = 1
+		}
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 64
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Metrics is a snapshot of the gateway's counters, served at
+// /v1/metrics. UpstreamCalls over Requests is the gateway's RPC
+// amplification at the HTTP layer; the serve experiment measures the
+// broker-side equivalent.
+type Metrics struct {
+	Requests      uint64 `json:"requests"`
+	RateLimited   uint64 `json:"rate_limited"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	Coalesced     uint64 `json:"coalesced"`
+	UpstreamCalls uint64 `json:"upstream_calls"`
+	Errors4xx     uint64 `json:"errors_4xx"`
+	Errors5xx     uint64 `json:"errors_5xx"`
+
+	StreamsStarted  uint64 `json:"streams_started"`
+	StreamsEnded    uint64 `json:"streams_ended"`
+	SamplesStreamed uint64 `json:"samples_streamed"`
+	SamplesDropped  uint64 `json:"samples_dropped"`
+
+	CacheEntries int `json:"cache_entries"`
+}
+
+// Gateway is the HTTP handler. Create with New, serve with any
+// http.Server (or call ServeHTTP directly in tests and simulations),
+// and stop with Close, which drains in-flight requests and streams.
+type Gateway struct {
+	cfg Config
+	pm  *powermon.Client
+	mux *http.ServeMux
+
+	// brokerMu serializes all broker-bound work. The gateway holds ONE
+	// attachment to the broker — the moral equivalent of the single
+	// local-socket connection a real Flux client multiplexes — and in
+	// simulation the scheduler behind the broker is single-threaded, so
+	// concurrent HTTP handlers must take turns upstream. Coalescing and
+	// caching make the serialized section rare and short.
+	brokerMu sync.Mutex
+
+	cache    *responseCache
+	flight   *flightGroup
+	limiters *limiterPool
+
+	requests, rateLimited    atomic.Uint64
+	coalesced, upstreamCalls atomic.Uint64
+	errors4xx, errors5xx     atomic.Uint64
+	streamsStarted           atomic.Uint64
+	streamsEnded             atomic.Uint64
+	samplesStreamed          atomic.Uint64
+	samplesDropped           atomic.Uint64
+
+	done      chan struct{} // closed by Close; SSE loops watch it
+	closing   atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup // in-flight requests, incl. streams
+
+	unsubs []func()
+}
+
+// New builds a gateway attached to cfg.Broker and subscribes to job
+// lifecycle events for cache invalidation.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Broker == nil {
+		return nil, errors.New("powerapi: Config.Broker is required")
+	}
+	cfg = cfg.withDefaults()
+	gw := &Gateway{
+		cfg:      cfg,
+		pm:       powermon.NewClient(cfg.Broker),
+		cache:    newResponseCache(cfg.CacheSize, cfg.Now),
+		flight:   newFlightGroup(),
+		limiters: newLimiterPool(cfg.RateLimit, cfg.RateBurst, cfg.Now),
+		done:     make(chan struct{}),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs", gw.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}/power", gw.handleJobPower)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", gw.handleJobStream)
+	mux.HandleFunc("GET /v1/nodes/{rank}/power", gw.handleNodePower)
+	mux.HandleFunc("GET /v1/cluster/status", gw.handleClusterStatus)
+	mux.HandleFunc("GET /v1/metrics", gw.handleMetrics)
+	gw.mux = mux
+
+	// A finished job's cached entries are stale the instant the finish
+	// event lands: the telemetry window froze, and the list's state
+	// column changed. Start/submit events only perturb the list.
+	gw.unsubs = append(gw.unsubs,
+		cfg.Broker.Subscribe(job.EventFinish, func(ev *msg.Message) {
+			var rec job.Record
+			if err := ev.Unmarshal(&rec); err == nil {
+				gw.cache.invalidateJob(rec.ID)
+			}
+			gw.cache.invalidateJob(listCacheID)
+		}),
+		cfg.Broker.Subscribe(job.EventSubmit, func(ev *msg.Message) {
+			gw.cache.invalidateJob(listCacheID)
+		}),
+		cfg.Broker.Subscribe(job.EventStart, func(ev *msg.Message) {
+			gw.cache.invalidateJob(listCacheID)
+		}),
+	)
+	return gw, nil
+}
+
+// listCacheID is the pseudo-job id under which the /v1/jobs listing is
+// cached, so lifecycle events can invalidate it like any job entry.
+const listCacheID = ^uint64(0)
+
+// Close stops accepting requests (new ones get 503), signals SSE
+// streams to end, and blocks until every in-flight request has drained.
+// Idempotent; every call blocks until the drain completes.
+func (gw *Gateway) Close() {
+	gw.closeOnce.Do(func() {
+		gw.closing.Store(true)
+		close(gw.done)
+		for _, unsub := range gw.unsubs {
+			unsub()
+		}
+	})
+	gw.wg.Wait()
+}
+
+// Sync runs fn while holding the gateway's broker attachment. Drivers
+// that advance simulated time concurrently with HTTP traffic (the
+// flux-power-api demo binary, chaos soaks) use this so scheduler
+// dispatch and gateway RPCs never interleave.
+func (gw *Gateway) Sync(fn func()) {
+	gw.brokerMu.Lock()
+	defer gw.brokerMu.Unlock()
+	fn()
+}
+
+// Metrics returns a snapshot of the gateway's counters.
+func (gw *Gateway) Metrics() Metrics {
+	hits, misses, entries := gw.cache.stats()
+	return Metrics{
+		Requests:        gw.requests.Load(),
+		RateLimited:     gw.rateLimited.Load(),
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		Coalesced:       gw.coalesced.Load(),
+		UpstreamCalls:   gw.upstreamCalls.Load(),
+		Errors4xx:       gw.errors4xx.Load(),
+		Errors5xx:       gw.errors5xx.Load(),
+		StreamsStarted:  gw.streamsStarted.Load(),
+		StreamsEnded:    gw.streamsEnded.Load(),
+		SamplesStreamed: gw.samplesStreamed.Load(),
+		SamplesDropped:  gw.samplesDropped.Load(),
+		CacheEntries:    entries,
+	}
+}
+
+// ServeHTTP implements http.Handler: admission control (shutdown,
+// rate limit), then route dispatch.
+func (gw *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	gw.requests.Add(1)
+	if gw.closing.Load() {
+		http.Error(w, `{"error":"shutting down"}`, http.StatusServiceUnavailable)
+		return
+	}
+	gw.wg.Add(1)
+	defer gw.wg.Done()
+	// Re-check after registering with the drain group: a Close between
+	// the first check and wg.Add must not let the request race the wait.
+	if gw.closing.Load() {
+		http.Error(w, `{"error":"shutting down"}`, http.StatusServiceUnavailable)
+		return
+	}
+	if ok, retryAfter := gw.limiters.allow(clientKey(r)); !ok {
+		gw.rateLimited.Add(1)
+		secs := int(retryAfter / time.Second)
+		if retryAfter%time.Second != 0 || secs == 0 {
+			secs++ // round up; Retry-After is integral seconds ≥ 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, `{"error":"rate limit exceeded"}`, http.StatusTooManyRequests)
+		return
+	}
+	gw.mux.ServeHTTP(w, r)
+}
+
+// --- response plumbing ---
+
+// writeCached replays a rendered response.
+func (gw *Gateway) writeCached(w http.ResponseWriter, v cached) {
+	w.Header().Set("Content-Type", v.contentType)
+	w.Header().Set("X-Complete", strconv.FormatBool(v.complete))
+	w.WriteHeader(v.status)
+	_, _ = w.Write(v.body)
+}
+
+// fail maps an upstream error onto an HTTP status:
+//
+//	ENOENT            → 404 (no such job)
+//	EINVAL            → 400 (the instance rejected the parameters)
+//	deadline exceeded → 504 (the client's budget ran out)
+//	anything else     → 502 (root unreachable, service missing, timeout)
+func (gw *Gateway) fail(w http.ResponseWriter, err error) {
+	status := http.StatusBadGateway
+	var me *msg.Error
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; nothing we write will be read. 499 is
+		// the conventional (nonstandard) marker, kept out of the 5xx
+		// counter since the gateway did nothing wrong.
+		status = 499
+	case errors.As(err, &me):
+		switch me.Errnum {
+		case msg.ENOENT:
+			status = http.StatusNotFound
+		case msg.EINVAL:
+			status = http.StatusBadRequest
+		}
+	}
+	switch {
+	case status >= 500:
+		gw.errors5xx.Add(1)
+	case status >= 400:
+		gw.errors4xx.Add(1)
+	}
+	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(body, '\n'))
+}
+
+// badRequest reports a client-side parameter error without consulting
+// upstream.
+func (gw *Gateway) badRequest(w http.ResponseWriter, format string, args ...any) {
+	gw.errors4xx.Add(1)
+	body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_, _ = w.Write(append(body, '\n'))
+}
+
+// fetched pairs a rendered response with the TTL it should be cached
+// under (≤ 0 means do not cache).
+type fetched struct {
+	val cached
+	ttl time.Duration
+}
+
+// cachedFetch is the shared read path: cache lookup, then coalesced
+// upstream fetch, then fill. fetch runs with the gateway's broker
+// attachment held and a context bounded by RequestTimeout.
+func (gw *Gateway) cachedFetch(ctx context.Context, key string, jobID uint64,
+	fetch func(ctx context.Context) (fetched, error)) (cached, error) {
+	if v, ok := gw.cache.get(key); ok {
+		return v, nil
+	}
+	v, err, shared := gw.flight.do(key, func() (cached, error) {
+		// The leader re-checks the cache: a previous leader may have
+		// filled it between our miss and winning the flight.
+		if v, ok := gw.cache.get(key); ok {
+			return v, nil
+		}
+		gw.upstreamCalls.Add(1)
+		fctx, cancel := context.WithTimeout(ctx, gw.cfg.RequestTimeout)
+		defer cancel()
+		gw.brokerMu.Lock()
+		f, err := fetch(fctx)
+		gw.brokerMu.Unlock()
+		if err != nil {
+			return cached{}, err
+		}
+		gw.cache.put(key, jobID, f.val, f.ttl)
+		return f.val, nil
+	})
+	if shared {
+		gw.coalesced.Add(1)
+	}
+	return v, err
+}
+
+// jsonBody renders v as a cached JSON response.
+func jsonBody(v any, complete bool) (cached, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(v); err != nil {
+		return cached{}, err
+	}
+	return cached{
+		body:        buf.Bytes(),
+		contentType: "application/json",
+		status:      http.StatusOK,
+		complete:    complete,
+	}, nil
+}
+
+// --- handlers ---
+
+// jobsResponse is the /v1/jobs body.
+type jobsResponse struct {
+	Jobs []job.Record `json:"jobs"`
+}
+
+func (gw *Gateway) handleJobs(w http.ResponseWriter, r *http.Request) {
+	v, err := gw.cachedFetch(r.Context(), "jobs", listCacheID, func(ctx context.Context) (fetched, error) {
+		resp, err := gw.cfg.Broker.CallContext(ctx, msg.NodeAny, "job-manager.list", nil)
+		if err != nil {
+			return fetched{}, err
+		}
+		var body jobsResponse
+		if err := resp.Unmarshal(&body); err != nil {
+			return fetched{}, err
+		}
+		if body.Jobs == nil {
+			body.Jobs = []job.Record{}
+		}
+		val, err := jsonBody(body, true)
+		return fetched{val: val, ttl: gw.cfg.CacheTTL}, err
+	})
+	if err != nil {
+		gw.fail(w, err)
+		return
+	}
+	gw.writeCached(w, v)
+}
+
+func (gw *Gateway) handleJobPower(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		gw.badRequest(w, "job id %q is not a number", r.PathValue("id"))
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "aggregate"
+	}
+	if mode != "raw" && mode != "aggregate" {
+		gw.badRequest(w, "mode %q: want raw or aggregate", mode)
+		return
+	}
+	key := "power:" + strconv.FormatUint(id, 10) + ":" + mode
+	v, err := gw.cachedFetch(r.Context(), key, id, func(ctx context.Context) (fetched, error) {
+		switch mode {
+		case "raw":
+			jp, err := gw.pm.QueryContext(ctx, id)
+			if err != nil {
+				return fetched{}, err
+			}
+			var buf bytes.Buffer
+			if err := powermon.WriteCSV(&buf, jp); err != nil {
+				return fetched{}, err
+			}
+			val := cached{
+				body:        buf.Bytes(),
+				contentType: "text/csv",
+				status:      http.StatusOK,
+				complete:    jp.Complete(),
+			}
+			return fetched{val: val, ttl: gw.jobTTL(jp.EndSec, val.complete)}, nil
+		default:
+			ja, err := gw.pm.QueryAggregateContext(ctx, id)
+			if err != nil {
+				return fetched{}, err
+			}
+			complete := ja.Complete && !ja.Partial
+			val, err := jsonBody(ja, complete)
+			return fetched{val: val, ttl: gw.jobTTL(ja.EndSec, complete)}, err
+		}
+	})
+	if err != nil {
+		gw.fail(w, err)
+		return
+	}
+	gw.writeCached(w, v)
+}
+
+// jobTTL picks the cache lifetime for a job answer: long for a finished
+// complete window (immutable), one sampling interval for a running job,
+// and a quarter interval for a partial answer so a recovered subtree
+// shows through quickly.
+func (gw *Gateway) jobTTL(endSec float64, complete bool) time.Duration {
+	if !complete {
+		return gw.cfg.CacheTTL / 4
+	}
+	if endSec > 0 {
+		return gw.cfg.CacheTTLDone
+	}
+	return gw.cfg.CacheTTL
+}
+
+func (gw *Gateway) handleNodePower(w http.ResponseWriter, r *http.Request) {
+	rank64, err := strconv.ParseInt(r.PathValue("rank"), 10, 32)
+	if err != nil {
+		gw.badRequest(w, "rank %q is not a number", r.PathValue("rank"))
+		return
+	}
+	rank := int32(rank64)
+	if rank < 0 || rank >= gw.cfg.Broker.Size() {
+		gw.errors4xx.Add(1)
+		http.Error(w, fmt.Sprintf(`{"error":"rank %d outside instance of size %d"}`, rank, gw.cfg.Broker.Size()),
+			http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	start, end := 0.0, 0.0
+	if s := q.Get("start"); s != "" {
+		if start, err = strconv.ParseFloat(s, 64); err != nil {
+			gw.badRequest(w, "start %q is not a number", s)
+			return
+		}
+	}
+	if s := q.Get("end"); s != "" {
+		if end, err = strconv.ParseFloat(s, 64); err != nil {
+			gw.badRequest(w, "end %q is not a number", s)
+			return
+		}
+	}
+	key := fmt.Sprintf("node:%d:%g:%g", rank, start, end)
+	ttl := gw.cfg.CacheTTL
+	if end == 0 {
+		// "until now" answers change every sampling tick; don't cache.
+		ttl = 0
+	}
+	v, err := gw.cachedFetch(r.Context(), key, 0, func(ctx context.Context) (fetched, error) {
+		ns, err := gw.pm.CollectNodeContext(ctx, rank, start, end)
+		if err != nil {
+			return fetched{}, err
+		}
+		val, err := jsonBody(ns, ns.Complete)
+		return fetched{val: val, ttl: ttl}, err
+	})
+	if err != nil {
+		gw.fail(w, err)
+		return
+	}
+	gw.writeCached(w, v)
+}
+
+func (gw *Gateway) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	v, err := gw.cachedFetch(r.Context(), "status", 0, func(ctx context.Context) (fetched, error) {
+		st, err := gw.pm.StatusContext(ctx)
+		if err != nil {
+			return fetched{}, err
+		}
+		val, err := jsonBody(st, len(st.Unreachable) == 0)
+		return fetched{val: val, ttl: gw.cfg.CacheTTL}, err
+	})
+	if err != nil {
+		gw.fail(w, err)
+		return
+	}
+	gw.writeCached(w, v)
+}
+
+func (gw *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(gw.Metrics())
+}

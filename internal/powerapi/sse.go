@@ -1,0 +1,142 @@
+package powerapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/flux/job"
+	"fluxpower/internal/flux/msg"
+)
+
+// handleJobStream serves GET /v1/jobs/{id}/stream: a Server-Sent Events
+// stream of the job's live power samples. It rides the broker's pub/sub
+// plane — node-agents publish each sensor read on powermon.SampleEvent
+// (when Config.PublishSamples is enabled on the monitor) and events
+// flood the instance, so the gateway sees every node's samples at the
+// root without issuing a single RPC per sample.
+//
+// Events:
+//
+//	event: sample   data: powermon.SamplePayload (one node, one read)
+//	event: done     data: {"id": <jobid>}        (job finished)
+//	event: shutdown data: {}                     (gateway closing)
+//
+// A consumer too slow to keep up loses samples (drop-on-overflow) rather
+// than stalling the broker's event delivery.
+func (gw *Gateway) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		gw.badRequest(w, "job id %q is not a number", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		gw.errors5xx.Add(1)
+		http.Error(w, `{"error":"streaming unsupported"}`, http.StatusInternalServerError)
+		return
+	}
+
+	// Resolve the job first: 404 for an unknown id, and the record's
+	// rank list is the stream's filter.
+	rctx, cancel := context.WithTimeout(r.Context(), gw.cfg.RequestTimeout)
+	var rec job.Record
+	gw.brokerMu.Lock()
+	resp, err := gw.cfg.Broker.CallContext(rctx, msg.NodeAny, "job-manager.info", map[string]uint64{"id": id})
+	if err == nil {
+		err = resp.Unmarshal(&rec)
+	}
+	gw.brokerMu.Unlock()
+	cancel()
+	if err != nil {
+		gw.fail(w, err)
+		return
+	}
+	ranks := make(map[int32]bool, len(rec.Ranks))
+	for _, rank := range rec.Ranks {
+		ranks[rank] = true
+	}
+
+	samples := make(chan powermon.SamplePayload, gw.cfg.StreamBuffer)
+	finished := make(chan struct{})
+	var finishOnce sync.Once
+
+	// Subscribe before writing headers so no sample between the two is
+	// missed. Handlers run on the broker's delivery path: never block.
+	unsubSamples := gw.cfg.Broker.Subscribe(powermon.SampleEvent, func(ev *msg.Message) {
+		var sp powermon.SamplePayload
+		if err := ev.Unmarshal(&sp); err != nil || !ranks[sp.Rank] {
+			return
+		}
+		select {
+		case samples <- sp:
+		default:
+			gw.samplesDropped.Add(1)
+		}
+	})
+	unsubFinish := gw.cfg.Broker.Subscribe(job.EventFinish, func(ev *msg.Message) {
+		var fin job.Record
+		if err := ev.Unmarshal(&fin); err == nil && fin.ID == id {
+			finishOnce.Do(func() { close(finished) })
+		}
+	})
+	defer func() {
+		unsubSamples()
+		unsubFinish()
+		gw.streamsEnded.Add(1)
+	}()
+	gw.streamsStarted.Add(1)
+
+	// An already-finished job streams nothing; signal done immediately.
+	if rec.State == job.StateInactive {
+		finishOnce.Do(func() { close(finished) })
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-gw.done:
+			_, _ = fmt.Fprint(w, "event: shutdown\ndata: {}\n\n")
+			flusher.Flush()
+			return
+		case <-finished:
+			// Drain anything already buffered so the consumer sees the
+			// job's last samples before the terminal event.
+			for drained := false; !drained; {
+				select {
+				case sp := <-samples:
+					gw.writeSample(w, sp)
+				default:
+					drained = true
+				}
+			}
+			_, _ = fmt.Fprintf(w, "event: done\ndata: {\"id\":%d}\n\n", id)
+			flusher.Flush()
+			return
+		case sp := <-samples:
+			gw.writeSample(w, sp)
+			flusher.Flush()
+		}
+	}
+}
+
+func (gw *Gateway) writeSample(w http.ResponseWriter, sp powermon.SamplePayload) {
+	data, err := json.Marshal(sp)
+	if err != nil {
+		return
+	}
+	_, _ = fmt.Fprintf(w, "event: sample\ndata: %s\n\n", data)
+	gw.samplesStreamed.Add(1)
+}

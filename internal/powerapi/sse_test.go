@@ -1,0 +1,166 @@
+package powerapi
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/flux/job"
+)
+
+// startStream launches the SSE handler on its own goroutine (as a real
+// http.Server would) and returns the recorder plus a channel closed when
+// the handler returns. All simulated-time advance while the stream is
+// live must go through gw.Sync so gateway RPCs and scheduler dispatch
+// never interleave.
+func startStream(t *testing.T, gw *Gateway, id uint64, ctx context.Context) (*httptest.ResponseRecorder, chan struct{}) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+strconv.FormatUint(id, 10)+"/stream", nil)
+	req = req.WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	started := gw.Metrics().StreamsStarted
+	go func() {
+		defer close(done)
+		gw.ServeHTTP(rec, req)
+	}()
+	// The stream is attached once its subscriptions are registered;
+	// advancing the sim before that could race past the first samples.
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.Metrics().StreamsStarted == started {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return rec, done
+}
+
+func TestStreamDeliversSamplesAndDone(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{PublishSamples: true})
+	gw := newGateway(t, c, Config{})
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Sync(func() { c.RunFor(5 * time.Second) }) // job starts
+
+	rec, done := startStream(t, gw, id, context.Background())
+	gw.Sync(func() { c.RunFor(10 * time.Second) }) // samples flow
+	// Drain to completion; the finish event must terminate the stream.
+	for i := 0; i < 1000; i++ {
+		var idle bool
+		gw.Sync(func() { _, idle = c.RunUntilIdle(time.Minute) })
+		if idle {
+			break
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not terminate on job finish")
+	}
+
+	body := rec.Body.String()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(body, "event: sample") {
+		t.Fatalf("no samples streamed: %q", body)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(body), "data: {\"id\":"+strconv.FormatUint(id, 10)+"}") ||
+		!strings.Contains(body, "event: done") {
+		t.Fatalf("stream did not end with done event: %q", body[len(body)-min(len(body), 200):])
+	}
+	m := gw.Metrics()
+	if m.SamplesStreamed == 0 || m.StreamsEnded != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestStreamUnknownJob404(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{PublishSamples: true})
+	gw := newGateway(t, c, Config{})
+	rec := get(gw, "/v1/jobs/404/stream", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestStreamFinishedJobImmediateDone(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{PublishSamples: true})
+	gw := newGateway(t, c, Config{})
+	id := runJob(t, c, "nqueens", 1)
+
+	rec, done := startStream(t, gw, id, context.Background())
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream of a finished job did not return immediately")
+	}
+	if !strings.Contains(rec.Body.String(), "event: done") {
+		t.Fatalf("body: %q", rec.Body.String())
+	}
+}
+
+func TestStreamClientDisconnectNoLeak(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{PublishSamples: true})
+	gw := newGateway(t, c, Config{})
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Sync(func() { c.RunFor(5 * time.Second) })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	_, done := startStream(t, gw, id, ctx)
+	gw.Sync(func() { c.RunFor(4 * time.Second) })
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not exit on client disconnect")
+	}
+	if m := gw.Metrics(); m.StreamsEnded != 1 {
+		t.Fatalf("StreamsEnded = %d", m.StreamsEnded)
+	}
+
+	// The dead stream's subscriptions must be gone: further samples are
+	// published but none are counted streamed or dropped.
+	before := gw.Metrics()
+	gw.Sync(func() { c.RunFor(10 * time.Second) })
+	after := gw.Metrics()
+	if after.SamplesStreamed != before.SamplesStreamed || after.SamplesDropped != before.SamplesDropped {
+		t.Fatalf("disconnected stream still consuming events: before %+v after %+v", before, after)
+	}
+}
+
+func TestStreamGracefulShutdown(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{PublishSamples: true})
+	gw := newGateway(t, c, Config{})
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Sync(func() { c.RunFor(5 * time.Second) })
+
+	rec, done := startStream(t, gw, id, context.Background())
+	gw.Close() // blocks until the stream drains
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close returned before the stream exited")
+	}
+	if !strings.Contains(rec.Body.String(), "event: shutdown") {
+		t.Fatalf("no shutdown event: %q", rec.Body.String())
+	}
+}
