@@ -151,6 +151,13 @@ var registry = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	"store": func(o experiments.Options) (string, error) {
+		r, err := experiments.Store(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 }
 
 // csvRegistry covers the experiments with a CSV rendering (-format csv).
@@ -199,6 +206,13 @@ var csvRegistry = map[string]runner{
 	},
 	"serve": func(o experiments.Options) (string, error) {
 		r, err := experiments.Serve(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderCSV(), nil
+	},
+	"store": func(o experiments.Options) (string, error) {
+		r, err := experiments.Store(o)
 		if err != nil {
 			return "", err
 		}

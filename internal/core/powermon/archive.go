@@ -1,6 +1,7 @@
 package powermon
 
 import (
+	"math"
 	"time"
 
 	"fluxpower/internal/ringbuf"
@@ -49,6 +50,13 @@ type tier struct {
 	curSet bool
 	lastTS float64 // previous sample, for trapezoid energy
 	lastW  float64
+	// lostEndSec is the coverage watermark: the EndSec of the newest
+	// bucket this tier has lost (to ring eviction, or known-missing at
+	// restore time). -Inf means nothing was ever lost. Tracking loss
+	// explicitly — rather than inferring it from Evicted() and the
+	// oldest survivor — keeps coverage exact when the ring is seeded
+	// from recovery or holds a sparse history.
+	lostEndSec float64
 }
 
 // archive is the node agent's storage: the raw full-rate ring plus the
@@ -58,6 +66,10 @@ type archive struct {
 	tiers        []*tier
 	maxRawPoints int
 	rawPeriodSec float64
+	// rawLostTs is the raw ring's loss watermark: the timestamp of the
+	// newest sample no longer held (evicted, or never loaded at restore).
+	// -Inf means the ring still holds everything it was ever given.
+	rawLostTs float64
 }
 
 func newArchive(rawSamples int, sampleInterval time.Duration, specs []TierSpec, maxRawPoints int) *archive {
@@ -65,6 +77,7 @@ func newArchive(rawSamples int, sampleInterval time.Duration, specs []TierSpec, 
 		raw:          ringbuf.New[variorum.NodePower](rawSamples),
 		maxRawPoints: maxRawPoints,
 		rawPeriodSec: sampleInterval.Seconds(),
+		rawLostTs:    math.Inf(-1),
 	}
 	if a.maxRawPoints <= 0 {
 		a.maxRawPoints = DefaultMaxRawPoints
@@ -73,24 +86,44 @@ func newArchive(rawSamples int, sampleInterval time.Duration, specs []TierSpec, 
 		if s.Period <= 0 || s.Buckets <= 0 {
 			continue
 		}
-		a.tiers = append(a.tiers, &tier{spec: s, ring: ringbuf.New[TierSample](s.Buckets)})
+		a.tiers = append(a.tiers, &tier{
+			spec:       s,
+			ring:       ringbuf.New[TierSample](s.Buckets),
+			lostEndSec: math.Inf(-1),
+		})
 	}
 	return a
 }
 
 // push folds one sample into the raw ring and every tier.
 func (a *archive) push(p variorum.NodePower) {
+	if a.raw.Len() == a.raw.Cap() {
+		if oldest, ok := a.raw.Oldest(); ok && oldest.Timestamp > a.rawLostTs {
+			a.rawLostTs = oldest.Timestamp
+		}
+	}
 	a.raw.Push(p)
 	for _, t := range a.tiers {
 		t.push(p)
 	}
 }
 
+// pushBucket retires a finalized bucket into the tier ring, advancing
+// the loss watermark past whatever the ring evicts to make room.
+func (t *tier) pushBucket(b TierSample) {
+	if t.ring.Len() == t.ring.Cap() {
+		if oldest, ok := t.ring.Oldest(); ok && oldest.EndSec > t.lostEndSec {
+			t.lostEndSec = oldest.EndSec
+		}
+	}
+	t.ring.Push(b)
+}
+
 func (t *tier) push(p variorum.NodePower) {
 	period := t.spec.Period.Seconds()
 	bucketStart := float64(int64(p.Timestamp/period)) * period
 	if t.curSet && bucketStart != t.cur.StartSec {
-		t.ring.Push(t.cur)
+		t.pushBucket(t.cur)
 		t.curSet = false
 	}
 	if !t.curSet {
@@ -127,21 +160,55 @@ func (t *tier) buckets(start, end float64) []TierSample {
 	return out
 }
 
-// covers reports whether the tier's retained data reaches back to start.
+// covers reports whether the tier's retained data reaches back to start:
+// true exactly when no lost bucket extended past start. A bucket whose
+// EndSec equals start counts as covered — the window owns [start, end]
+// and the lost bucket ended before it.
 func (t *tier) covers(start float64) bool {
-	if oldest, ok := t.ring.Oldest(); ok {
-		return t.ring.Evicted() == 0 || oldest.StartSec <= start
-	}
-	return t.curSet && t.ring.Evicted() == 0
+	return start >= t.lostEndSec
 }
 
-// rawCovers reports whether the raw ring still holds the window start.
+// rawCovers reports whether the raw ring still holds the window start:
+// true exactly when every lost sample predates start (strictly — a lost
+// sample at start itself was in-window).
 func (a *archive) rawCovers(start float64) bool {
-	if a.raw.Evicted() == 0 {
-		return true
+	return start > a.rawLostTs
+}
+
+// restore seeds a fresh archive from durable state after a crash:
+// samples is the store's full raw history oldest-first, lostBefore the
+// store's own loss watermark (GC), and tiers the persisted compaction
+// buckets per period. Persisted buckets are adopted wholesale — they
+// were computed from complete data — and raw samples replay into each
+// tier only past its last adopted bucket, so nothing double-counts. The
+// only tolerated drift is the one inter-sample energy segment at each
+// tier's replay seam, the same segment a cold start drops.
+func (a *archive) restore(samples []variorum.NodePower, lostBefore float64, tiers map[float64][]TierSample) {
+	if lostBefore > a.rawLostTs {
+		a.rawLostTs = lostBefore
 	}
-	oldest, ok := a.raw.Oldest()
-	return ok && oldest.Timestamp <= start
+	if excess := len(samples) - a.raw.Cap(); excess > 0 {
+		// PushAll will keep only the newest capacity-worth; the newest
+		// sample not loaded is the ring's loss watermark.
+		if ts := samples[excess-1].Timestamp; ts > a.rawLostTs {
+			a.rawLostTs = ts
+		}
+	}
+	a.raw.PushAll(samples)
+	for _, t := range a.tiers {
+		replayFrom := math.Inf(-1)
+		for _, b := range tiers[t.spec.Period.Seconds()] {
+			t.pushBucket(b)
+			if b.EndSec > replayFrom {
+				replayFrom = b.EndSec
+			}
+		}
+		for _, p := range samples {
+			if p.Timestamp >= replayFrom {
+				t.push(p)
+			}
+		}
+	}
 }
 
 // windowAgg is the node-local aggregate over one time window — the

@@ -28,6 +28,7 @@ package powermon
 import (
 	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"fluxpower/internal/flux/reduce"
 	"fluxpower/internal/hw"
 	"fluxpower/internal/simtime"
+	"fluxpower/internal/tsdb"
 	"fluxpower/internal/variorum"
 )
 
@@ -88,6 +90,19 @@ type Config struct {
 	// SampleEvent for live subscribers (SSE streaming). Default off; see
 	// SampleEvent for the cost.
 	PublishSamples bool
+
+	// StoreDir, when set, gives every node-agent a durable tsdb store
+	// under StoreDir/rank-<rank>: samples spill to a crash-safe WAL plus
+	// compressed blocks, the archive transparently recovers from it on
+	// restart, and collects older than the raw ring answer from it.
+	// Empty (the default) keeps the module memory-only, as in the paper.
+	StoreDir string
+	// Store tunes the tsdb store (zero value = tsdb defaults).
+	Store tsdb.Config
+	// StoreSyncInterval is the store's maintenance cadence — fsync,
+	// compaction, GC (default 10 s). The un-synced tail a crash can lose
+	// is bounded by this and tsdb.Config.SyncEvery.
+	StoreSyncInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -106,8 +121,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxRawPoints <= 0 {
 		c.MaxRawPoints = DefaultMaxRawPoints
 	}
+	if c.StoreSyncInterval <= 0 {
+		c.StoreSyncInterval = DefaultStoreSyncInterval
+	}
 	return c
 }
+
+// DefaultStoreSyncInterval is the default store maintenance cadence.
+const DefaultStoreSyncInterval = 10 * time.Second
 
 // Module is one node's flux-power-monitor instance. Loaded on every
 // broker; the rank-0 instance additionally plays root-agent.
@@ -125,6 +146,10 @@ type Module struct {
 	arch *archive
 	// samples counts sensor reads, for overhead accounting in benchmarks.
 	samples uint64
+	// store is the durable spill target (nil when StoreDir is unset). It
+	// has its own internal lock; it is written under mu only to keep the
+	// archive and the store observing samples in the same order.
+	store *tsdb.Store
 }
 
 // New creates a monitor module.
@@ -139,8 +164,38 @@ func New(cfg Config) *Module {
 // Name implements broker.Module.
 func (m *Module) Name() string { return ModuleName }
 
-// Shutdown implements broker.Module.
-func (m *Module) Shutdown() error { return nil }
+// Shutdown implements broker.Module: cleanly closes the durable store
+// (a no-op after CrashStore, so chaos teardown stays crash-faithful).
+func (m *Module) Shutdown() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store == nil {
+		return nil
+	}
+	return m.store.Close()
+}
+
+// StoreHealth returns the durable store's health snapshot; ok is false
+// when the module runs memory-only.
+func (m *Module) StoreHealth() (tsdb.Health, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store == nil {
+		return tsdb.Health{}, false
+	}
+	return m.store.Health(), true
+}
+
+// CrashStore simulates an unclean node stop for chaos and recovery
+// tests: the store drops its un-synced tail and closes, exactly as a
+// power loss would. The module keeps sampling into memory afterwards.
+func (m *Module) CrashStore() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store != nil {
+		m.store.Crash()
+	}
+}
 
 // Init implements broker.Module: starts the sampling loop and registers
 // the node-agent collect service and the in-network reduction topic; on
@@ -151,11 +206,39 @@ func (m *Module) Init(ctx *broker.Context) error {
 	if !ok {
 		return fmt.Errorf("powermon: rank %d broker has no hardware node attached", ctx.Rank())
 	}
+	if m.cfg.StoreDir != "" {
+		// Open (or crash-recover) the durable store and seed the archive
+		// from it before the first sample lands.
+		dir := filepath.Join(m.cfg.StoreDir, fmt.Sprintf("rank-%04d", ctx.Rank()))
+		st, err := tsdb.Open(dir, m.cfg.Store)
+		if err != nil {
+			return fmt.Errorf("powermon: rank %d store: %w", ctx.Rank(), err)
+		}
+		m.store = st
+		if err := m.recoverFromStore(); err != nil {
+			return fmt.Errorf("powermon: rank %d store recovery: %w", ctx.Rank(), err)
+		}
+		if _, err := ctx.Every(m.cfg.StoreSyncInterval, func(now simtime.Time) {
+			m.mu.Lock()
+			if m.store != nil {
+				_ = m.store.Maintain(now.Seconds())
+			}
+			m.mu.Unlock()
+		}); err != nil {
+			return err
+		}
+	}
 	if _, err := ctx.Every(m.cfg.SampleInterval, func(now simtime.Time) {
 		p := variorum.GetNodePower(node, now)
 		m.mu.Lock()
 		m.arch.push(p)
 		m.samples++
+		if m.store != nil {
+			// Same critical section as the archive push, so store and ring
+			// observe samples in the same order; errors after a simulated
+			// crash are expected and deliberately ignored.
+			_ = m.store.Append(p)
+		}
 		m.mu.Unlock()
 		// Publish outside the lock: event delivery is synchronous in the
 		// simulation and subscribers must not observe the module mid-push.
@@ -173,6 +256,9 @@ func (m *Module) Init(ctx *broker.Context) error {
 		return err
 	}
 	if err := ctx.RegisterService("power-monitor.stats", m.handleStats); err != nil {
+		return err
+	}
+	if err := ctx.RegisterService("power-monitor.store-status", m.handleStoreStatus); err != nil {
 		return err
 	}
 	var err error
@@ -194,14 +280,55 @@ func (m *Module) Init(ctx *broker.Context) error {
 	return nil
 }
 
+// recoverFromStore seeds the in-memory archive from the durable store:
+// full raw history (the ring keeps the newest capacity-worth), the
+// store's GC loss watermark, and every persisted tier bucket.
+func (m *Module) recoverFromStore() error {
+	all, err := m.store.All()
+	if err != nil {
+		return err
+	}
+	tiers := make(map[float64][]TierSample)
+	for _, t := range m.arch.tiers {
+		p := t.spec.Period.Seconds()
+		for _, r := range m.store.TierRecords(p) {
+			tiers[p] = append(tiers[p], TierSample(r))
+		}
+	}
+	m.arch.restore(all, m.store.LostBeforeSec(), tiers)
+	return nil
+}
+
+// StoreStatus is one rank's durable-store health, served by the
+// per-rank power-monitor.store-status service.
+type StoreStatus struct {
+	Rank    int32       `json:"rank"`
+	Enabled bool        `json:"enabled"`
+	Health  tsdb.Health `json:"health,omitempty"`
+}
+
+func (m *Module) handleStoreStatus(req *broker.Request) {
+	out := StoreStatus{Rank: m.ctx.Rank()}
+	m.mu.Lock()
+	if m.store != nil {
+		out.Enabled = true
+		out.Health = m.store.Health()
+	}
+	m.mu.Unlock()
+	_ = req.Respond(out)
+}
+
 // InstanceStatus is the root-agent's instance-wide health report: one
-// broker.Health snapshot per reachable rank, and the ranks that could not
-// answer within the collect timeout. The chaos invariant checker asserts
-// over it; operators use it to spot leaking matchtags or dark subtrees.
+// broker.Health snapshot per reachable rank, the ranks that could not
+// answer within the collect timeout, and (when the durable store is
+// enabled) every rank's store health. The chaos invariant checker
+// asserts over it; operators use it to spot leaking matchtags, dark
+// subtrees, or a store falling behind on fsync.
 type InstanceStatus struct {
 	Size        int32           `json:"size"`
 	Ranks       []broker.Health `json:"ranks"`
 	Unreachable []int32         `json:"unreachable,omitempty"`
+	Stores      []StoreStatus   `json:"stores,omitempty"`
 }
 
 // handleStatus (rank 0 only) fans broker.health probes to every rank —
@@ -210,8 +337,10 @@ type InstanceStatus struct {
 func (m *Module) handleStatus(req *broker.Request) {
 	size := m.ctx.Size()
 	futures := make([]*broker.Future, size)
+	storeFutures := make([]*broker.Future, size)
 	for rank := int32(0); rank < size; rank++ {
 		futures[rank] = m.ctx.RPCWithTimeout(rank, "broker.health", nil, m.cfg.CollectTimeout)
+		storeFutures[rank] = m.ctx.RPCWithTimeout(rank, "power-monitor.store-status", nil, m.cfg.CollectTimeout)
 	}
 	out := InstanceStatus{Size: size}
 	for rank := int32(0); rank < size; rank++ {
@@ -226,6 +355,17 @@ func (m *Module) handleStatus(req *broker.Request) {
 			continue
 		}
 		out.Ranks = append(out.Ranks, h)
+	}
+	for rank := int32(0); rank < size; rank++ {
+		resp, err := storeFutures[rank].Wait(m.cfg.CollectTimeout)
+		if err != nil {
+			continue // the rank is already listed unreachable above
+		}
+		var ss StoreStatus
+		if err := resp.Unmarshal(&ss); err != nil || !ss.Enabled {
+			continue
+		}
+		out.Stores = append(out.Stores, ss)
 	}
 	_ = req.Respond(out)
 }
@@ -245,10 +385,14 @@ type collectRequest struct {
 
 // NodeSamples is one node's contribution to a job query.
 type NodeSamples struct {
-	Rank     int32                `json:"rank"`
-	Hostname string               `json:"hostname"`
-	Complete bool                 `json:"complete"`
-	Samples  []variorum.NodePower `json:"samples"`
+	Rank     int32  `json:"rank"`
+	Hostname string `json:"hostname"`
+	Complete bool   `json:"complete"`
+	// Source names where the samples came from when it was not the
+	// in-memory ring: "tsdb" means the window had aged out of the ring
+	// and was answered from the durable store.
+	Source  string               `json:"source,omitempty"`
+	Samples []variorum.NodePower `json:"samples"`
 }
 
 func (m *Module) handleCollect(req *broker.Request) {
@@ -270,17 +414,40 @@ func (m *Module) handleCollect(req *broker.Request) {
 		out.Hostname = node.Name()
 	}
 	m.mu.Lock()
-	// Sample times are monotonic, so the window is a binary search plus a
-	// copy of the matching run — not a scan of the whole 100k ring.
-	out.Samples = m.arch.raw.SelectRange(body.StartSec, end,
-		func(p variorum.NodePower) float64 { return p.Timestamp })
-	// Completeness (§III-A): if the ring has wrapped and its oldest
-	// surviving sample post-dates the window start, part of the job's
-	// data has been flushed out.
-	if !m.arch.rawCovers(body.StartSec) {
-		out.Complete = false
+	covers := m.arch.rawCovers(body.StartSec)
+	if covers || m.store == nil {
+		// Sample times are monotonic, so the window is a binary search plus
+		// a copy of the matching run — not a scan of the whole 100k ring.
+		out.Samples = m.arch.raw.SelectRange(body.StartSec, end,
+			func(p variorum.NodePower) float64 { return p.Timestamp })
+		// Completeness (§III-A): if the ring has wrapped and its oldest
+		// surviving sample post-dates the window start, part of the job's
+		// data has been flushed out.
+		out.Complete = covers
+		m.mu.Unlock()
+		_ = req.Respond(out)
+		return
 	}
+	// The window start has aged out of the ring but the durable store
+	// remembers further back: answer from it (its read path includes the
+	// un-sealed head, so this is a superset of the ring).
+	st := m.store
 	m.mu.Unlock()
+	samples, err := st.SelectRange(body.StartSec, end)
+	if err != nil {
+		// Store unusable (simulated crash): fall back to the ring and be
+		// honest about the missing past.
+		m.mu.Lock()
+		out.Samples = m.arch.raw.SelectRange(body.StartSec, end,
+			func(p variorum.NodePower) float64 { return p.Timestamp })
+		m.mu.Unlock()
+		out.Complete = false
+		_ = req.Respond(out)
+		return
+	}
+	out.Samples = samples
+	out.Source = "tsdb"
+	out.Complete = st.Covers(body.StartSec)
 	_ = req.Respond(out)
 }
 
@@ -300,6 +467,9 @@ func (m *Module) handleStats(req *broker.Request) {
 	}
 	if oldest, ok := m.arch.raw.Oldest(); ok {
 		stats["oldest_sample_sec"] = oldest.Timestamp
+	}
+	if m.store != nil {
+		stats["store"] = m.store.Health()
 	}
 	m.mu.Unlock()
 	_ = req.Respond(stats)

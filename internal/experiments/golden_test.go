@@ -151,6 +151,17 @@ func TestGoldenServe(t *testing.T) {
 	checkGolden(t, "serve_csv", r.RenderCSV())
 }
 
+func TestGoldenStore(t *testing.T) {
+	r := &StoreResult{
+		Samples: 120000, IngestPerSec: 97701, DiskBytes: 286336,
+		SealedBlocks: 234, BytesPerSample: 2.4,
+		CSVBytes: 11794569, Ratio: 0.024, RecoveryMs: 181.2,
+		RecoveredSamples: 120000,
+	}
+	checkGolden(t, "store", r.Render())
+	checkGolden(t, "store_csv", r.RenderCSV())
+}
+
 func TestGoldenChaos(t *testing.T) {
 	r := &ChaosResult{Nodes: 16, Rows: []ChaosRow{
 		{DropProb: 0, Queries: 15, OK: 15},

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestStoreQuick runs the durable-store benchmark at quick scale and
+// pins its contract: everything ingested is recovered, the compressed
+// footprint stays at or under a quarter of the raw-CSV baseline, and a
+// cold recovery of the full history lands well under a second.
+func TestStoreQuick(t *testing.T) {
+	r, err := Store(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RecoveredSamples != r.Samples {
+		t.Fatalf("recovered %d of %d ingested samples", r.RecoveredSamples, r.Samples)
+	}
+	if r.DiskBytes <= 0 || r.CSVBytes <= 0 {
+		t.Fatalf("degenerate sizes: disk %d, csv %d", r.DiskBytes, r.CSVBytes)
+	}
+	if r.Ratio > 0.25 {
+		t.Fatalf("compression ratio %.3f exceeds the 0.25 bar (disk %d vs csv %d)",
+			r.Ratio, r.DiskBytes, r.CSVBytes)
+	}
+	if r.RecoveryMs >= 1000 {
+		t.Fatalf("cold recovery of %d samples took %.1f ms, bar is < 1000 ms",
+			r.Samples, r.RecoveryMs)
+	}
+	if r.IngestPerSec <= 0 || r.SealedBlocks < 1 {
+		t.Fatalf("implausible run: %+v", *r)
+	}
+}

@@ -56,7 +56,7 @@ type Violation struct {
 	// Invariant names the property ("pending-rpcs", "matchtag-accounting",
 	// "reduce-conservation", "partial-flag", "liveness-missing",
 	// "archive-monotonic", "status-unreachable", "status-pending",
-	// "dead-rank-ack", "probe-failed").
+	// "dead-rank-ack", "store-accounting", "probe-failed").
 	Invariant string
 	// Rank localizes the violation; -1 when instance-wide.
 	Rank   int32
@@ -88,6 +88,11 @@ type CheckConfig struct {
 	// by a crashed rank). Requires power-manager loaded on rank 0 and an
 	// Injector for the crash windows.
 	Manager bool
+	// Store enables the durable-store accounting check: every rank's
+	// tsdb health must balance (durable ≤ appended, unsynced is exactly
+	// the difference, and durable data occupies disk). Requires the
+	// power-monitor module configured with a StoreDir.
+	Store bool
 	// RPCTimeout bounds each probe RPC the checker itself issues
 	// (default 3s).
 	RPCTimeout time.Duration
@@ -167,8 +172,51 @@ func Check(cfg CheckConfig) []Violation {
 	if cfg.Monitor {
 		vs = append(vs, checkMonitor(cfg, root, nowSec)...)
 	}
+	if cfg.Store {
+		vs = append(vs, checkStore(cfg, root)...)
+	}
 	if cfg.Manager && cfg.Injector != nil {
 		vs = append(vs, checkManagerAcks(cfg, root, nowSec)...)
+	}
+	return vs
+}
+
+// checkStore asserts the durable store's sample accounting on every
+// reachable rank: the books must balance at quiescence no matter which
+// faults ran.
+func checkStore(cfg CheckConfig, root *broker.Broker) []Violation {
+	var vs []Violation
+	for rank := int32(0); rank < root.Size(); rank++ {
+		resp, err := root.CallTimeout(rank, "power-monitor.store-status", nil, cfg.RPCTimeout)
+		if err != nil {
+			if cfg.ExpectAllReachable {
+				vs = append(vs, Violation{"probe-failed", rank, fmt.Sprintf("store-status: %v", err)})
+			}
+			continue
+		}
+		var ss powermon.StoreStatus
+		if err := resp.Unmarshal(&ss); err != nil {
+			vs = append(vs, Violation{"probe-failed", rank, fmt.Sprintf("store-status decode: %v", err)})
+			continue
+		}
+		if !ss.Enabled {
+			vs = append(vs, Violation{"store-accounting", rank, "store check enabled but rank has no store"})
+			continue
+		}
+		h := ss.Health
+		if h.DurableSamples > h.AppendedSamples {
+			vs = append(vs, Violation{"store-accounting", rank,
+				fmt.Sprintf("durable %d exceeds appended %d", h.DurableSamples, h.AppendedSamples)})
+		}
+		if h.UnsyncedSamples != h.AppendedSamples-h.DurableSamples {
+			vs = append(vs, Violation{"store-accounting", rank,
+				fmt.Sprintf("unsynced %d != appended %d - durable %d",
+					h.UnsyncedSamples, h.AppendedSamples, h.DurableSamples)})
+		}
+		if h.DurableSamples > 0 && h.BytesOnDisk <= 0 {
+			vs = append(vs, Violation{"store-accounting", rank,
+				fmt.Sprintf("%d durable samples but no bytes on disk", h.DurableSamples)})
+		}
 	}
 	return vs
 }

@@ -17,6 +17,10 @@ type cached struct {
 	// results (dead subtree, evicted window) are cached for a fraction of
 	// the TTL so a recovered fabric shows through quickly.
 	complete bool
+	// source is surfaced as X-Source when non-empty: "tsdb" marks an
+	// answer (or part of one) served from a node's durable store rather
+	// than its in-memory ring.
+	source string
 }
 
 // responseCache is a TTL+LRU cache of rendered responses keyed by

@@ -1,6 +1,7 @@
 package powerapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -322,5 +323,91 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if m.Requests != 2 || m.UpstreamCalls != 1 {
 		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestMetricsStoreSection(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{StoreDir: t.TempDir()})
+	gw := newGateway(t, c, Config{})
+	c.RunFor(time.Minute)
+
+	rec := get(gw, "/v1/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var mr metricsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Store == nil {
+		t.Fatalf("no store section: %s", rec.Body.String())
+	}
+	if mr.Store.Ranks != 2 {
+		t.Fatalf("store ranks = %d, want 2", mr.Store.Ranks)
+	}
+	if mr.Store.Segments < 2 || mr.Store.BytesOnDisk <= 0 {
+		t.Fatalf("store summary implausible: %+v", *mr.Store)
+	}
+
+	// A second scrape inside the TTL serves the cached snapshot.
+	if rec := get(gw, "/v1/metrics", ""); rec.Code != http.StatusOK {
+		t.Fatalf("second scrape: status %d", rec.Code)
+	}
+
+	// A memory-only cluster reports no store section at all.
+	c2 := testCluster(t, 1, powermon.Config{})
+	gw2 := newGateway(t, c2, Config{})
+	rec = get(gw2, "/v1/metrics", "")
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["store"]; ok {
+		t.Fatalf("memory-only cluster advertises a store: %s", rec.Body.String())
+	}
+}
+
+// TestHistoricalReadFromStore: a cluster whose raw ring evicted the
+// job's window must answer /power?mode=raw from the durable store —
+// byte-identical to a control cluster whose ring never evicted, and
+// labeled X-Source: tsdb so clients can tell where the bytes came from.
+func TestHistoricalReadFromStore(t *testing.T) {
+	run := func(pmCfg powermon.Config) (*Gateway, uint64) {
+		c := testCluster(t, 2, pmCfg)
+		gw := newGateway(t, c, Config{})
+		id, err := c.Submit(job.Spec{App: "gemm", Nodes: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.RunFor(10 * time.Minute)
+		return gw, id
+	}
+
+	// Identical seed and identical timeline: the only difference is ring
+	// capacity (16 samples = 32 s) plus the durable store backing it.
+	ctrlGW, ctrlID := run(powermon.Config{})
+	evGW, evID := run(powermon.Config{BufferSamples: 16, StoreDir: t.TempDir()})
+	if ctrlID != evID {
+		t.Fatalf("job ids diverged: control %d, evicted %d", ctrlID, evID)
+	}
+
+	path := "/v1/jobs/" + strconv.FormatUint(ctrlID, 10) + "/power?mode=raw"
+	ctrl := get(ctrlGW, path, "")
+	ev := get(evGW, path, "")
+	if ctrl.Code != http.StatusOK || ev.Code != http.StatusOK {
+		t.Fatalf("status: control %d, evicted %d", ctrl.Code, ev.Code)
+	}
+	if got := ctrl.Header().Get("X-Source"); got != "" {
+		t.Fatalf("control X-Source = %q, want unset", got)
+	}
+	if got := ev.Header().Get("X-Source"); got != "tsdb" {
+		t.Fatalf("evicted X-Source = %q, want tsdb", got)
+	}
+	if got := ev.Header().Get("X-Complete"); got != "true" {
+		t.Fatalf("evicted X-Complete = %q — store should make the window whole", got)
+	}
+	if !bytes.Equal(ctrl.Body.Bytes(), ev.Body.Bytes()) {
+		t.Fatalf("CSV diverged: control %d bytes, evicted %d bytes",
+			ctrl.Body.Len(), ev.Body.Len())
 	}
 }

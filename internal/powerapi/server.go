@@ -125,6 +125,27 @@ type Metrics struct {
 	CacheEntries int `json:"cache_entries"`
 }
 
+// StoreMetrics summarizes every rank's durable tsdb store for
+// /v1/metrics: capacity planning (bytes on disk, segment and block
+// counts) and durability health (worst fsync lag, recovery and
+// torn-record totals) in one glance.
+type StoreMetrics struct {
+	Ranks          int     `json:"ranks"`
+	Segments       int     `json:"segments"`
+	SealedBlocks   int     `json:"sealed_blocks"`
+	BytesOnDisk    int64   `json:"bytes_on_disk"`
+	MaxFsyncLagSec float64 `json:"max_fsync_lag_sec"`
+	Recoveries     int     `json:"recoveries"`
+	TornRecords    int     `json:"torn_records"`
+}
+
+// metricsResponse is the /v1/metrics body: the gateway's own counters
+// plus, when any rank runs a durable store, the fleet's store summary.
+type metricsResponse struct {
+	Metrics
+	Store *StoreMetrics `json:"store,omitempty"`
+}
+
 // Gateway is the HTTP handler. Create with New, serve with any
 // http.Server (or call ServeHTTP directly in tests and simulations),
 // and stop with Close, which drains in-flight requests and streams.
@@ -157,6 +178,13 @@ type Gateway struct {
 	closing   atomic.Bool
 	closeOnce sync.Once
 	wg        sync.WaitGroup // in-flight requests, incl. streams
+
+	// Store-summary snapshot for /v1/metrics, refreshed upstream at most
+	// once per CacheTTL and served stale (best-effort) on fetch failure,
+	// so a metrics scrape never amplifies into a status fan-out storm.
+	storeMu  sync.Mutex
+	storeVal *StoreMetrics
+	storeAt  time.Time
 
 	unsubs []func()
 }
@@ -290,6 +318,9 @@ func (gw *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (gw *Gateway) writeCached(w http.ResponseWriter, v cached) {
 	w.Header().Set("Content-Type", v.contentType)
 	w.Header().Set("X-Complete", strconv.FormatBool(v.complete))
+	if v.source != "" {
+		w.Header().Set("X-Source", v.source)
+	}
 	w.WriteHeader(v.status)
 	_, _ = w.Write(v.body)
 }
@@ -457,6 +488,12 @@ func (gw *Gateway) handleJobPower(w http.ResponseWriter, r *http.Request) {
 				status:      http.StatusOK,
 				complete:    jp.Complete(),
 			}
+			for _, n := range jp.Nodes {
+				if n.Source == "tsdb" {
+					val.source = "tsdb"
+					break
+				}
+			}
 			return fetched{val: val, ttl: gw.jobTTL(jp.EndSec, val.complete)}, nil
 		default:
 			ja, err := gw.pm.QueryAggregateContext(ctx, id)
@@ -528,6 +565,7 @@ func (gw *Gateway) handleNodePower(w http.ResponseWriter, r *http.Request) {
 			return fetched{}, err
 		}
 		val, err := jsonBody(ns, ns.Complete)
+		val.source = ns.Source
 		return fetched{val: val, ttl: ttl}, err
 	})
 	if err != nil {
@@ -554,8 +592,49 @@ func (gw *Gateway) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (gw *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	out := metricsResponse{Metrics: gw.Metrics()}
+	out.Store = gw.storeMetrics(r.Context())
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(gw.Metrics())
+	_ = enc.Encode(out)
+}
+
+// storeMetrics returns the fleet store summary, refreshing it upstream
+// when the snapshot is older than CacheTTL. Failures keep the previous
+// snapshot (or nil): metrics must degrade, not fail.
+func (gw *Gateway) storeMetrics(ctx context.Context) *StoreMetrics {
+	gw.storeMu.Lock()
+	defer gw.storeMu.Unlock()
+	now := gw.cfg.Now()
+	if !gw.storeAt.IsZero() && now.Sub(gw.storeAt) < gw.cfg.CacheTTL {
+		return gw.storeVal
+	}
+	fctx, cancel := context.WithTimeout(ctx, gw.cfg.RequestTimeout)
+	gw.brokerMu.Lock()
+	st, err := gw.pm.StatusContext(fctx)
+	gw.brokerMu.Unlock()
+	cancel()
+	if err != nil {
+		return gw.storeVal // stale or nil, but never an error
+	}
+	gw.storeAt = now
+	if len(st.Stores) == 0 {
+		gw.storeVal = nil
+		return nil
+	}
+	sm := &StoreMetrics{}
+	for _, ss := range st.Stores {
+		sm.Ranks++
+		sm.Segments += ss.Health.Segments
+		sm.SealedBlocks += ss.Health.SealedBlocks
+		sm.BytesOnDisk += ss.Health.BytesOnDisk
+		if ss.Health.LastFsyncLagSec > sm.MaxFsyncLagSec {
+			sm.MaxFsyncLagSec = ss.Health.LastFsyncLagSec
+		}
+		sm.Recoveries += ss.Health.Recoveries
+		sm.TornRecords += ss.Health.TornRecords
+	}
+	gw.storeVal = sm
+	return sm
 }

@@ -1,0 +1,139 @@
+package ringbuf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPushAllEquivalence drives PushAll through every interesting size
+// relation (empty ring, partial fill, exact fill, wrap, input larger
+// than capacity, repeated bulk pushes) and checks element-for-element
+// and counter-for-counter equivalence against a Push loop on a shadow
+// ring.
+func TestPushAllEquivalence(t *testing.T) {
+	cases := []struct {
+		name    string
+		cap     int
+		preload int // elements pushed one by one before the bulk push
+		bulk    []int
+	}{
+		{"empty-ring-empty-input", 4, 0, nil},
+		{"empty-ring-partial", 4, 0, []int{10, 11}},
+		{"empty-ring-exact-fill", 4, 0, []int{10, 11, 12, 13}},
+		{"empty-ring-overflow-by-one", 4, 0, []int{10, 11, 12, 13, 14}},
+		{"empty-ring-double-capacity", 4, 0, []int{10, 11, 12, 13, 14, 15, 16, 17}},
+		{"partial-ring-fits", 4, 2, []int{10}},
+		{"partial-ring-exact-fill", 4, 2, []int{10, 11}},
+		{"partial-ring-overflows", 4, 2, []int{10, 11, 12}},
+		{"full-ring-partial", 4, 4, []int{10, 11}},
+		{"full-ring-full-replacement", 4, 4, []int{10, 11, 12, 13}},
+		{"full-ring-larger-than-cap", 4, 4, []int{10, 11, 12, 13, 14, 15}},
+		{"wrapped-head", 3, 5, []int{10, 11}},
+		{"capacity-one", 1, 1, []int{10, 11, 12}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := New[int](tc.cap)
+			want := New[int](tc.cap)
+			for i := 0; i < tc.preload; i++ {
+				got.Push(i)
+				want.Push(i)
+			}
+			wantEvicted := 0
+			for _, v := range tc.bulk {
+				if want.Push(v) {
+					wantEvicted++
+				}
+			}
+			if ev := got.PushAll(tc.bulk); ev != wantEvicted {
+				t.Errorf("PushAll returned %d evictions, Push loop evicted %d", ev, wantEvicted)
+			}
+			if got.Len() != want.Len() || got.Evicted() != want.Evicted() {
+				t.Errorf("len/evicted = %d/%d, want %d/%d",
+					got.Len(), got.Evicted(), want.Len(), want.Evicted())
+			}
+			for i := 0; i < want.Len(); i++ {
+				if got.At(i) != want.At(i) {
+					t.Errorf("At(%d) = %d, want %d", i, got.At(i), want.At(i))
+				}
+			}
+		})
+	}
+}
+
+// TestPushAllRandomized interleaves random Push and PushAll calls against
+// a shadow ring driven purely by Push, so head alignment after arbitrary
+// bulk sizes cannot drift.
+func TestPushAllRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, capacity := range []int{1, 2, 3, 7, 64} {
+		got := New[int](capacity)
+		want := New[int](capacity)
+		next := 0
+		for step := 0; step < 500; step++ {
+			if rng.Intn(2) == 0 {
+				got.Push(next)
+				want.Push(next)
+				next++
+				continue
+			}
+			batch := make([]int, rng.Intn(2*capacity+2))
+			for i := range batch {
+				batch[i] = next
+				next++
+			}
+			wantEvicted := 0
+			for _, v := range batch {
+				if want.Push(v) {
+					wantEvicted++
+				}
+			}
+			if ev := got.PushAll(batch); ev != wantEvicted {
+				t.Fatalf("cap %d step %d: PushAll evicted %d, want %d", capacity, step, ev, wantEvicted)
+			}
+			if got.Len() != want.Len() || got.Evicted() != want.Evicted() {
+				t.Fatalf("cap %d step %d: len/evicted %d/%d, want %d/%d",
+					capacity, step, got.Len(), got.Evicted(), want.Len(), want.Evicted())
+			}
+			for i := 0; i < want.Len(); i++ {
+				if got.At(i) != want.At(i) {
+					t.Fatalf("cap %d step %d: At(%d) = %d, want %d",
+						capacity, step, i, got.At(i), want.At(i))
+				}
+			}
+		}
+	}
+}
+
+// The benchmark pair documents why PushAll exists: recovery seeds a
+// 100k-sample ring from the tsdb store in bulk, and the copy-based bulk
+// path beats the per-element modulo arithmetic of a Push loop.
+func BenchmarkRingPushLoop(b *testing.B) {
+	const n = 100_000
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	r := New[float64](n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range src {
+			r.Push(v)
+		}
+	}
+}
+
+func BenchmarkRingPushAll(b *testing.B) {
+	const n = 100_000
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	r := New[float64](n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.PushAll(src)
+	}
+}

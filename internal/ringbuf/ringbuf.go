@@ -46,6 +46,39 @@ func (r *Ring[T]) Push(v T) (evictedOld bool) {
 	return true
 }
 
+// PushAll appends vs in order, evicting the oldest elements as needed,
+// and returns how many evictions occurred. It is observationally
+// equivalent to calling Push on every element — same live elements, same
+// order, same Evicted count — but costs at most two copy calls instead
+// of one modulo-indexed store per element, which is what makes bulk
+// archive recovery (the tsdb store seeding a 100k ring) cheap.
+func (r *Ring[T]) PushAll(vs []T) (evicted int) {
+	n := len(r.buf)
+	k := len(vs)
+	if k == 0 {
+		return 0
+	}
+	if k >= n {
+		// Only the newest n inputs survive; everything previously live and
+		// every older input is evicted.
+		evicted = r.length + k - n
+		copy(r.buf, vs[k-n:])
+		r.head = 0
+		r.length = n
+		r.evicted += uint64(evicted)
+		return evicted
+	}
+	if over := r.length + k - n; over > 0 {
+		evicted = over
+	}
+	m := copy(r.buf[r.head:], vs)
+	copy(r.buf, vs[m:])
+	r.head = (r.head + k) % n
+	r.length += k - evicted
+	r.evicted += uint64(evicted)
+	return evicted
+}
+
 // Len returns the number of live elements.
 func (r *Ring[T]) Len() int { return r.length }
 

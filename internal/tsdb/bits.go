@@ -1,0 +1,64 @@
+package tsdb
+
+import "errors"
+
+// errShortStream is returned when a bit stream ends before the declared
+// sample count has been decoded — a torn or hostile block.
+var errShortStream = errors.New("tsdb: bit stream exhausted")
+
+// bitWriter packs bits MSB-first into a growing byte slice. The zero
+// value is ready to use.
+type bitWriter struct {
+	buf  []byte
+	free uint // unused low bits remaining in the last byte (0 = none)
+}
+
+// writeBits appends the low n bits of v, most significant first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		if w.free == 0 {
+			w.buf = append(w.buf, 0)
+			w.free = 8
+		}
+		take := w.free
+		if take > n {
+			take = n
+		}
+		chunk := (v >> (n - take)) & (1<<take - 1)
+		w.buf[len(w.buf)-1] |= byte(chunk << (w.free - take))
+		w.free -= take
+		n -= take
+	}
+}
+
+// bytes returns the packed stream. Trailing unused bits are zero.
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// bitReader consumes bits MSB-first from a byte slice. Every read is
+// bounds-checked: hostile stream lengths surface as errShortStream, never
+// a panic — the property FuzzBlockDecode leans on.
+type bitReader struct {
+	buf []byte
+	pos int // absolute bit position
+}
+
+// readBits returns the next n bits (n ≤ 64) as the low bits of a uint64.
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	if r.pos+int(n) > len(r.buf)*8 {
+		return 0, errShortStream
+	}
+	var v uint64
+	for n > 0 {
+		idx := r.pos >> 3
+		avail := 8 - uint(r.pos&7)
+		take := avail
+		if take > n {
+			take = n
+		}
+		chunk := uint64(r.buf[idx]>>(avail-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.pos += int(take)
+		n -= take
+	}
+	return v, nil
+}

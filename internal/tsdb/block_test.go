@@ -1,0 +1,211 @@
+package tsdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fluxpower/internal/variorum"
+)
+
+// mkSample builds a deterministic Lassen-shaped sample at 2 s cadence.
+func mkSample(i int) variorum.NodePower {
+	base := 1200 + 300*math.Sin(float64(i)/50)
+	return variorum.NodePower{
+		Hostname:           "lassen42",
+		Timestamp:          10 + float64(i)*2,
+		Arch:               "ibm_power9",
+		NodeWatts:          base,
+		SocketCPUWatts:     []float64{base * 0.3, base * 0.28},
+		SocketMemWatts:     []float64{90, 85},
+		SocketGPUWatts:     []float64{base * 0.18, base * 0.17},
+		GPUWatts:           []float64{150, 152, 148, 151},
+		GPUsPerSensorEntry: 1,
+	}
+}
+
+// mkTiogaSample builds a sample in Tioga's shape: no node sensor, no
+// memory channel, per-OAM GPU sensors.
+func mkTiogaSample(i int) variorum.NodePower {
+	return variorum.NodePower{
+		Hostname:           "tioga12",
+		Timestamp:          10 + float64(i)*2,
+		Arch:               "amd_instinct",
+		NodeWatts:          variorum.Unsupported,
+		SocketCPUWatts:     []float64{280 + float64(i%7)},
+		SocketGPUWatts:     []float64{470},
+		GPUWatts:           []float64{118, 117, 119, 116},
+		GPUsPerSensorEntry: 2,
+	}
+}
+
+// sameJSON compares sample slices by their JSON encoding: the WAL stores
+// JSON, so nil vs empty omitempty slices are indistinguishable by design
+// and DeepEqual would be stricter than the durability contract.
+func sameJSON(t *testing.T, got, want []variorum.NodePower) {
+	t.Helper()
+	g, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g, w) {
+		t.Fatalf("samples differ:\n got %s\nwant %s", g, w)
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	for name, mk := range map[string]func(int) variorum.NodePower{
+		"lassen": mkSample, "tioga": mkTiogaSample,
+	} {
+		t.Run(name, func(t *testing.T) {
+			var samples []variorum.NodePower
+			for i := 0; i < 500; i++ {
+				samples = append(samples, mk(i))
+			}
+			img, err := encodeBlock(samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, got, err := decodeBlock(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.count != len(samples) {
+				t.Fatalf("count = %d, want %d", h.count, len(samples))
+			}
+			if h.minTs != samples[0].Timestamp || h.maxTs != samples[len(samples)-1].Timestamp {
+				t.Fatalf("time bounds [%v, %v]", h.minTs, h.maxTs)
+			}
+			sameJSON(t, got, samples)
+			// Exact nil-ness must survive, not just JSON equivalence.
+			if (got[0].SocketMemWatts == nil) != (samples[0].SocketMemWatts == nil) {
+				t.Fatal("SocketMemWatts nil-ness changed")
+			}
+			if (got[0].GPUWatts == nil) != (samples[0].GPUWatts == nil) {
+				t.Fatal("GPUWatts nil-ness changed")
+			}
+		})
+	}
+}
+
+func TestBlockRoundTripEdgeShapes(t *testing.T) {
+	cases := map[string][]variorum.NodePower{
+		"single sample": {mkSample(0)},
+		"nil cpu slice": {{
+			Hostname: "h", Timestamp: 5, Arch: "a", NodeWatts: 100,
+		}},
+		"empty non-nil cpu": {{
+			Hostname: "h", Timestamp: 5, Arch: "a", NodeWatts: 100,
+			SocketCPUWatts: []float64{},
+		}},
+	}
+	for name, samples := range cases {
+		t.Run(name, func(t *testing.T) {
+			img, err := encodeBlock(samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, got, err := decodeBlock(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameJSON(t, got, samples)
+			if (got[0].SocketCPUWatts == nil) != (samples[0].SocketCPUWatts == nil) {
+				t.Fatal("SocketCPUWatts nil-ness changed")
+			}
+		})
+	}
+}
+
+func TestBlockRoundTripNonFinite(t *testing.T) {
+	// NaN and infinities never reach the WAL (they are not valid JSON),
+	// but the block codec must still carry them bit-exactly.
+	in := variorum.NodePower{
+		Hostname: "h", Timestamp: 5, Arch: "a",
+		NodeWatts:      math.NaN(),
+		SocketCPUWatts: []float64{math.Inf(1), math.Inf(-1)},
+	}
+	img, err := encodeBlock([]variorum.NodePower{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := decodeBlock(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got[0].NodeWatts) != math.Float64bits(in.NodeWatts) {
+		t.Fatal("NaN bits changed")
+	}
+	for i := range in.SocketCPUWatts {
+		if math.Float64bits(got[0].SocketCPUWatts[i]) != math.Float64bits(in.SocketCPUWatts[i]) {
+			t.Fatalf("SocketCPUWatts[%d] bits changed", i)
+		}
+	}
+}
+
+func TestBlockEncodeErrors(t *testing.T) {
+	if _, err := encodeBlock(nil); err == nil {
+		t.Fatal("encodeBlock(nil) succeeded")
+	}
+	mixed := []variorum.NodePower{mkSample(0), mkTiogaSample(1)}
+	if _, err := encodeBlock(mixed); err == nil {
+		t.Fatal("encodeBlock with mixed schemas succeeded")
+	}
+	wide := mkSample(0)
+	wide.SocketCPUWatts = make([]float64, 300)
+	if _, err := encodeBlock([]variorum.NodePower{wide}); err == nil {
+		t.Fatal("encodeBlock with 300 sockets succeeded")
+	}
+}
+
+func TestBlockDecodeCorruption(t *testing.T) {
+	var samples []variorum.NodePower
+	for i := 0; i < 64; i++ {
+		samples = append(samples, mkSample(i))
+	}
+	img, err := encodeBlock(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any single-bit flip must be rejected by the CRC.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		mut := append([]byte(nil), img...)
+		mut[rng.Intn(len(mut))] ^= 1 << uint(rng.Intn(8))
+		if _, _, err := decodeBlock(mut); err == nil {
+			t.Fatalf("decodeBlock accepted corrupted image (trial %d)", trial)
+		}
+	}
+	// Every truncation must be rejected, never panic.
+	for cut := 0; cut < len(img); cut++ {
+		if _, _, err := decodeBlock(img[:cut]); err == nil {
+			t.Fatalf("decodeBlock accepted %d/%d bytes", cut, len(img))
+		}
+	}
+}
+
+func TestBlockCompression(t *testing.T) {
+	var samples []variorum.NodePower
+	for i := 0; i < 4096; i++ {
+		samples = append(samples, mkSample(i))
+	}
+	img, err := encodeBlock(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw int
+	for _, p := range samples {
+		b, _ := json.Marshal(p)
+		raw += len(b) + 1
+	}
+	if ratio := float64(len(img)) / float64(raw); ratio > 0.25 {
+		t.Fatalf("block is %.1f%% of raw JSON (%d / %d bytes); want ≤ 25%%",
+			100*ratio, len(img), raw)
+	}
+}

@@ -1,0 +1,153 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+
+	"fluxpower/internal/variorum"
+)
+
+// tierAccum folds samples into fixed-period buckets with exactly the
+// semantics of powermon's in-memory tiers: a bucket finalizes when a
+// sample crosses its end boundary, and each trapezoid energy segment is
+// charged to the bucket where the segment ends. Keeping the fold
+// identical is what lets a recovered archive adopt persisted buckets
+// without drift against the ones it would have computed live.
+type tierAccum struct {
+	period float64
+	cur    TierRec
+	curSet bool
+	lastTS float64
+	lastW  float64
+	out    []TierRec
+}
+
+func (a *tierAccum) push(p variorum.NodePower) {
+	bucketStart := float64(int64(p.Timestamp/a.period)) * a.period
+	if a.curSet && bucketStart != a.cur.StartSec {
+		a.out = append(a.out, a.cur)
+		a.curSet = false
+	}
+	if !a.curSet {
+		a.cur = TierRec{StartSec: bucketStart, EndSec: bucketStart + a.period}
+		a.curSet = true
+	}
+	w := p.TotalWatts()
+	if a.lastTS > 0 && p.Timestamp > a.lastTS {
+		a.cur.EnergyJ += (p.Timestamp - a.lastTS) * (w + a.lastW) / 2
+	}
+	a.cur.Power.Add(p)
+	a.lastTS, a.lastW = p.Timestamp, w
+}
+
+// compactLocked folds sealed blocks into each configured tier, emitting
+// only buckets that finalized past the previous high-water mark. The
+// fold restarts one block before the mark so the first new bucket's
+// trapezoid segment sees its true predecessor sample; re-formed older
+// buckets are simply filtered out, so compaction is idempotent.
+func (s *Store) compactLocked() error {
+	for _, period := range s.cfg.TierPeriodsSec {
+		if err := s.compactTierLocked(period); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) compactTierLocked(period float64) error {
+	if len(s.blocks) == 0 {
+		return nil
+	}
+	thr := s.compactedThrough[period]
+	idx := sort.Search(len(s.blocks), func(i int) bool { return s.blocks[i].maxTs >= thr })
+	if idx == len(s.blocks) {
+		return nil // every sealed sample already compacted
+	}
+	start := idx
+	if start > 0 {
+		start-- // priming block: supplies the predecessor sample
+	}
+	acc := tierAccum{period: period}
+	for i := start; i < len(s.blocks); i++ {
+		data, err := os.ReadFile(s.blocks[i].path)
+		if err != nil {
+			return err
+		}
+		_, samples, err := decodeBlock(data)
+		if err != nil {
+			return err
+		}
+		for _, p := range samples {
+			acc.push(p)
+		}
+	}
+	var fresh []TierRec
+	for _, r := range acc.out {
+		if r.EndSec > thr {
+			fresh = append(fresh, r)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, r := range fresh {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		buf = appendFrame(buf, payload)
+	}
+	f, err := os.OpenFile(s.tierLogPath(period), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	s.tierRecs[period] = append(s.tierRecs[period], fresh...)
+	s.compactedThrough[period] = fresh[len(fresh)-1].EndSec
+	return nil
+}
+
+// gcLocked deletes the oldest sealed blocks while the size or age bound
+// is exceeded — but only blocks every configured tier has fully
+// compacted (cand.maxTs strictly below every compaction high-water
+// mark). Deleted samples therefore always live inside persisted tier
+// buckets, which a recovering archive adopts wholesale before replaying
+// any raw sample, so no bucket is ever half-rebuilt. The newest block is
+// always retained.
+func (s *Store) gcLocked(nowSec float64) error {
+	for len(s.blocks) > 1 {
+		over := s.cfg.RetainBytes >= 0 && s.blockBytes > s.cfg.RetainBytes
+		old := s.cfg.RetainSec > 0 && s.blocks[0].maxTs < nowSec-s.cfg.RetainSec
+		if !over && !old {
+			return nil
+		}
+		cand := s.blocks[0]
+		for _, p := range s.cfg.TierPeriodsSec {
+			if cand.maxTs >= s.compactedThrough[p] {
+				return nil // a tier has not finished compacting this block
+			}
+		}
+		if err := os.Remove(cand.path); err != nil {
+			return err
+		}
+		s.blocks = s.blocks[1:]
+		s.blockBytes -= cand.bytes
+		if cand.maxTs > s.gcLostTs {
+			s.gcLostTs = cand.maxTs
+		}
+		s.writeMeta()
+	}
+	return nil
+}

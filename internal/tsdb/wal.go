@@ -1,0 +1,187 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WAL record framing: [u32 payload length][u32 CRC32 of payload][payload],
+// little-endian. Appends accumulate in an in-memory pending buffer; Sync
+// writes the buffer and fsyncs, so a crash loses exactly the un-synced
+// suffix and replay sees synced records whole. A torn final write (power
+// loss mid-fsync, or a deliberately truncated file) parses as a clean
+// prefix: the first malformed frame truncates the rest of the file.
+
+// maxFrame bounds one framed payload; larger length prefixes are treated
+// as corruption.
+const maxFrame = 1 << 20
+
+// appendFrame frames payload onto dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...)
+}
+
+// splitFrames parses every clean frame from data. clean is how many
+// prefix bytes held well-formed frames; torn reports whether anything
+// (a partial header, an oversized length, a CRC mismatch, a short
+// payload) followed them.
+func splitFrames(data []byte) (payloads [][]byte, clean int, torn bool) {
+	pos := 0
+	for {
+		if pos == len(data) {
+			return payloads, pos, false
+		}
+		if len(data)-pos < 8 {
+			return payloads, pos, true
+		}
+		n := binary.LittleEndian.Uint32(data[pos:])
+		sum := binary.LittleEndian.Uint32(data[pos+4:])
+		if n > maxFrame || pos+8+int(n) > len(data) {
+			return payloads, pos, true
+		}
+		payload := data[pos+8 : pos+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, pos, true
+		}
+		payloads = append(payloads, payload)
+		pos += 8 + int(n)
+	}
+}
+
+// segmentName returns the WAL file name for the segment whose first
+// record has the given global index; the fixed-width hex keeps
+// lexicographic and numeric order identical.
+func segmentName(firstIndex uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstIndex)
+}
+
+// parseSegmentName extracts the first-record index from a WAL file name.
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	hexPart := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// segmentInfo describes one on-disk WAL segment found at recovery.
+type segmentInfo struct {
+	path  string
+	first uint64 // global index of the segment's first record
+	count int    // clean records replayed from it
+	bytes int64
+}
+
+// listSegments returns the WAL segments in dir ordered by first index.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		first, ok := parseSegmentName(e.Name())
+		if !ok {
+			continue
+		}
+		segs = append(segs, segmentInfo{path: filepath.Join(dir, e.Name()), first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// walWriter is the active WAL segment: an open file plus the pending
+// (appended but not yet fsynced) byte buffer.
+type walWriter struct {
+	f           *os.File
+	path        string
+	firstIndex  uint64
+	count       int   // records appended to this segment, incl. pending
+	syncedBytes int64 // bytes durably on disk
+	pending     []byte
+	pendingRecs int
+}
+
+// openSegment creates a fresh segment whose first record will carry the
+// given global index.
+func openSegment(dir string, firstIndex uint64) (*walWriter, error) {
+	path := filepath.Join(dir, segmentName(firstIndex))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{f: f, path: path, firstIndex: firstIndex}, nil
+}
+
+// append frames payload into the pending buffer.
+func (w *walWriter) append(payload []byte) {
+	w.pending = appendFrame(w.pending, payload)
+	w.pendingRecs++
+	w.count++
+}
+
+// size returns the segment's total bytes, synced plus pending.
+func (w *walWriter) size() int64 { return w.syncedBytes + int64(len(w.pending)) }
+
+// sync writes the pending buffer and fsyncs, returning how many records
+// became durable.
+func (w *walWriter) sync() (int, error) {
+	if len(w.pending) == 0 {
+		return 0, nil
+	}
+	if _, err := w.f.Write(w.pending); err != nil {
+		return 0, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, err
+	}
+	w.syncedBytes += int64(len(w.pending))
+	recs := w.pendingRecs
+	w.pending = nil
+	w.pendingRecs = 0
+	return recs, nil
+}
+
+// crash models an unclean stop: the pending buffer is dropped on the
+// floor and the file closed without flushing — what a kill -9 or power
+// loss leaves on disk.
+func (w *walWriter) crash() {
+	w.pending = nil
+	w.pendingRecs = 0
+	_ = w.f.Close()
+}
+
+// drop closes the segment discarding pending bytes — used when a seal
+// makes the whole segment redundant with a fsynced block.
+func (w *walWriter) drop() error {
+	w.pending = nil
+	w.pendingRecs = 0
+	return w.f.Close()
+}
+
+// close syncs and closes.
+func (w *walWriter) close() error {
+	if _, err := w.sync(); err != nil {
+		_ = w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
