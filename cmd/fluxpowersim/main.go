@@ -144,6 +144,13 @@ var registry = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	"heal": func(o experiments.Options) (string, error) {
+		r, err := experiments.Heal(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 	"serve": func(o experiments.Options) (string, error) {
 		r, err := experiments.Serve(o)
 		if err != nil {
@@ -199,6 +206,13 @@ var csvRegistry = map[string]runner{
 	},
 	"chaos": func(o experiments.Options) (string, error) {
 		r, err := experiments.Chaos(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderCSV(), nil
+	},
+	"heal": func(o experiments.Options) (string, error) {
+		r, err := experiments.Heal(o)
 		if err != nil {
 			return "", err
 		}

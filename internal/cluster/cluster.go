@@ -79,6 +79,9 @@ type Config struct {
 	// broker.DefaultCallTimeout). The chaos experiments shorten it so
 	// query failures surface quickly.
 	CallTimeout time.Duration
+	// Heal enables the self-healing TBON (heartbeats, orphan reattach)
+	// on every broker. Nil keeps the classic fixed topology.
+	Heal *broker.HealConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -201,6 +204,7 @@ func New(cfg Config) (*Cluster, error) {
 		Local:       func(rank int32) any { return c.nodes[rank] },
 		WrapLink:    cfg.WrapLink,
 		CallTimeout: cfg.CallTimeout,
+		Heal:        cfg.Heal,
 	})
 	if err != nil {
 		return nil, err

@@ -147,6 +147,11 @@ type Manager struct {
 	// a rank while it was crashed.
 	pushAcks   map[int32]uint64
 	pushAckSec map[int32][]float64
+	// Limit re-pushes triggered by topology reattach events (rank 0
+	// only): enforcement state is job-level-manager-owned, so a moved or
+	// restarted node gets its current limit pushed again rather than
+	// running uncapped until the next allocation change.
+	limitRepushes uint64
 }
 
 // maxAckTimes bounds the per-rank acknowledgement timestamp history.
@@ -201,6 +206,12 @@ func (m *Manager) Init(ctx *broker.Context) error {
 		}
 		ctx.Subscribe(job.EventStart, m.onJobStart)
 		ctx.Subscribe(job.EventFinish, m.onJobFinish)
+		// A topology reattach means limit pushes to the moved ranks may
+		// have been dropped while they were orphaned — and a rank that
+		// crash-restarted has lost its caps entirely. Re-push the
+		// authoritative limit for every moved rank so enforcement heals
+		// along with the tree.
+		ctx.Subscribe(broker.TopicReattach, m.onReattach)
 		// PolicyStatic caps every node once, up front: that is exactly
 		// what a site does with the IBM default mechanism. Deferred one
 		// timer tick so that node-level managers on the other ranks have
@@ -405,6 +416,52 @@ func (m *Manager) sendNodeLimit(rank int32, jobID uint64, limitW float64, policy
 	return f
 }
 
+// onReattach re-pushes the current node-level limit to every rank a
+// topology reattach event moved. A rank that rejoined after a
+// crash-restart boots with no caps installed, and pushes issued while a
+// rank was orphaned time out and are recorded as push failures; either
+// way the node would run at the wrong limit until the next allocation
+// change. Re-pushing on reattach is idempotent for ranks that never
+// lost their caps.
+func (m *Manager) onReattach(ev *msg.Message) {
+	var re broker.ReattachEvent
+	if err := ev.Unmarshal(&re); err != nil {
+		return
+	}
+	type push struct {
+		rank   int32
+		jobID  uint64
+		limitW float64
+		policy Policy
+	}
+	var items []push
+	m.mu.Lock()
+	for _, rank := range re.Ranks {
+		found := false
+		for _, a := range m.allocs {
+			for _, ar := range a.Ranks {
+				if ar == rank {
+					items = append(items, push{rank, a.JobID, a.PerNodeW, a.Policy})
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found && m.cfg.Policy == PolicyStatic && m.cfg.StaticNodeCapW > 0 {
+			items = append(items, push{rank, 0, m.cfg.StaticNodeCapW, PolicyStatic})
+		}
+	}
+	m.limitRepushes += uint64(len(items))
+	m.mu.Unlock()
+	sort.Slice(items, func(i, j int) bool { return items[i].rank < items[j].rank })
+	for _, it := range items {
+		m.sendNodeLimit(it.rank, it.jobID, it.limitW, it.policy)
+	}
+}
+
 // handleSetGlobal changes the cluster power bound at runtime.
 func (m *Manager) handleSetGlobal(req *broker.Request) {
 	var body struct {
@@ -456,6 +513,7 @@ func (m *Manager) handleStatus(req *broker.Request) {
 	}
 	global := m.cfg.GlobalCapW
 	pushFailures := m.pushFailures
+	repushes := m.limitRepushes
 	pushErrs := make(map[int32]string, len(m.pushErrs))
 	for rank, e := range m.pushErrs {
 		pushErrs[rank] = e
@@ -476,8 +534,9 @@ func (m *Manager) handleStatus(req *broker.Request) {
 		"allocations":   out,
 		"push_failures": pushFailures,
 		"push_errors":   pushErrs,
-		"push_acks":     pushAcks,
-		"push_ack_sec":  pushAckSec,
+		"push_acks":      pushAcks,
+		"push_ack_sec":   pushAckSec,
+		"limit_repushes": repushes,
 	})
 }
 

@@ -146,6 +146,11 @@ type Module struct {
 	arch *archive
 	// samples counts sensor reads, for overhead accounting in benchmarks.
 	samples uint64
+	// reattaches counts topology moves that included this rank. The
+	// archive and store are node-local, so a move needs no state handoff
+	// — the counter is operational visibility, and each move triggers a
+	// store sync so the durable tail is hardened right after a fault.
+	reattaches uint64
 	// store is the durable spill target (nil when StoreDir is unset). It
 	// has its own internal lock; it is written under mu only to keep the
 	// archive and the store observing samples in the same order.
@@ -277,6 +282,34 @@ func (m *Module) Init(ctx *broker.Context) error {
 			return err
 		}
 	}
+	// Telemetry is node-local by design — a topology move needs no state
+	// handoff. But a reattach usually follows a fault, so when our rank is
+	// part of a moved subtree, fsync the durable tail immediately instead
+	// of waiting out the maintenance interval, and count the move for the
+	// stats surface.
+	ctx.Subscribe(broker.TopicReattach, func(ev *msg.Message) {
+		var re broker.ReattachEvent
+		if err := ev.Unmarshal(&re); err != nil {
+			return
+		}
+		moved := false
+		for _, r := range re.Ranks {
+			if r == ctx.Rank() {
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return
+		}
+		now := ctx.Clock().Now().Seconds()
+		m.mu.Lock()
+		m.reattaches++
+		if m.store != nil {
+			_ = m.store.Maintain(now)
+		}
+		m.mu.Unlock()
+	})
 	return nil
 }
 
@@ -464,6 +497,7 @@ func (m *Module) handleStats(req *broker.Request) {
 		"ring_evicted":        m.arch.raw.Evicted(),
 		"sample_interval_sec": m.cfg.SampleInterval.Seconds(),
 		"tiers":               m.arch.stats(),
+		"reattaches":          m.reattaches,
 	}
 	if oldest, ok := m.arch.raw.Oldest(); ok {
 		stats["oldest_sample_sec"] = oldest.Timestamp

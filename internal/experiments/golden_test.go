@@ -162,6 +162,17 @@ func TestGoldenStore(t *testing.T) {
 	checkGolden(t, "store_csv", r.RenderCSV())
 }
 
+func TestGoldenHeal(t *testing.T) {
+	r := &HealResult{SimNodes: 64, LiveNodes: 16, Rows: []HealRow{
+		{Mode: "sim", Crashes: 1, HealSec: 0.85, Converged: true},
+		{Mode: "sim", Crashes: 2, HealSec: 0.95, Converged: true},
+		{Mode: "sim", Crashes: 8, HealSec: 1.8, Converged: true},
+		{Mode: "live-tcp", Crashes: 1, HealSec: 0.21, Converged: true},
+	}}
+	checkGolden(t, "heal", r.Render())
+	checkGolden(t, "heal_csv", r.RenderCSV())
+}
+
 func TestGoldenChaos(t *testing.T) {
 	r := &ChaosResult{Nodes: 16, Rows: []ChaosRow{
 		{DropProb: 0, Queries: 15, OK: 15},

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/chaos"
+)
+
+// HealRow is one point of the mean-time-to-heal sweep: how long the
+// self-healing TBON takes to re-converge after interior ranks crash.
+type HealRow struct {
+	// Mode is "sim" (64-node simulated cluster, simulated seconds) or
+	// "live-tcp" (loopback TCP brokers, wall-clock seconds).
+	Mode string
+	// Crashes is the number of interior ranks killed simultaneously.
+	Crashes int
+	// HealSec is the time from the crash instant until a root liveness
+	// sweep covers every rank except the dead ones — detection, orphan
+	// re-parenting, and subtree accounting repair included.
+	HealSec float64
+	// Converged reports whether coverage returned to all-but-the-dead
+	// within the measurement window at all.
+	Converged bool
+	// Violations counts chaos invariants broken after the dead ranks were
+	// revived and the instance quiesced — the bar is zero: healing may
+	// take time but may not leak state.
+	Violations int
+}
+
+// HealResult is the crash-count vs heal-latency sweep.
+type HealResult struct {
+	SimNodes  int
+	LiveNodes int
+	Rows      []HealRow
+}
+
+// healSimCrashSet is the deterministic interior-rank kill list for the
+// 64-node fanout-2 sim topology, ordered so each prefix is a meaningful
+// scenario: {1,2} kills both root children (every orphan reattaches
+// straight to the root), {1,2,5,6} adds a cascade (5 and 6 are children
+// of dead 2), and the full set forces leaf orphans to walk three dead
+// ancestors before finding a live parent.
+var healSimCrashSet = []int32{1, 2, 5, 6, 11, 12, 13, 14}
+
+// Heal measures mean time to heal: it crashes growing sets of interior
+// TBON ranks permanently, then steps the clock until a root liveness
+// sweep again covers every surviving rank. The sim sweep scales crash
+// count on a 64-node cluster; one live-TCP point replays the single
+// interior crash over real sockets and wall-clock heartbeats.
+func Heal(o Options) (*HealResult, error) {
+	o = o.withDefaults()
+	crashCounts := []int{1, 2, 4, 8}
+	if o.Quick {
+		crashCounts = []int{1, 2}
+	}
+	res := &HealResult{SimNodes: 64, LiveNodes: 16}
+	for i, n := range crashCounts {
+		row, err := healSimOne(res.SimNodes, o.Seed+int64(i), n)
+		if err != nil {
+			return nil, fmt.Errorf("heal: sim %d crashes: %w", n, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	row, err := healLiveOne(res.LiveNodes)
+	if err != nil {
+		return nil, fmt.Errorf("heal: live-tcp: %w", err)
+	}
+	res.Rows = append(res.Rows, row)
+	return res, nil
+}
+
+func healSimOne(nodes int, seed int64, crashes int) (HealRow, error) {
+	const crashSec = 5.0
+	row := HealRow{Mode: "sim", Crashes: crashes}
+	plan := chaos.Plan{Seed: seed}
+	for _, r := range healSimCrashSet[:crashes] {
+		// No EndSec: the crash is permanent until Disarm revives it.
+		plan.Nodes = append(plan.Nodes, chaos.NodeRule{
+			Rank: r, Kind: chaos.FaultCrash,
+			Window: chaos.Window{StartSec: crashSec},
+		})
+	}
+	inj := chaos.New(plan)
+	c, err := cluster.New(cluster.Config{
+		System:      cluster.Lassen,
+		Nodes:       nodes,
+		Seed:        seed,
+		WrapLink:    inj.WrapLink,
+		CallTimeout: 2 * time.Second,
+		Heal:        &broker.HealConfig{Interval: 100 * time.Millisecond, MissThreshold: 3},
+	})
+	if err != nil {
+		return row, err
+	}
+	defer c.Close()
+	inj.Bind(c.Sched)
+
+	var live *chaos.Liveness
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		l := chaos.NewLiveness(2 * time.Second)
+		if rank == 0 {
+			live = l
+		}
+		return l
+	}); err != nil {
+		return row, err
+	}
+
+	c.RunFor(5 * time.Second) // heartbeats settle; crashes fire at 5 s
+	if res, err := live.Sweep(nil, 2*time.Second); err != nil || res.Partial {
+		return row, fmt.Errorf("steady state not full before crash: %+v err=%v", res, err)
+	}
+
+	// Step in 50 ms increments until coverage returns to all-but-the-dead;
+	// the step size bounds the measurement's resolution.
+	inj.Arm()
+	const stepSec, limitSec = 0.05, 30.0
+	for c.Sched.Now().Seconds() < crashSec+limitSec {
+		c.RunFor(50 * time.Millisecond)
+		res, err := live.Sweep(nil, 2*time.Second)
+		if err != nil {
+			continue
+		}
+		if res.Ranks == nodes-crashes && res.Missing == crashes {
+			row.Converged = true
+			row.HealSec = c.Sched.Now().Seconds() - crashSec
+			break
+		}
+	}
+
+	// Revive the dead ranks; they rejoin, and the full invariant suite
+	// must be clean once everything quiesces.
+	inj.Disarm()
+	c.RunFor(15 * time.Second)
+	row.Violations = len(chaos.Check(chaos.CheckConfig{
+		Brokers:            c.Inst.Brokers,
+		Injector:           inj,
+		Liveness:           live,
+		Heal:               true,
+		RPCTimeout:         2 * time.Second,
+		ExpectAllReachable: true,
+	}))
+	return row, nil
+}
+
+func healLiveOne(nodes int) (HealRow, error) {
+	row := HealRow{Mode: "live-tcp", Crashes: 1}
+	// StartSec 0: the fault is live the instant Arm is called, so the
+	// heal clock starts at the (wall-measured) Arm instant rather than at
+	// a pre-declared absolute time.
+	plan := chaos.Plan{
+		Seed: 1,
+		Nodes: []chaos.NodeRule{
+			{Rank: 1, Kind: chaos.FaultCrash, Window: chaos.Window{StartSec: 0}},
+		},
+	}
+	inj := chaos.New(plan)
+	li, err := broker.NewLiveInstance(broker.InstanceOptions{
+		Size:        nodes,
+		WrapLink:    inj.WrapLink,
+		CallTimeout: 500 * time.Millisecond,
+		Heal:        &broker.HealConfig{Interval: 30 * time.Millisecond, MissThreshold: 3},
+	})
+	if err != nil {
+		return row, err
+	}
+	defer li.Close()
+	inj.Bind(li.Wall)
+
+	var live *chaos.Liveness
+	if err := li.LoadModuleAll(func(rank int32) broker.Module {
+		l := chaos.NewLiveness(400 * time.Millisecond)
+		if rank == 0 {
+			live = l
+		}
+		return l
+	}); err != nil {
+		return row, err
+	}
+
+	// Warm up until a sweep covers the whole instance (heartbeats and
+	// listeners settle on real sockets at their own pace).
+	warmDeadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := live.Sweep(nil, 400*time.Millisecond)
+		if err == nil && !res.Partial {
+			break
+		}
+		if time.Now().After(warmDeadline) {
+			return row, fmt.Errorf("live instance never reached steady state: %+v err=%v", res, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	inj.Arm()
+	armAt := time.Now()
+	deadline := armAt.Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+		res, err := live.Sweep(nil, 400*time.Millisecond)
+		if err != nil {
+			continue // the sweep itself may be collateral damage mid-heal
+		}
+		if res.Ranks == nodes-1 && res.Missing == 1 {
+			row.Converged = true
+			row.HealSec = time.Since(armAt).Seconds()
+			break
+		}
+	}
+
+	inj.Disarm()
+	time.Sleep(1200 * time.Millisecond) // revived rank rejoins; deadlines drain
+	row.Violations = len(chaos.Check(chaos.CheckConfig{
+		Brokers:            li.Brokers,
+		Injector:           inj,
+		Liveness:           live,
+		Heal:               true,
+		RPCTimeout:         2 * time.Second,
+		ExpectAllReachable: true,
+	}))
+	return row, nil
+}
+
+func (r *HealResult) tabular() ([]string, [][]string) {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Mode,
+			fmt.Sprintf("%d", row.Crashes),
+			fmt.Sprintf("%.2f", row.HealSec),
+			fmt.Sprintf("%v", row.Converged),
+			fmt.Sprintf("%d", row.Violations),
+		})
+	}
+	return []string{"mode", "crashes", "heal_sec", "converged", "violations"}, rows
+}
+
+// Render prints the sweep.
+func (r *HealResult) Render() string {
+	header, rows := r.tabular()
+	return fmt.Sprintf("Heal: time to re-converge after interior-rank crashes (%d-node sim TBON, %d-node live-TCP)\n",
+		r.SimNodes, r.LiveNodes) +
+		table(header, rows) +
+		"heal_sec spans detection (missed heartbeats), orphan re-parenting and subtree\n" +
+		"accounting repair; sim rows are simulated seconds, live-tcp rows wall-clock.\n" +
+		"violations counts invariants broken after the dead ranks revive — the bar is zero.\n"
+}
+
+// RenderCSV emits the sweep as CSV for plotting.
+func (r *HealResult) RenderCSV() string {
+	header, rows := r.tabular()
+	return csvTable(header, rows)
+}

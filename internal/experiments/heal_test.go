@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHealExperiment runs the quick heal sweep end-to-end and gates the
+// acceptance threshold: mean time to heal for a single interior-rank
+// crash on the 64-node sim topology must be at most 2 simulated seconds,
+// every scenario must re-converge, and no scenario may leak state.
+func TestHealExperiment(t *testing.T) {
+	res, err := Heal(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 { // sim crashes {1,2} + one live-tcp point
+		t.Fatalf("rows = %d, want 3: %+v", len(res.Rows), res.Rows)
+	}
+	for _, row := range res.Rows {
+		if !row.Converged {
+			t.Errorf("%s with %d crashes never re-converged", row.Mode, row.Crashes)
+		}
+		if row.Violations != 0 {
+			t.Errorf("%s with %d crashes: %d invariant violations after revive",
+				row.Mode, row.Crashes, row.Violations)
+		}
+	}
+	single := res.Rows[0]
+	if single.Mode != "sim" || single.Crashes != 1 {
+		t.Fatalf("first row is not the single-crash sim point: %+v", single)
+	}
+	// The gated mean-time-to-heal threshold (CI acceptance criterion).
+	if single.HealSec > 2.0 {
+		t.Fatalf("single interior-rank crash healed in %.2f simulated seconds, budget 2.0", single.HealSec)
+	}
+	if !strings.Contains(res.Render(), "heal_sec") {
+		t.Fatal("render missing heal_sec column")
+	}
+}
+
+// TestHealSimScalesWithCrashCount sanity-checks that deeper kill sets
+// still converge: the full sweep's largest scenario forces orphans to
+// walk multiple dead ancestors.
+func TestHealSimScalesWithCrashCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crash-count sweep in -short mode")
+	}
+	row, err := healSimOne(64, DefaultSeed+7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Converged {
+		t.Fatalf("8-crash cascade never re-converged: %+v", row)
+	}
+	if row.Violations != 0 {
+		t.Fatalf("8-crash cascade leaked state: %d violations", row.Violations)
+	}
+}

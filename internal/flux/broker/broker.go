@@ -94,8 +94,38 @@ type Broker struct {
 	modUndo   map[string][]func()
 	local     any
 
+	// Elastic-topology state (heal.go). parentRank tracks who the
+	// current upstream actually is (the formula parent until a reattach
+	// moves it). childSets is nil while the topology is pristine — every
+	// routing decision then uses the closed-form k-ary walk — and is
+	// materialized from the formula on the first runtime mutation; each
+	// set holds the full membership of that child's subtree, child
+	// included. detached keeps the links of pruned children unclosed so a
+	// wrongly-pruned child's next heartbeat can still be acked and the
+	// child steered back through the reattach handshake.
+	parentRank int32
+	childSets  map[int32]map[int32]bool
+	detached   map[int32]transport.Link
+
+	// Event dedupe window: a reattached child can transiently receive
+	// the same sequenced event via its old and its new parent. Root
+	// assigns seqs so it never dedupes; everyone else remembers the last
+	// evDedupeWindow seqs seen.
+	evSeen  map[uint64]bool
+	evOrder []uint64
+
+	heal *healState // nil unless Options.Heal was set
+
 	stats Stats
 }
+
+// evDedupeWindow bounds the per-broker event dedupe memory.
+const evDedupeWindow = 512
+
+// maxHops bounds broker-to-broker forwards for a single message while
+// the tree is re-forming after a crash; only enforced when healing is
+// enabled (a pristine tree cannot loop).
+const maxHops = 64
 
 type subscription struct {
 	id      uint64
@@ -163,6 +193,10 @@ type Options struct {
 	// CallTimeout bounds Call's blocking wait over live transports
 	// (default DefaultCallTimeout). Ignored in simulation.
 	CallTimeout time.Duration
+	// Heal enables the self-healing TBON extension (heartbeats, orphan
+	// reattach, runtime topology repair — see heal.go). Nil preserves the
+	// fixed-topology behavior exactly: no timers, no control traffic.
+	Heal *HealConfig
 }
 
 // realTimeProvider is implemented by time sources whose callbacks run
@@ -208,8 +242,12 @@ func New(opts Options) (*Broker, error) {
 	if b.callTimeout <= 0 {
 		b.callTimeout = DefaultCallTimeout
 	}
+	b.parentRank = ParentRank(b.rank, b.k)
 	if opts.Timers != nil {
 		b.wheel = newDeadlineWheel(opts.Timers)
+	}
+	if opts.Heal != nil {
+		b.initHeal(opts.Heal)
 	}
 	b.registerBuiltins()
 	return b, nil
@@ -316,13 +354,40 @@ func TreeDepth(r int32, k int) int {
 }
 
 // nextHop computes the link to forward a message destined for target:
-// the child whose subtree contains target, else the parent.
+// the child whose subtree contains target, else the parent. On a
+// pristine topology the subtree test is the closed-form k-ary ancestor
+// walk; once a heal has mutated the tree, routing switches to the
+// recorded per-child subtree membership (see heal.go).
 func (b *Broker) nextHop(target int32) (transport.Link, error) {
 	if target < 0 || target >= b.size {
 		return nil, fmt.Errorf("%w: rank %d of %d", ErrNoRoute, target, b.size)
 	}
-	// Walk target's ancestor chain; if it passes through us, the node
-	// just below us on the chain is the child to use.
+	if target == b.rank {
+		return nil, nil // target is us
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.childSets != nil {
+		// Elastic topology. Child subtrees are kept disjoint, so at most
+		// one set owns the target.
+		for c, set := range b.childSets {
+			if set[target] {
+				l, ok := b.children[c]
+				if !ok {
+					return nil, fmt.Errorf("%w: child %d not connected", ErrNoRoute, c)
+				}
+				return l, nil
+			}
+		}
+		if b.rank == 0 || b.parent == nil {
+			// Unowned at the root means the rank's subtree is currently
+			// detached (mid-heal) — there is no route until it reattaches.
+			return nil, fmt.Errorf("%w: rank %d currently detached from rank %d", ErrNoRoute, target, b.rank)
+		}
+		return b.parent, nil
+	}
+	// Pristine topology: walk target's ancestor chain; if it passes
+	// through us, the node just below us on the chain is the child to use.
 	cur := target
 	prev := int32(-1)
 	for cur != -1 {
@@ -332,17 +397,12 @@ func (b *Broker) nextHop(target int32) (transport.Link, error) {
 		prev = cur
 		cur = ParentRank(cur, b.k)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if cur == b.rank && prev != -1 {
+	if cur == b.rank {
 		l, ok := b.children[prev]
 		if !ok {
 			return nil, fmt.Errorf("%w: child %d not connected", ErrNoRoute, prev)
 		}
 		return l, nil
-	}
-	if cur == b.rank && prev == -1 {
-		return nil, nil // target is us
 	}
 	if b.parent == nil {
 		return nil, fmt.Errorf("%w: no parent link from rank %d", ErrNoRoute, b.rank)
@@ -448,6 +508,9 @@ func (b *Broker) routeEvent(ev *msg.Message, fromBelow bool) error {
 		if parent == nil {
 			return fmt.Errorf("%w: cannot publish without parent", ErrNoRoute)
 		}
+		if !b.bumpHops(ev) {
+			return fmt.Errorf("%w: event %q exceeded hop limit", ErrNoRoute, ev.Topic)
+		}
 		return parent.Send(ev)
 	}
 	if b.rank == 0 && fromBelow {
@@ -455,6 +518,27 @@ func (b *Broker) routeEvent(ev *msg.Message, fromBelow bool) error {
 		b.eventSeq++
 		ev = ev.Copy()
 		ev.Seq = b.eventSeq
+		b.mu.Unlock()
+	}
+	// A reattached broker can transiently receive the same flooded event
+	// twice — once relayed by its old parent before the prune, once by
+	// its new parent. Root assigns the seqs itself so only non-root
+	// brokers dedupe, on a sliding window of recently seen seqs.
+	if b.rank != 0 && ev.Seq != 0 {
+		b.mu.Lock()
+		if b.evSeen[ev.Seq] {
+			b.mu.Unlock()
+			return nil
+		}
+		if b.evSeen == nil {
+			b.evSeen = make(map[uint64]bool, evDedupeWindow)
+		}
+		b.evSeen[ev.Seq] = true
+		b.evOrder = append(b.evOrder, ev.Seq)
+		if len(b.evOrder) > evDedupeWindow {
+			delete(b.evSeen, b.evOrder[0])
+			b.evOrder = b.evOrder[1:]
+		}
 		b.mu.Unlock()
 	}
 	// Deliver locally, then flood downward. A failed child link must not
@@ -603,8 +687,12 @@ func (b *Broker) Deliver(m *msg.Message) {
 		// root; sequenced events are flooding downward.
 		_ = b.routeEvent(m, m.Seq == 0)
 	case msg.TypeControl:
-		// Control messages are point-to-point broker internals; only
-		// ping/shutdown would use them. Ignored for now.
+		// Control messages are point-to-point broker internals. The heal
+		// protocol (heartbeats, reattach handshake, subtree accounting)
+		// rides on them; without healing enabled they remain ignored.
+		if b.heal != nil {
+			b.handleControl(m)
+		}
 	default:
 		b.mu.Lock()
 		b.stats.RoutingErrors++
@@ -631,6 +719,10 @@ func (b *Broker) deliverRequest(m *msg.Message) {
 			b.respondErr(m, msg.EHOSTUNREACH, "no parent link")
 			return
 		}
+		if !b.bumpHops(m) {
+			b.respondErr(m, msg.EHOSTUNREACH, fmt.Sprintf("hop limit %d exceeded for %q", maxHops, m.Topic))
+			return
+		}
 		if err := parent.Send(m); err != nil {
 			b.respondErr(m, msg.EHOSTUNREACH, err.Error())
 		}
@@ -650,12 +742,35 @@ func (b *Broker) deliverRequest(m *msg.Message) {
 		b.respondErr(m, msg.ENOSYS, fmt.Sprintf("rank %d has no service for %q", b.rank, m.Topic))
 		return
 	}
+	if !b.bumpHops(m) {
+		b.respondErr(m, msg.EHOSTUNREACH, fmt.Sprintf("hop limit %d exceeded for %q", maxHops, m.Topic))
+		return
+	}
 	b.mu.Lock()
 	b.stats.RequestsRouted++
 	b.mu.Unlock()
 	if err := hop.Send(m); err != nil {
 		b.respondErr(m, msg.EHOSTUNREACH, err.Error())
 	}
+}
+
+// bumpHops enforces the routing-loop hop limit on forwarded messages.
+// Only meaningful while healing is enabled: a pristine k-ary tree cannot
+// loop, and leaving messages untouched keeps heal-off wire bytes
+// identical to the fixed-topology broker. It reports whether the message
+// may still be forwarded.
+func (b *Broker) bumpHops(m *msg.Message) bool {
+	if b.heal == nil {
+		return true
+	}
+	if m.Hops >= maxHops {
+		b.mu.Lock()
+		b.stats.RoutingErrors++
+		b.mu.Unlock()
+		return false
+	}
+	m.Hops++
+	return true
 }
 
 func (b *Broker) deliverResponse(m *msg.Message) {
@@ -680,6 +795,9 @@ func (b *Broker) deliverResponse(m *msg.Message) {
 		b.stats.RoutingErrors++
 		b.mu.Unlock()
 		return // response to an unreachable requester is dropped
+	}
+	if !b.bumpHops(m) {
+		return // looping response is dropped
 	}
 	b.mu.Lock()
 	b.stats.ResponsesRouted++

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -23,6 +24,11 @@ type LiveInstance struct {
 	mu        sync.Mutex
 	listeners []*transport.Listener
 	links     []transport.Link
+	// addrs maps each listening rank to its TCP address so reattach
+	// dialers can reach candidate parents at runtime. Every reattach
+	// candidate is an ancestor, and every ancestor has formula children,
+	// hence a listener.
+	addrs map[int32]string
 }
 
 // helloTopic is the control handshake a child sends on connecting so the
@@ -54,6 +60,7 @@ func NewLiveInstance(opts InstanceOptions) (*LiveInstance, error) {
 			Timers:      li.Wall,
 			Local:       local,
 			CallTimeout: opts.CallTimeout,
+			Heal:        opts.Heal,
 		})
 		if err != nil {
 			li.Close()
@@ -81,6 +88,12 @@ func NewLiveInstance(opts InstanceOptions) (*LiveInstance, error) {
 		li.listeners = append(li.listeners, ln)
 		li.mu.Unlock()
 		addrs[rank] = ln.Addr()
+	}
+	li.mu.Lock()
+	li.addrs = addrs
+	li.mu.Unlock()
+	if opts.Heal != nil {
+		li.installDialers(opts.WrapLink)
 	}
 	for rank := int32(1); rank < int32(opts.Size); rank++ {
 		child := li.Brokers[rank]
@@ -131,11 +144,24 @@ func (li *LiveInstance) acceptChild(parent *Broker, link transport.Link, wrap fu
 		handled := false
 		once.Do(func() {
 			if m.Type == msg.TypeControl && m.Topic == helloTopic {
+				var hp struct {
+					Reattach bool `json:"reattach"`
+				}
+				if len(m.Payload) > 0 {
+					_ = json.Unmarshal(m.Payload, &hp)
+				}
 				down := link
 				if wrap != nil {
 					down = wrap(parent.Rank(), m.Sender, down)
 				}
-				parent.AddChild(m.Sender, down)
+				if hp.Reattach {
+					// A reattach hello only offers the link: adoption
+					// happens when the orphan's reattach request arrives
+					// through the (possibly fault-injecting) wrapper.
+					parent.OfferLink(m.Sender, down)
+				} else {
+					parent.AddChild(m.Sender, down)
+				}
 				handled = true
 			}
 		})
@@ -143,6 +169,44 @@ func (li *LiveInstance) acceptChild(parent *Broker, link transport.Link, wrap fu
 			return
 		}
 		parent.Deliver(m)
+	}
+}
+
+// installDialers gives every broker a reattach dialer: open a TCP link
+// to the candidate's listener, identify with a reattach-flagged hello
+// (unwrapped, like the wiring handshake), and hand back the wrapped
+// upstream link for the heal handshake itself.
+func (li *LiveInstance) installDialers(wrap func(from, to int32, l transport.Link) transport.Link) {
+	for _, b := range li.Brokers {
+		b := b
+		b.SetDialer(func(to int32) (transport.Link, error) {
+			li.mu.Lock()
+			addr, ok := li.addrs[to]
+			li.mu.Unlock()
+			if !ok {
+				return nil, fmt.Errorf("broker: rank %d has no listener to reattach to", to)
+			}
+			link, err := transport.DialTCP(addr, b.Deliver, nil)
+			if err != nil {
+				return nil, err
+			}
+			li.trackLink(link)
+			hello := &msg.Message{
+				Type:    msg.TypeControl,
+				Topic:   helloTopic,
+				Sender:  b.Rank(),
+				Payload: json.RawMessage(`{"reattach":true}`),
+			}
+			if err := link.Send(hello); err != nil {
+				_ = link.Close()
+				return nil, err
+			}
+			up := transport.Link(link)
+			if wrap != nil {
+				up = wrap(b.Rank(), to, up)
+			}
+			return up, nil
+		})
 	}
 }
 

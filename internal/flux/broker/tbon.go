@@ -37,6 +37,11 @@ type InstanceOptions struct {
 	// DefaultCallTimeout). Ignored in simulation mode, where responses
 	// resolve synchronously.
 	CallTimeout time.Duration
+	// Heal, if set, enables the self-healing TBON extension on every
+	// broker (see heal.go) and installs a dialer so orphans can open
+	// links to candidate parents at runtime. Nil keeps the topology
+	// fixed, byte-identical to the pre-heal broker.
+	Heal *HealConfig
 }
 
 // NewInstance builds Size brokers wired into a k-ary TBON with in-memory
@@ -66,6 +71,7 @@ func NewInstance(opts InstanceOptions) (*Instance, error) {
 			Timers:      opts.Scheduler,
 			Local:       local,
 			CallTimeout: opts.CallTimeout,
+			Heal:        opts.Heal,
 		})
 		if err != nil {
 			return nil, err
@@ -84,6 +90,28 @@ func NewInstance(opts InstanceOptions) (*Instance, error) {
 		}
 		child.SetParent(childEnd)
 		parent.AddChild(rank, parentEnd)
+	}
+	if opts.Heal != nil {
+		// Reattach dialer: a fresh in-memory pair between orphan and
+		// candidate, wrapped both ways so fault injection applies to
+		// heal traffic exactly as it does to wired links.
+		for rank := int32(0); rank < int32(opts.Size); rank++ {
+			b := inst.Brokers[rank]
+			b.SetDialer(func(to int32) (transport.Link, error) {
+				if to < 0 || to >= int32(opts.Size) || to == b.Rank() {
+					return nil, fmt.Errorf("broker: cannot dial rank %d from %d", to, b.Rank())
+				}
+				target := inst.Brokers[to]
+				up, down := transport.MemPair(b.Deliver, target.Deliver)
+				upL, downL := transport.Link(up), transport.Link(down)
+				if opts.WrapLink != nil {
+					upL = opts.WrapLink(b.Rank(), to, upL)
+					downL = opts.WrapLink(to, b.Rank(), downL)
+				}
+				target.OfferLink(b.Rank(), downL)
+				return upL, nil
+			})
+		}
 	}
 	return inst, nil
 }

@@ -55,6 +55,7 @@ func (l *Liveness) Sweep(targets []int32, timeout time.Duration) (reduce.Result[
 type Violation struct {
 	// Invariant names the property ("pending-rpcs", "matchtag-accounting",
 	// "reduce-conservation", "partial-flag", "liveness-missing",
+	// "heal-subtree-count", "heal-topology",
 	// "archive-monotonic", "status-unreachable", "status-pending",
 	// "dead-rank-ack", "store-accounting", "probe-failed").
 	Invariant string
@@ -93,6 +94,17 @@ type CheckConfig struct {
 	// the difference, and durable data occupies disk). Requires the
 	// power-monitor module configured with a StoreDir.
 	Store bool
+	// Heal enables the self-healing convergence invariants: after faults
+	// clear, the root's subtree accounting must cover every rank not
+	// permanently crashed, and the parent/child topology must be a
+	// consistent tree (each attached rank is the child of exactly the
+	// broker it calls its parent). Requires brokers built with a
+	// broker.HealConfig.
+	Heal bool
+	// HealExpectMissing is the number of permanently-dead ranks the heal
+	// invariant should tolerate as absent from the root's subtree
+	// (typically the count of EndSec==0 crash rules still in force).
+	HealExpectMissing int
 	// RPCTimeout bounds each probe RPC the checker itself issues
 	// (default 3s).
 	RPCTimeout time.Duration
@@ -169,6 +181,9 @@ func Check(cfg CheckConfig) []Violation {
 		}
 	}
 
+	if cfg.Heal {
+		vs = append(vs, checkHeal(cfg, root, size)...)
+	}
 	if cfg.Monitor {
 		vs = append(vs, checkMonitor(cfg, root, nowSec)...)
 	}
@@ -177,6 +192,51 @@ func Check(cfg CheckConfig) []Violation {
 	}
 	if cfg.Manager && cfg.Injector != nil {
 		vs = append(vs, checkManagerAcks(cfg, root, nowSec)...)
+	}
+	return vs
+}
+
+// checkHeal asserts that the self-healing topology converged: no subtree
+// is permanently missing beyond the expected dead ranks, and the
+// parent/child links brokers hold agree with each other — every attached
+// rank is the child of exactly one broker, the one it calls its parent.
+func checkHeal(cfg CheckConfig, root *broker.Broker, size int) []Violation {
+	var vs []Violation
+
+	// Zero permanently-missing subtrees: the root's membership accounting
+	// covers every rank except those still crashed for good.
+	want := size - cfg.HealExpectMissing
+	if got := root.SubtreeCount(); got != want {
+		vs = append(vs, Violation{"heal-subtree-count", -1,
+			fmt.Sprintf("root covers %d of %d ranks (expected %d permanently dead)",
+				got, size, cfg.HealExpectMissing)})
+	}
+
+	// Topology consistency: scan every broker's child list once, then
+	// cross-check against each rank's own notion of its parent.
+	owners := make(map[int32][]int32, size)
+	for _, b := range cfg.Brokers {
+		for _, c := range b.Children() {
+			owners[c] = append(owners[c], b.Rank())
+		}
+	}
+	for rank := 1; rank < size; rank++ {
+		r := int32(rank)
+		own := owners[r]
+		switch {
+		case len(own) > 1:
+			vs = append(vs, Violation{"heal-topology", r,
+				fmt.Sprintf("claimed as child by %v simultaneously", own)})
+		case len(own) == 1:
+			if p := cfg.Brokers[r].CurrentParent(); p != own[0] {
+				vs = append(vs, Violation{"heal-topology", r,
+					fmt.Sprintf("attached under %d but believes parent is %d", own[0], p)})
+			}
+		case cfg.HealExpectMissing == 0:
+			// Zero owners overlaps the subtree-count gap, but naming the
+			// detached rank makes the repro line actionable.
+			vs = append(vs, Violation{"heal-topology", r, "no broker claims this rank as a child"})
+		}
 	}
 	return vs
 }

@@ -1,0 +1,188 @@
+package chaos_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/chaos"
+	"fluxpower/internal/flux/job"
+	"fluxpower/internal/powerapi"
+)
+
+// TestHealStreamAcrossCrashRestart is the regression test for the stale
+// SSE rank-filter bug: a stream whose job spans a healed subtree must
+// keep delivering those ranks' samples after the subtree reattaches
+// under a new parent, and again after the crashed rank itself restarts
+// and rejoins — the stream refreshes its job-rank membership on
+// reattach events instead of filtering against the topology it resolved
+// at attach time. The gateway itself must serve only 200s throughout
+// the heal.
+func TestHealStreamAcrossCrashRestart(t *testing.T) {
+	const (
+		size    = 16
+		seed    = int64(11)
+		crashed = int32(1) // subtree {1,3,4,7,8,9,10,15} goes dark
+	)
+	plan := chaos.Plan{
+		Seed: seed,
+		Nodes: []chaos.NodeRule{
+			{Rank: crashed, Kind: chaos.FaultCrash,
+				Window: chaos.Window{StartSec: 15, EndSec: 30}},
+		},
+	}
+	inj := chaos.New(plan)
+
+	c, err := cluster.New(cluster.Config{
+		System:      cluster.Lassen,
+		Nodes:       size,
+		Seed:        seed,
+		WrapLink:    inj.WrapLink,
+		CallTimeout: 2 * time.Second,
+		Heal:        &broker.HealConfig{Interval: 250 * time.Millisecond, MissThreshold: 3},
+	})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Close()
+	inj.Bind(c.Sched)
+
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		return powermon.New(powermon.Config{
+			SampleInterval: 2 * time.Second,
+			CollectTimeout: 2 * time.Second,
+			PublishSamples: true,
+		})
+	}); err != nil {
+		t.Fatalf("load monitor: %v", err)
+	}
+
+	gw, err := powerapi.New(powerapi.Config{
+		Broker:         c.Inst.Root(),
+		RequestTimeout: 2 * time.Second,
+		CacheTTL:       time.Nanosecond,
+		CacheTTLDone:   time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatalf("gateway: %v", err)
+	}
+	defer gw.Close()
+
+	id, err := c.Submit(job.Spec{Name: "heal-stream", App: "gemm", Nodes: size - 2, RepFactor: 60})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	gw.Sync(func() { c.RunFor(10 * time.Second) }) // job running, rings filling
+
+	// Attach the stream the way a real http.Server would: on its own
+	// goroutine, with all sim advance routed through gw.Sync.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest(http.MethodGet,
+		fmt.Sprintf("/v1/jobs/%d/stream", id), nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		gw.ServeHTTP(rec, req)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.Metrics().StreamsStarted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The stream handler runs on its own goroutine but this host may have
+	// a single CPU: between sim advances, yield wall-clock time until the
+	// handler has drained its buffered samples (and serviced any pending
+	// filter refresh, which needs the broker mutex the Sync calls hold).
+	drain := func() {
+		prev := ^uint64(0)
+		for i := 0; i < 200; i++ {
+			cur := gw.Metrics().SamplesStreamed
+			if cur == prev {
+				return
+			}
+			prev = cur
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	gw.Sync(func() { c.RunFor(4 * time.Second) }) // pre-crash samples
+	drain()
+
+	// Crash window [15,30): orphans 3 and 4 reattach under the root;
+	// at 30 the crashed rank revives and rejoins. Both transitions
+	// publish reattach events that must refresh this stream's filter.
+	inj.Arm()
+	for round := 0; round < 8; round++ {
+		gw.Sync(func() { c.RunFor(3 * time.Second) })
+		drain()
+		select {
+		case <-done:
+			t.Fatalf("stream terminated mid-heal at round %d: %q", round, rec.Body.String())
+		default:
+		}
+		// The gateway itself must keep answering with 200s while the
+		// tree is healing.
+		qrec := httptest.NewRecorder()
+		gw.ServeHTTP(qrec, httptest.NewRequest(http.MethodGet,
+			fmt.Sprintf("/v1/jobs/%d/power", id), nil))
+		if qrec.Code != http.StatusOK {
+			t.Fatalf("round %d: job power returned %d: %s", round, qrec.Code, qrec.Body.String())
+		}
+	}
+	inj.Disarm()
+	gw.Sync(func() { c.RunFor(10 * time.Second) }) // quiesce past all deadlines
+	drain()
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not exit on client disconnect")
+	}
+	if m := gw.Metrics(); m.Errors5xx != 0 {
+		t.Fatalf("gateway counted %d 5xx responses", m.Errors5xx)
+	}
+
+	// Parse the stream: for the orphaned ranks and the crashed rank
+	// itself, samples must resume after the heal completes (sim time
+	// past the revive at 30 s plus rejoin latency).
+	lastSeen := make(map[int32]float64)
+	sc := bufio.NewScanner(strings.NewReader(rec.Body.String()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: {\"rank\"") {
+			continue
+		}
+		var sp powermon.SamplePayload
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &sp); err != nil {
+			continue
+		}
+		if ts := sp.Sample.Timestamp; ts > lastSeen[sp.Rank] {
+			lastSeen[sp.Rank] = ts
+		}
+	}
+	for _, rank := range []int32{3, 4, crashed} {
+		if lastSeen[rank] == 0 {
+			t.Fatalf("no samples from rank %d ever streamed (seen: %v)", rank, lastSeen)
+		}
+		if lastSeen[rank] < 33 {
+			t.Fatalf("rank %d samples stop at %.1fs — stream filter went stale across the heal (seen: %v)",
+				rank, lastSeen[rank], lastSeen)
+		}
+	}
+}

@@ -80,6 +80,12 @@ type Message struct {
 	Errstr string `json:"errstr,omitempty"`
 	// Seq numbers events for ordering/dedup during broadcast.
 	Seq uint64 `json:"seq,omitempty"`
+	// Hops counts broker-to-broker forwards. Brokers running with the
+	// self-healing extension increment it on every routed hop, both to
+	// bound transient routing loops while the tree re-forms and to let
+	// the reduction plane derive per-hop deadline margins from the path a
+	// request actually took instead of the static tree depth.
+	Hops int `json:"hops,omitempty"`
 }
 
 // NewRequest builds a request for topic addressed to nodeID, with payload

@@ -1,0 +1,140 @@
+package reduce
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/msg"
+	"fluxpower/internal/flux/transport"
+	"fluxpower/internal/simtime"
+)
+
+func TestHopBudgetDerivedFromActualHops(t *testing.T) {
+	timeout := time.Second
+	margin := 250 * time.Millisecond
+
+	// The margin kept at a rank shrinks with the hops already taken.
+	b0, w0 := hopBudget(timeout, margin, 0)
+	b3, w3 := hopBudget(timeout, margin, 3)
+	if !(b3 > b0) {
+		t.Fatalf("deeper hop kept a larger margin: budget(h=0)=%v budget(h=3)=%v", b0, b3)
+	}
+	for _, c := range []struct {
+		budget, wait time.Duration
+	}{{b0, w0}, {b3, w3}} {
+		if c.budget <= 0 || c.budget >= timeout {
+			t.Fatalf("child budget %v outside (0,%v)", c.budget, timeout)
+		}
+		if c.wait <= c.budget || c.wait > timeout {
+			t.Fatalf("child wait %v not in (%v,%v]", c.wait, c.budget, timeout)
+		}
+	}
+
+	// The clamp keeps the margin sane even when it dwarfs the budget.
+	b, _ := hopBudget(40*time.Millisecond, time.Hour, 0)
+	if b < 30*time.Millisecond {
+		t.Fatalf("margin clamp failed: budget %v of 40ms", b)
+	}
+
+	// Walking many levels — the post-heal deeper-tree case — must not
+	// collapse the budget the way the old fixed-slice erosion did (1s
+	// minus 250ms per hop was exhausted after four levels).
+	remaining := timeout
+	for h := 0; h < 8; h++ {
+		remaining, _ = hopBudget(remaining, margin, h)
+	}
+	if remaining < 300*time.Millisecond {
+		t.Fatalf("budget after 8 levels = %v, want a usable remainder", remaining)
+	}
+}
+
+// deadGate fails every send touching a "dead" rank, in both directions,
+// including links the heal dialer opens at runtime.
+type deadGate struct {
+	inner transport.Link
+	dead  *atomic.Bool
+}
+
+func (g deadGate) Send(m *msg.Message) error {
+	if g.dead.Load() {
+		return transport.ErrClosed
+	}
+	return g.inner.Send(m)
+}
+
+func (g deadGate) Close() error { return g.inner.Close() }
+
+// TestReduceConvergesAcrossHeal walks the full availability story: a
+// crashed interior rank degrades whole-instance reductions to Partial
+// with exact conservation (Ranks+Missing == size, counting the detached
+// subtree via the root's membership gap), the orphans reattach and
+// coverage recovers to all-but-the-dead-rank, and once the rank comes
+// back it rejoins and coverage returns to Partial=false.
+func TestReduceConvergesAcrossHeal(t *testing.T) {
+	const size = 15
+	const crashed = 3 // parent 1, children 7,8
+	var dead atomic.Bool
+	sched := simtime.NewScheduler()
+	inst, err := broker.NewInstance(broker.InstanceOptions{
+		Size:      size,
+		Fanout:    2,
+		Scheduler: sched,
+		Heal:      &broker.HealConfig{Interval: 100 * time.Millisecond},
+		WrapLink: func(from, to int32, l transport.Link) transport.Link {
+			if from == crashed || to == crashed {
+				return deadGate{inner: l, dead: &dead}
+			}
+			return l
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := make([]*testModule, size)
+	if err := inst.LoadModuleAll(func(rank int32) broker.Module {
+		mods[rank] = &testModule{cfg: Config{ChildTimeout: 300 * time.Millisecond}}
+		return mods[rank]
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sweep := func(label string, wantRanks int) Result[int] {
+		t.Helper()
+		res, err := mods[0].count.Reduce(nil, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if res.Ranks+res.Missing != size {
+			t.Fatalf("%s: conservation broken: ranks=%d missing=%d", label, res.Ranks, res.Missing)
+		}
+		if res.Ranks != wantRanks {
+			t.Fatalf("%s: ranks=%d missing=%d partial=%v, want ranks=%d", label, res.Ranks, res.Missing, res.Partial, wantRanks)
+		}
+		if res.Partial != (wantRanks != size) {
+			t.Fatalf("%s: partial=%v with ranks=%d", label, res.Partial, res.Ranks)
+		}
+		return res
+	}
+
+	sched.Run(simtime.Time(1 * time.Second))
+	sweep("steady state", size)
+
+	dead.Store(true)
+	// Before any heal: the crashed rank's whole subtree (3,7,8) is
+	// missing but still accounted.
+	sweep("crash, pre-heal", size-3)
+
+	sched.Run(simtime.Time(5 * time.Second))
+	// Orphans 7 and 8 have been adopted; only the crashed rank itself is
+	// missing, via the root's membership gap.
+	sweep("crash, post-heal", size-1)
+
+	dead.Store(false)
+	sched.Run(simtime.Time(10 * time.Second))
+	res := sweep("after restart", size)
+	if res.Missing != 0 || res.Partial {
+		t.Fatalf("coverage did not fully recover: %+v", res)
+	}
+}

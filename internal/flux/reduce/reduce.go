@@ -112,6 +112,12 @@ type treeRequest struct {
 	Targets []int32 `json:"targets,omitempty"`
 	// TimeoutSec is the remaining deadline budget for this subtree.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Hops counts how many tree levels this request has already
+	// descended. The per-hop deadline margin is derived from it, so the
+	// budget erosion tracks the path a request actually takes — after a
+	// heal the tree can be deeper than the static formula depth, and a
+	// depth-derived margin would expire spuriously.
+	Hops int `json:"hops,omitempty"`
 	// Body is the op-specific request (e.g. a sample window).
 	Body json.RawMessage `json:"body,omitempty"`
 }
@@ -171,19 +177,21 @@ type childPart struct {
 // expected returns how many contributions the child's share covers.
 func (r *Reducer[P]) expected(child int32, part childPart) int {
 	if part.everything {
-		return broker.SubtreeSize(child, r.b.Fanout(), r.b.Size())
+		return r.b.ChildSubtreeCount(child)
 	}
 	return len(part.targets)
 }
 
 // partition splits the request's targets among this rank and its direct
-// children. outOfScope counts targets outside this rank's subtree
-// (unreachable by downward routing).
+// children, asking the broker which child currently owns each target so
+// the split follows the live topology (the closed-form tree until a
+// heal mutates it). outOfScope counts targets outside this rank's
+// subtree (unreachable by downward routing).
 func (r *Reducer[P]) partition(targets []int32) (local bool, parts map[int32]childPart, outOfScope int) {
-	rank, k, size := r.b.Rank(), r.b.Fanout(), r.b.Size()
+	rank, size := r.b.Rank(), r.b.Size()
 	parts = make(map[int32]childPart)
 	if targets == nil {
-		for _, c := range broker.ChildRanks(rank, k, size) {
+		for _, c := range r.b.Children() {
 			parts[c] = childPart{everything: true}
 		}
 		return true, parts, 0
@@ -198,14 +206,8 @@ func (r *Reducer[P]) partition(targets []int32) (local bool, parts map[int32]chi
 			local = true
 			continue
 		}
-		// Walk t's ancestor chain; if it passes through this rank, the
-		// node just below on the chain is the direct child owning t.
-		cur, below := t, int32(-1)
-		for cur != -1 && cur != rank {
-			below = cur
-			cur = broker.ParentRank(below, k)
-		}
-		if cur != rank {
+		below, ok := r.b.OwningChild(t)
+		if !ok {
 			outOfScope++
 			continue
 		}
@@ -214,6 +216,27 @@ func (r *Reducer[P]) partition(targets []int32) (local bool, parts map[int32]chi
 		parts[below] = p
 	}
 	return local, parts, outOfScope
+}
+
+// hopBudget derives the deadline split for the next tree level from the
+// hop count the request actually accumulated. The margin kept at this
+// rank shrinks with depth (and never exceeds a quarter of the remaining
+// budget), so the total erosion over any realistic path stays bounded
+// and a tree one level deeper than the formula predicts — the post-heal
+// case — still leaves every level a usable budget. The child's RPC is
+// armed halfway into the margin: after the child's own subtree deadline
+// would fire, before this rank's caller gives up on it.
+func hopBudget(timeout, margin time.Duration, hops int) (childBudget, childWait time.Duration) {
+	if hops < 0 {
+		hops = 0
+	}
+	m := margin / time.Duration(1+hops)
+	if m > timeout/4 {
+		m = timeout / 4
+	}
+	childBudget = timeout - m
+	childWait = childBudget + m/2
+	return childBudget, childWait
 }
 
 // run reduces this rank's subtree for one request: fan the request out
@@ -227,11 +250,9 @@ func (r *Reducer[P]) run(tr treeRequest) treeResponse {
 		timeout = time.Duration(tr.TimeoutSec * float64(time.Second))
 	}
 	// Leave this rank headroom to assemble a partial answer after a
-	// timeout fires in a child's subtree.
-	childBudget := timeout - r.cfg.HopMargin
-	if childBudget < r.cfg.HopMargin {
-		childBudget = timeout / 2
-	}
+	// timeout fires in a child's subtree, eroding the budget by the hop
+	// count the request actually took rather than a fixed slice.
+	childBudget, childWait := hopBudget(timeout, r.cfg.HopMargin, tr.Hops)
 
 	// Fan out before any fan-in, so child subtrees reduce concurrently
 	// and a dead child costs one timeout total, not one per child.
@@ -241,23 +262,31 @@ func (r *Reducer[P]) run(tr treeRequest) treeResponse {
 		future *broker.Future
 	}
 	pending := make([]pendingChild, 0, len(parts))
-	for _, c := range broker.ChildRanks(r.b.Rank(), r.b.Fanout(), r.b.Size()) {
+	for _, c := range r.b.Children() {
 		part, ok := parts[c]
 		if !ok || (!part.everything && len(part.targets) == 0) {
 			continue
 		}
-		sub := treeRequest{TimeoutSec: childBudget.Seconds(), Body: tr.Body}
+		sub := treeRequest{TimeoutSec: childBudget.Seconds(), Hops: tr.Hops + 1, Body: tr.Body}
 		if !part.everything {
 			sub.Targets = part.targets
 		}
 		pending = append(pending, pendingChild{
 			rank:   c,
 			part:   part,
-			future: r.b.RPCWithTimeout(c, r.topic, sub, timeout),
+			future: r.b.RPCWithTimeout(c, r.topic, sub, childWait),
 		})
 	}
 
 	out := treeResponse{Missing: outOfScope}
+	// A whole-instance sweep from the root must account for subtrees
+	// currently detached mid-heal: nobody owns their ranks, so no child
+	// part covers them. On a pristine topology the gap is zero.
+	if tr.Targets == nil && r.b.Rank() == 0 {
+		if gap := int(r.b.Size()) - r.b.SubtreeCount(); gap > 0 {
+			out.Missing += gap
+		}
+	}
 	var agg P
 	if local {
 		p, err := r.op.Local(tr.Body)
@@ -269,7 +298,7 @@ func (r *Reducer[P]) run(tr treeRequest) treeResponse {
 		}
 	}
 	for _, pc := range pending {
-		resp, err := pc.future.Wait(timeout)
+		resp, err := pc.future.Wait(childWait)
 		if err != nil {
 			// Dead or deaf subtree: every rank it covers is missing.
 			out.Missing += r.expected(pc.rank, pc.part)

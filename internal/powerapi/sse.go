@@ -9,9 +9,42 @@ import (
 	"sync"
 
 	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/flux/job"
 	"fluxpower/internal/flux/msg"
 )
+
+// streamFilter is an SSE stream's job-rank membership set. It is read on
+// the broker's event-delivery path for every published sample and
+// swapped wholesale when a topology reattach forces the stream to
+// re-resolve its job record, so reads take an RLock and refreshes
+// replace the map rather than mutating it.
+type streamFilter struct {
+	mu    sync.RWMutex
+	ranks map[int32]bool
+}
+
+func newStreamFilter(ranks []int32) *streamFilter {
+	f := &streamFilter{}
+	f.replace(ranks)
+	return f
+}
+
+func (f *streamFilter) has(rank int32) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.ranks[rank]
+}
+
+func (f *streamFilter) replace(ranks []int32) {
+	m := make(map[int32]bool, len(ranks))
+	for _, r := range ranks {
+		m[r] = true
+	}
+	f.mu.Lock()
+	f.ranks = m
+	f.mu.Unlock()
+}
 
 // handleJobStream serves GET /v1/jobs/{id}/stream: a Server-Sent Events
 // stream of the job's live power samples. It rides the broker's pub/sub
@@ -56,20 +89,18 @@ func (gw *Gateway) handleJobStream(w http.ResponseWriter, r *http.Request) {
 		gw.fail(w, err)
 		return
 	}
-	ranks := make(map[int32]bool, len(rec.Ranks))
-	for _, rank := range rec.Ranks {
-		ranks[rank] = true
-	}
+	filter := newStreamFilter(rec.Ranks)
 
 	samples := make(chan powermon.SamplePayload, gw.cfg.StreamBuffer)
 	finished := make(chan struct{})
+	refresh := make(chan struct{}, 1)
 	var finishOnce sync.Once
 
 	// Subscribe before writing headers so no sample between the two is
 	// missed. Handlers run on the broker's delivery path: never block.
 	unsubSamples := gw.cfg.Broker.Subscribe(powermon.SampleEvent, func(ev *msg.Message) {
 		var sp powermon.SamplePayload
-		if err := ev.Unmarshal(&sp); err != nil || !ranks[sp.Rank] {
+		if err := ev.Unmarshal(&sp); err != nil || !filter.has(sp.Rank) {
 			return
 		}
 		select {
@@ -84,9 +115,31 @@ func (gw *Gateway) handleJobStream(w http.ResponseWriter, r *http.Request) {
 			finishOnce.Do(func() { close(finished) })
 		}
 	})
+	// A topology reattach that moved any of this stream's ranks means the
+	// filter was resolved against a tree that no longer exists: ask the
+	// select loop (not this delivery-path handler, which must not block
+	// on an upstream RPC) to re-resolve the job record and swap the
+	// membership set. The buffered channel coalesces bursts of reattach
+	// events from one heal into a single re-resolve.
+	unsubReattach := gw.cfg.Broker.Subscribe(broker.TopicReattach, func(ev *msg.Message) {
+		var re broker.ReattachEvent
+		if err := ev.Unmarshal(&re); err != nil {
+			return
+		}
+		for _, r := range re.Ranks {
+			if filter.has(r) {
+				select {
+				case refresh <- struct{}{}:
+				default:
+				}
+				return
+			}
+		}
+	})
 	defer func() {
 		unsubSamples()
 		unsubFinish()
+		unsubReattach()
 		gw.streamsEnded.Add(1)
 	}()
 	gw.streamsStarted.Add(1)
@@ -128,6 +181,28 @@ func (gw *Gateway) handleJobStream(w http.ResponseWriter, r *http.Request) {
 		case sp := <-samples:
 			gw.writeSample(w, sp)
 			flusher.Flush()
+		case <-refresh:
+			// Re-resolve the job record after a heal touched this
+			// stream's ranks. A transient resolve failure (the heal may
+			// still be in flight) keeps the previous filter — samples
+			// keep flowing on the stale set and the next reattach event
+			// retries — rather than killing a live stream.
+			rctx, cancel := context.WithTimeout(r.Context(), gw.cfg.RequestTimeout)
+			var cur job.Record
+			gw.brokerMu.Lock()
+			resp, err := gw.cfg.Broker.CallContext(rctx, msg.NodeAny, "job-manager.info", map[string]uint64{"id": id})
+			if err == nil {
+				err = resp.Unmarshal(&cur)
+			}
+			gw.brokerMu.Unlock()
+			cancel()
+			if err != nil {
+				continue
+			}
+			filter.replace(cur.Ranks)
+			if cur.State == job.StateInactive {
+				finishOnce.Do(func() { close(finished) })
+			}
 		}
 	}
 }
