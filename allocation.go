@@ -24,10 +24,27 @@ type Allocation struct {
 }
 
 // SpawnAllocation requests nodes from the system instance and boots a
-// user-level Flux instance on them. The nodes must be free now (an
-// allocation cannot boot brokers on nodes it does not hold).
+// user-level Flux instance on them with the default FCFS scheduling
+// policy. The nodes must be free now (an allocation cannot boot brokers
+// on nodes it does not hold). Use SpawnAllocationPolicy to pick a
+// different scheduling policy for the allocation.
 func (fc *Cluster) SpawnAllocation(name string, nodes int) (*Allocation, error) {
-	si, err := fc.c.SpawnSubInstance(job.Spec{Name: name, Nodes: nodes})
+	return fc.SpawnAllocationPolicy(name, nodes, SchedFCFS, 0)
+}
+
+// SpawnAllocationPolicy boots an allocation whose own job manager runs
+// the named scheduling policy (SchedFCFS, SchedPowerAware, or any name
+// registered with the sched package) against the given power budget in
+// watts. This is the paper's §I claim in API form: "different users can
+// choose different power-aware scheduling policies within their
+// respective allocations" — the policy and budget govern only the
+// allocation's nested job manager, not the system instance. A zero
+// budget means node-count admission only.
+func (fc *Cluster) SpawnAllocationPolicy(name string, nodes int, policy string, budgetW float64) (*Allocation, error) {
+	si, err := fc.c.SpawnSubInstanceWith(
+		job.Spec{Name: name, Nodes: nodes},
+		job.Options{Policy: policy, BudgetW: budgetW},
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -64,8 +81,10 @@ func (a *Allocation) LoadPowerMonitor(cfg powermon.Config) error {
 	})
 }
 
-// Submit queues a job inside the allocation (scheduled FCFS over the
-// allocation's nodes by the allocation's own job manager).
+// Submit queues a job inside the allocation. The allocation's own job
+// manager schedules it over the allocation's nodes using whatever
+// sched.Policy the allocation was spawned with — FCFS by default, or
+// the policy given to SpawnAllocationPolicy.
 func (a *Allocation) Submit(spec JobSpec) (JobID, error) {
 	return a.si.Submit(job.Spec{
 		Name:        spec.Name,

@@ -165,6 +165,13 @@ var registry = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	"policy": func(o experiments.Options) (string, error) {
+		r, err := experiments.Policy(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 }
 
 // csvRegistry covers the experiments with a CSV rendering (-format csv).
@@ -227,6 +234,13 @@ var csvRegistry = map[string]runner{
 	},
 	"store": func(o experiments.Options) (string, error) {
 		r, err := experiments.Store(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderCSV(), nil
+	},
+	"policy": func(o experiments.Options) (string, error) {
+		r, err := experiments.Policy(o)
 		if err != nil {
 			return "", err
 		}

@@ -4,10 +4,13 @@
 //
 // It assembles, behind one façade, everything the paper's system needs: a
 // simulated cluster (Lassen- or Tioga-like nodes), a Flux-style resource
-// manager (brokers on a tree-based overlay network, job manager, FCFS
-// scheduler), the flux-power-monitor telemetry module, and the
-// flux-power-manager with its static, proportional-sharing and FFT-based
-// (FPP) power policies.
+// manager (brokers on a tree-based overlay network, job manager, and a
+// pluggable scheduling policy — FCFS baseline or power-aware dispatch
+// against predicted per-job draw, see Config.SchedPolicy), the
+// flux-power-monitor telemetry module, and the flux-power-manager with
+// its static, proportional-sharing and FFT-based (FPP) power policies
+// plus an optional closed-loop budget controller (Config.ClosedLoop)
+// that retunes per-job caps from observed draw.
 //
 // Quickstart:
 //
@@ -37,6 +40,7 @@ import (
 	"fluxpower/internal/core/powermon"
 	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/flux/job"
+	"fluxpower/internal/sched"
 )
 
 // System selects the modelled machine.
@@ -67,6 +71,32 @@ const (
 	PolicyProportional = powermgr.PolicyProportional
 	// PolicyFPP adds the per-GPU FFT-based dynamic controller (§III-B2).
 	PolicyFPP = powermgr.PolicyFPP
+)
+
+// Scheduling policies (Config.SchedPolicy). The policy decides which
+// queued jobs start; regardless of policy, the dispatcher centrally
+// refuses any admission whose predicted fleet draw would exceed
+// Config.SchedBudgetW.
+const (
+	// SchedFCFS is strict first-come-first-served with no backfill —
+	// the paper's baseline ("Flux schedules these jobs as any regular
+	// resource manager would", §IV-E).
+	SchedFCFS = sched.PolicyFCFS
+	// SchedPowerAware admits jobs against predicted per-job power draw
+	// (catalog signature prior corrected by observed telemetry) and
+	// backfills smaller jobs past a head-of-line job that doesn't fit.
+	SchedPowerAware = sched.PolicyPowerAware
+)
+
+// Closed-loop budget controller modes (Config.ClosedLoop).
+const (
+	// ClosedLoopOff disables the controller (default).
+	ClosedLoopOff = powermgr.ControllerOff
+	// ClosedLoopObserve counts cap violations without retuning.
+	ClosedLoopObserve = powermgr.ControllerObserve
+	// ClosedLoopRetune runs the full PI loop: reclaim slack from
+	// under-cap jobs, grant it to throttled ones.
+	ClosedLoopRetune = powermgr.ControllerRetune
 )
 
 // Applications lists the bundled application models (the paper's five
@@ -105,6 +135,18 @@ type Config struct {
 	Jitter bool
 	// GPUCapFailureProb injects silent NVML cap-write failures (§V).
 	GPUCapFailureProb float64
+	// SchedPolicy selects the job manager's dispatch policy (SchedFCFS
+	// or SchedPowerAware). Empty = SchedFCFS.
+	SchedPolicy string
+	// SchedBudgetW is the power budget the dispatcher admits predicted
+	// job draw against. 0 with SchedPowerAware uses GlobalPowerCapW, so
+	// admission and enforcement share one bound; explicit 0 budget with
+	// SchedFCFS means unlimited (the baseline).
+	SchedBudgetW float64
+	// ClosedLoop selects the budget controller mode (ClosedLoopOff,
+	// ClosedLoopObserve, ClosedLoopRetune). Requires a dynamic power
+	// policy (proportional or FPP).
+	ClosedLoop string
 }
 
 // JobSpec describes a job submission.
@@ -152,6 +194,12 @@ type JobReport struct {
 	EndSec    float64
 	// ExecSec is the execution time; 0 while running.
 	ExecSec float64
+	// QueueWaitSec is the time spent queued before nodes were granted
+	// (0 while still queued).
+	QueueWaitSec float64
+	// PredNodeW is the per-node power the dispatcher predicted for this
+	// job when it considered it for admission (0 if never considered).
+	PredNodeW float64
 
 	// AvgNodePowerW / MaxNodePowerW / EnergyPerNodeJ are the measured
 	// per-node figures (conservative CPU+GPU estimate on Tioga).
@@ -180,6 +228,16 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Policy == PolicyStatic && cfg.StaticNodeCapW <= 0 {
 		return nil, errors.New("fluxpower: PolicyStatic requires StaticNodeCapW")
 	}
+	if _, err := sched.New(cfg.SchedPolicy); err != nil {
+		return nil, fmt.Errorf("fluxpower: %w", err)
+	}
+	if cfg.SchedPolicy == SchedPowerAware && cfg.SchedBudgetW == 0 {
+		cfg.SchedBudgetW = cfg.GlobalPowerCapW
+	}
+	if cfg.ClosedLoop != ClosedLoopOff &&
+		cfg.Policy != PolicyProportional && cfg.Policy != PolicyFPP {
+		return nil, errors.New("fluxpower: ClosedLoop requires PolicyProportional or PolicyFPP")
+	}
 	inner, err := cluster.New(cluster.Config{
 		System:              cfg.System,
 		Nodes:               cfg.Nodes,
@@ -188,6 +246,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Jitter:              cfg.Jitter,
 		GPUCapFailureProb:   cfg.GPUCapFailureProb,
 		MonitorOverheadFrac: -1, // per-system default (§IV-B)
+		SchedPolicy:         cfg.SchedPolicy,
+		SchedBudgetW:        cfg.SchedBudgetW,
 	})
 	if err != nil {
 		return nil, err
@@ -210,6 +270,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Policy:         cfg.Policy,
 			GlobalCapW:     cfg.GlobalPowerCapW,
 			StaticNodeCapW: cfg.StaticNodeCapW,
+			Controller:     powermgr.ControllerConfig{Mode: cfg.ClosedLoop},
 		}
 		if err := inner.Inst.LoadModuleAll(func(rank int32) broker.Module {
 			return powermgr.New(mcfg)
@@ -256,14 +317,16 @@ func (fc *Cluster) Report(id JobID) (JobReport, error) {
 		return JobReport{}, err
 	}
 	rep := JobReport{
-		ID:        rec.ID,
-		Name:      rec.Spec.Name,
-		App:       rec.Spec.App,
-		Nodes:     rec.Spec.Nodes,
-		State:     rec.State,
-		SubmitSec: rec.SubmitSec,
-		StartSec:  rec.StartSec,
-		EndSec:    rec.EndSec,
+		ID:           rec.ID,
+		Name:         rec.Spec.Name,
+		App:          rec.Spec.App,
+		Nodes:        rec.Spec.Nodes,
+		State:        rec.State,
+		SubmitSec:    rec.SubmitSec,
+		StartSec:     rec.StartSec,
+		EndSec:       rec.EndSec,
+		QueueWaitSec: rec.QueueWaitSec,
+		PredNodeW:    rec.PredNodeW,
 	}
 	if st, ok := fc.c.Stats(id); ok {
 		rep.ExecSec = st.ExecSec()
@@ -327,6 +390,29 @@ func (fc *Cluster) PowerStatus() (policy Policy, globalCapW float64, allocs []Po
 		})
 	}
 	return p, g, out, nil
+}
+
+// SchedStatus is the dispatcher's status: active policy, budget
+// accounting, predictor state, and queue-wait statistics.
+type SchedStatus = job.SchedStatus
+
+// SchedStatus reports the job manager's dispatcher state.
+func (fc *Cluster) SchedStatus() (SchedStatus, error) {
+	return fc.c.JM.Sched()
+}
+
+// ControllerStatus is the closed-loop budget controller's status:
+// observation rounds, retunes, per-job cap history and cap-violation
+// counters.
+type ControllerStatus = powermgr.ControllerStatus
+
+// ControllerStatus reports the closed-loop controller's state. Without a
+// power manager loaded it returns the zero status.
+func (fc *Cluster) ControllerStatus() (ControllerStatus, error) {
+	if fc.pm == nil {
+		return ControllerStatus{}, nil
+	}
+	return fc.pm.Controller()
 }
 
 // SetGlobalPowerCap changes the cluster power bound at runtime (dynamic

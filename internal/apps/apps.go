@@ -93,6 +93,12 @@ type Profile struct {
 	TiogaCPUActiveW float64 // single Trento socket
 	TiogaGPUHighW   float64 // per GCD
 	TiogaGPULowW    float64 // per GCD
+
+	// SignatureOverride replaces the synthesized power signature with a
+	// measured series (site-profiled applications). Validated at catalog
+	// load: Register rejects a profile whose override has non-monotonic
+	// timestamps or negative watts with an error wrapping ErrBadSignature.
+	SignatureOverride []SigPoint
 }
 
 // Validate reports profile inconsistencies.
@@ -117,6 +123,11 @@ func (p Profile) Validate() error {
 	}
 	if p.PeriodJitterFrac < 0 || p.PeriodJitterFrac >= 1 {
 		return fmt.Errorf("apps: %s: period jitter %v outside [0,1)", p.Name, p.PeriodJitterFrac)
+	}
+	if p.SignatureOverride != nil {
+		if err := ValidateSignature(p.SignatureOverride); err != nil {
+			return fmt.Errorf("apps: %s: %w", p.Name, err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,158 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"fluxpower/internal/hw"
+)
+
+// ErrBadSignature is the typed error every signature-validation failure
+// wraps. Callers that feed signatures into a predictor check for it with
+// errors.Is and refuse the profile instead of training on garbage — a
+// degenerate signature (backwards timestamps, negative watts) would
+// otherwise silently poison every admission decision built on it.
+var ErrBadSignature = errors.New("apps: invalid power signature")
+
+// SigPoint is one point of an application's power signature: the node
+// power the application demands at a phase offset into its period.
+type SigPoint struct {
+	TimeSec float64 `json:"t_sec"`
+	NodeW   float64 `json:"node_w"`
+}
+
+// ValidateSignature checks a signature series for the two properties a
+// predictor needs: strictly increasing timestamps and non-negative,
+// finite power. Violations return an error wrapping ErrBadSignature that
+// names the offending point.
+func ValidateSignature(points []SigPoint) error {
+	if len(points) == 0 {
+		return fmt.Errorf("%w: empty series", ErrBadSignature)
+	}
+	for i, p := range points {
+		if math.IsNaN(p.TimeSec) || math.IsInf(p.TimeSec, 0) {
+			return fmt.Errorf("%w: point %d has non-finite timestamp %v", ErrBadSignature, i, p.TimeSec)
+		}
+		if math.IsNaN(p.NodeW) || math.IsInf(p.NodeW, 0) {
+			return fmt.Errorf("%w: point %d has non-finite power %v", ErrBadSignature, i, p.NodeW)
+		}
+		if p.NodeW < 0 {
+			return fmt.Errorf("%w: point %d has negative power %.1f W", ErrBadSignature, i, p.NodeW)
+		}
+		if i > 0 && p.TimeSec <= points[i-1].TimeSec {
+			return fmt.Errorf("%w: timestamps not monotonic at point %d (%.3f after %.3f)",
+				ErrBadSignature, i, p.TimeSec, points[i-1].TimeSec)
+		}
+	}
+	return nil
+}
+
+// Signature returns the application's per-node power signature on the
+// given node configuration at the given node count: one phase period of
+// timestamped node-power demand (two points per phase edge; a single
+// point for phase-less applications). A profile carrying a
+// SignatureOverride returns it verbatim. The series is validated before
+// it is returned, so a caller never receives a degenerate predictor
+// input — the error wraps ErrBadSignature.
+func (p Profile) Signature(cfg hw.Config, nodes int) ([]SigPoint, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("%w: %s: %d nodes", ErrBadSignature, p.Name, nodes)
+	}
+	pts := p.SignatureOverride
+	if pts == nil {
+		pts = p.synthesize(cfg, nodes)
+	}
+	if err := ValidateSignature(pts); err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return pts, nil
+}
+
+// synthesize derives the signature from the calibrated phase model: the
+// high/low component demands the cluster engine would install, sampled at
+// the phase edges of one period.
+func (p Profile) synthesize(cfg hw.Config, nodes int) []SigPoint {
+	high := p.nodeDemandW(cfg, nodes, true)
+	if p.PeriodSec <= 0 || p.DutyHigh >= 1 {
+		return []SigPoint{{TimeSec: 0, NodeW: high}}
+	}
+	low := p.nodeDemandW(cfg, nodes, false)
+	if p.DutyHigh <= 0 {
+		return []SigPoint{{TimeSec: 0, NodeW: low}}
+	}
+	edge := p.PeriodSec * p.DutyHigh
+	return []SigPoint{
+		{TimeSec: 0, NodeW: high},
+		{TimeSec: edge, NodeW: low},
+		{TimeSec: p.PeriodSec, NodeW: low},
+	}
+}
+
+// nodeDemandW computes the steady node-level demand of one phase: socket
+// CPU + memory + uncore + per-GPU demand with strong-scaling decline,
+// each clamped to the device floors exactly as hw.Node.SetDemand does.
+func (p Profile) nodeDemandW(cfg hw.Config, nodes int, highPhase bool) float64 {
+	cpu := p.CPUActiveW
+	gpuHigh, gpuLow := p.GPUHighW, p.GPULowW
+	if cfg.Arch == hw.ArchAMDTrento {
+		cpu = p.TiogaCPUActiveW
+		gpuHigh, gpuLow = p.TiogaGPUHighW, p.TiogaGPULowW
+	}
+	if cpu < cfg.CPUIdleW {
+		cpu = cfg.CPUIdleW
+	}
+	mem := p.MemActiveW
+	if mem < cfg.MemIdleW {
+		mem = cfg.MemIdleW
+	}
+	gpu := gpuLow
+	if highPhase {
+		gpu = gpuHigh
+	}
+	if p.Scaling == Strong && nodes > 0 {
+		gpu *= math.Pow(float64(p.RefNodes)/float64(nodes), p.StrongPowerExp)
+	}
+	if gpu > cfg.GPUMaxPowerW {
+		gpu = cfg.GPUMaxPowerW
+	}
+	if gpu < cfg.GPUIdleW {
+		gpu = cfg.GPUIdleW
+	}
+	return float64(cfg.Sockets)*cpu + mem + cfg.UncoreW + float64(cfg.GPUs)*gpu
+}
+
+// SignatureStats condenses a signature into the figures a power predictor
+// trains on: the peak and the duty-weighted mean node power over one
+// period.
+type SignatureStats struct {
+	PeakW float64
+	MeanW float64
+}
+
+// Stats reduces a validated signature. The mean is time-weighted: each
+// point's power holds until the next point's timestamp (the final point
+// holds for zero time and contributes only to the peak).
+func Stats(points []SigPoint) (SignatureStats, error) {
+	if err := ValidateSignature(points); err != nil {
+		return SignatureStats{}, err
+	}
+	var st SignatureStats
+	var weighted, span float64
+	for i, p := range points {
+		if p.NodeW > st.PeakW {
+			st.PeakW = p.NodeW
+		}
+		if i+1 < len(points) {
+			dt := points[i+1].TimeSec - p.TimeSec
+			weighted += p.NodeW * dt
+			span += dt
+		}
+	}
+	if span > 0 {
+		st.MeanW = weighted / span
+	} else {
+		st.MeanW = st.PeakW
+	}
+	return st, nil
+}

@@ -1,0 +1,172 @@
+package apps
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fluxpower/internal/hw"
+)
+
+func TestValidateSignatureTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		points []SigPoint
+		ok     bool
+	}{
+		{"single point", []SigPoint{{0, 500}}, true},
+		{"square wave", []SigPoint{{0, 900}, {3, 500}, {12, 500}}, true},
+		{"zero watts", []SigPoint{{0, 0}}, true},
+		{"empty", nil, false},
+		{"negative watts", []SigPoint{{0, 500}, {2, -1}}, false},
+		{"nan watts", []SigPoint{{0, math.NaN()}}, false},
+		{"inf watts", []SigPoint{{0, math.Inf(1)}}, false},
+		{"nan timestamp", []SigPoint{{math.NaN(), 100}}, false},
+		{"duplicate timestamp", []SigPoint{{0, 500}, {0, 400}}, false},
+		{"backwards timestamps", []SigPoint{{5, 500}, {2, 400}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSignature(tc.points)
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatal("degenerate signature accepted")
+				}
+				if !errors.Is(err, ErrBadSignature) {
+					t.Fatalf("error %v does not wrap ErrBadSignature", err)
+				}
+			}
+		})
+	}
+}
+
+func TestSignatureSynthesisShapes(t *testing.T) {
+	cfg := hw.LassenConfig()
+
+	// Flat application (LAMMPS): one point at the high-phase demand.
+	flat, err := lammps.Signature(cfg, lammps.RefNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != 1 {
+		t.Fatalf("flat app signature has %d points, want 1: %+v", len(flat), flat)
+	}
+	// Table II calibration: 4-node LAMMPS ≈ 1283.74 W/node.
+	if math.Abs(flat[0].NodeW-1284) > 25 {
+		t.Fatalf("lammps signature %.0f W, calibration target ~1284 W", flat[0].NodeW)
+	}
+
+	// Periodic application (Quicksilver): high edge, low edge, period end.
+	qs, err := quicksilver.Signature(cfg, quicksilver.RefNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 3 {
+		t.Fatalf("periodic signature has %d points, want 3: %+v", len(qs), qs)
+	}
+	if qs[0].NodeW <= qs[1].NodeW {
+		t.Fatalf("high phase %.0f W not above low phase %.0f W", qs[0].NodeW, qs[1].NodeW)
+	}
+	if qs[2].TimeSec != quicksilver.PeriodSec {
+		t.Fatalf("signature span %.1f s, want period %.1f s", qs[2].TimeSec, quicksilver.PeriodSec)
+	}
+	st, err := Stats(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table II calibration: 4-node Quicksilver averages ≈ 547 W/node.
+	if math.Abs(st.MeanW-547) > 30 {
+		t.Fatalf("quicksilver mean %.0f W, calibration target ~547 W", st.MeanW)
+	}
+	if st.PeakW <= st.MeanW {
+		t.Fatalf("peak %.0f W not above mean %.0f W", st.PeakW, st.MeanW)
+	}
+
+	// GPU-less application (NQueens): GPUs clamp to the idle floor.
+	nq, err := nqueens.Signature(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGPU := float64(cfg.GPUs) * cfg.GPUIdleW
+	if nq[0].NodeW < wantGPU {
+		t.Fatalf("nqueens signature %.0f W below GPU idle floor %.0f W", nq[0].NodeW, wantGPU)
+	}
+}
+
+func TestSignatureStrongScalingDeclines(t *testing.T) {
+	cfg := hw.LassenConfig()
+	at4, err := lammps.Signature(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at8, err := lammps.Signature(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at8[0].NodeW >= at4[0].NodeW {
+		t.Fatalf("strong-scaled per-node power did not decline: 4 nodes %.0f W, 8 nodes %.0f W",
+			at4[0].NodeW, at8[0].NodeW)
+	}
+}
+
+func TestSignatureZeroNodesRejected(t *testing.T) {
+	_, err := gemm.Signature(hw.LassenConfig(), 0)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("zero nodes: err=%v, want ErrBadSignature", err)
+	}
+}
+
+func TestRegisterRejectsDegenerateOverride(t *testing.T) {
+	bad := gemm
+	bad.Name = "site-gemm"
+	bad.SignatureOverride = []SigPoint{{TimeSec: 0, NodeW: 800}, {TimeSec: 0, NodeW: -5}}
+	err := Register(bad)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("Register accepted a degenerate signature override: err=%v", err)
+	}
+	if _, lookupErr := Lookup("site-gemm"); lookupErr == nil {
+		t.Fatal("degenerate profile reached the catalog")
+	}
+
+	good := gemm
+	good.Name = "site-gemm"
+	good.SignatureOverride = []SigPoint{{0, 1500}, {2.4, 1000}, {3.7, 1000}}
+	if err := Register(good); err != nil {
+		t.Fatalf("valid override rejected: %v", err)
+	}
+	p, err := Lookup("site-gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := p.Signature(hw.LassenConfig(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) != 3 || sig[0].NodeW != 1500 {
+		t.Fatalf("override not returned verbatim: %+v", sig)
+	}
+}
+
+func TestBuiltinCatalogSignaturesValid(t *testing.T) {
+	// Every bundled profile must produce a valid signature on both
+	// machines it supports — the load-time guarantee the predictor
+	// relies on.
+	lassen, tioga := hw.LassenConfig(), hw.TiogaConfig()
+	for _, name := range Names() {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Signature(lassen, p.RefNodes); err != nil {
+			t.Errorf("%s: lassen signature invalid: %v", name, err)
+		}
+		if p.TiogaTimeFactor > 0 {
+			if _, err := p.Signature(tioga, p.RefNodes); err != nil {
+				t.Errorf("%s: tioga signature invalid: %v", name, err)
+			}
+		}
+	}
+}

@@ -11,7 +11,8 @@
 //  3. converts actual/demand into a progress rate (bulk-synchronous jobs
 //     advance at their slowest node's pace) and integrates progress;
 //  4. finishes the job through the job manager when its work completes,
-//     which releases nodes and triggers FCFS scheduling of queued jobs.
+//     which releases nodes and redispatches queued jobs under the
+//     configured sched policy (FCFS by default).
 //
 // The engine also accounts ground-truth energy per job (the experiment
 // harness compares this against what the flux-power-monitor *measured*)
@@ -82,6 +83,15 @@ type Config struct {
 	// Heal enables the self-healing TBON (heartbeats, orphan reattach)
 	// on every broker. Nil keeps the classic fixed topology.
 	Heal *broker.HealConfig
+	// SchedPolicy names the job manager's dispatch policy ("fcfs",
+	// "power-aware"); "" = FCFS, the paper's baseline.
+	SchedPolicy string
+	// SchedBudgetW is the power budget the dispatcher admits jobs
+	// against (predicted draw); 0 = unlimited. Independent of powermgr's
+	// GlobalCapW: the dispatcher gates admission, the power manager
+	// gates enforcement — a production system sets both to the same
+	// bound.
+	SchedBudgetW float64
 }
 
 func (c Config) withDefaults() Config {
@@ -222,7 +232,11 @@ func New(cfg Config) (*Cluster, error) {
 	for i := range ranks {
 		ranks[i] = int32(i)
 	}
-	if err := inst.Root().LoadModule(job.NewManager(ranks)); err != nil {
+	if err := inst.Root().LoadModule(job.NewManagerWith(ranks, job.Options{
+		Policy:  cfg.SchedPolicy,
+		BudgetW: cfg.SchedBudgetW,
+		HW:      nodeCfg,
+	})); err != nil {
 		return nil, err
 	}
 	c.JM = job.NewClient(inst.Root())

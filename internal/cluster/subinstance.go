@@ -39,10 +39,19 @@ type SubInstance struct {
 }
 
 // SpawnSubInstance submits an allocation-holding job (App = "flux") and
-// boots a nested Flux instance over its nodes. The parent job must be
-// schedulable immediately: a queued allocation has no nodes to boot
-// brokers on.
+// boots a nested Flux instance over its nodes with the default FCFS
+// scheduling. The parent job must be schedulable immediately: a queued
+// allocation has no nodes to boot brokers on.
 func (c *Cluster) SpawnSubInstance(spec job.Spec) (*SubInstance, error) {
+	return c.SpawnSubInstanceWith(spec, job.Options{})
+}
+
+// SpawnSubInstanceWith boots a nested instance whose job manager runs
+// the given scheduling options — this is how "different users can choose
+// different power-aware scheduling policies within their respective
+// allocations" (§I): each allocation's nested job manager carries its
+// own policy and budget.
+func (c *Cluster) SpawnSubInstanceWith(spec job.Spec, opts job.Options) (*SubInstance, error) {
 	spec.App = InstanceApp
 	if spec.Name == "" {
 		spec.Name = "flux-instance"
@@ -79,7 +88,10 @@ func (c *Cluster) SpawnSubInstance(spec job.Spec) (*SubInstance, error) {
 	for i := range subRanks {
 		subRanks[i] = int32(i)
 	}
-	if err := inst.Root().LoadModule(job.NewManager(subRanks)); err != nil {
+	if opts.HW.Sockets == 0 {
+		opts.HW = c.nodes[0].Config()
+	}
+	if err := inst.Root().LoadModule(job.NewManagerWith(subRanks, opts)); err != nil {
 		return nil, err
 	}
 	si := &SubInstance{

@@ -87,6 +87,12 @@ type Config struct {
 	PushTimeout time.Duration
 	// FPP carries Algorithm 1's constants (zero values = paper defaults).
 	FPP fpp.Config
+	// Controller configures the closed-loop budget controller layered on
+	// the proportional split (rank 0): observation rounds compare each
+	// job's measured draw against its cap; retune mode reclaims slack
+	// from under-cap jobs and grants it to throttled ones. Off by
+	// default.
+	Controller ControllerConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +111,7 @@ func (c Config) withDefaults() Config {
 	if c.PushTimeout <= 0 {
 		c.PushTimeout = 5 * time.Second
 	}
+	c.Controller = c.Controller.withDefaults(c.PushTimeout)
 	return c
 }
 
@@ -129,6 +136,7 @@ type Manager struct {
 	node        *hw.Node
 	nodeLimitW  float64
 	nodePolicy  Policy
+	lastNodeW   float64 // last sampled node draw, the controller's feedback
 	fppCtrls    []*fpp.Controller
 	capWrites   uint64 // diagnostics: Variorum cap calls issued
 	capRetries  uint64 // writes re-issued after verification failed (§V)
@@ -152,6 +160,18 @@ type Manager struct {
 	// restarted node gets its current limit pushed again rather than
 	// running uncapped until the next allocation change.
 	limitRepushes uint64
+
+	// Closed-loop controller state (rank 0 only). jobCtls outlives the
+	// allocations so cap history and violation counters stay queryable
+	// after jobs finish.
+	ctl           ControllerConfig
+	jobCtls       map[uint64]*jobCtl
+	ctlRounds     uint64
+	ctlRetunes    uint64
+	ctlViolations uint64
+	ctlSustained  uint64
+	ctlReclaimedW float64
+	ctlGrantedW   float64
 }
 
 // maxAckTimes bounds the per-rank acknowledgement timestamp history.
@@ -159,12 +179,15 @@ const maxAckTimes = 256
 
 // New creates a manager module instance.
 func New(cfg Config) *Manager {
+	full := cfg.withDefaults()
 	return &Manager{
-		cfg:        cfg.withDefaults(),
+		cfg:        full,
+		ctl:        full.Controller,
 		allocs:     make(map[uint64]*Allocation),
 		pushErrs:   make(map[int32]string),
 		pushAcks:   make(map[int32]uint64),
 		pushAckSec: make(map[int32][]float64),
+		jobCtls:    make(map[uint64]*jobCtl),
 	}
 }
 
@@ -212,6 +235,14 @@ func (m *Manager) Init(ctx *broker.Context) error {
 		// authoritative limit for every moved rank so enforcement heals
 		// along with the tree.
 		ctx.Subscribe(broker.TopicReattach, m.onReattach)
+		// The closed-loop budget controller only makes sense over the
+		// dynamic policies: static/none install no per-job caps to tune.
+		if m.ctl.Mode != ControllerOff &&
+			(m.cfg.Policy == PolicyProportional || m.cfg.Policy == PolicyFPP) {
+			if _, err := ctx.Every(m.ctl.Interval, m.onControllerInterval); err != nil {
+				return err
+			}
+		}
 		// PolicyStatic caps every node once, up front: that is exactly
 		// what a site does with the IBM default mechanism. Deferred one
 		// timer tick so that node-level managers on the other ranks have
@@ -262,6 +293,7 @@ func (m *Manager) onJobStart(ev *msg.Message) {
 	if m.cfg.GlobalCapW <= 0 {
 		alloc.PerNodeW = maxPerNode
 		m.allocs[rec.ID] = alloc
+		m.recordCapLocked(rec.ID, alloc.PerNodeW)
 		m.mu.Unlock()
 		m.pushAllocation(alloc)
 		return
@@ -276,6 +308,7 @@ func (m *Manager) onJobStart(ev *msg.Message) {
 	if avail >= maxPerNode*float64(len(rec.Ranks)) {
 		alloc.PerNodeW = maxPerNode
 		m.allocs[rec.ID] = alloc
+		m.recordCapLocked(rec.ID, alloc.PerNodeW)
 		m.mu.Unlock()
 		m.pushAllocation(alloc)
 		return
@@ -289,6 +322,7 @@ func (m *Manager) onJobStart(ev *msg.Message) {
 	var push []*Allocation
 	for _, a := range m.allocs {
 		a.PerNodeW = perNode
+		m.recordCapLocked(a.JobID, perNode)
 		push = append(push, a)
 	}
 	m.mu.Unlock()
@@ -331,6 +365,7 @@ func (m *Manager) onJobFinish(ev *msg.Message) {
 		}
 		for _, al := range m.allocs {
 			al.PerNodeW = perNode
+			m.recordCapLocked(al.JobID, perNode)
 			push = append(push, al)
 		}
 	}
@@ -493,6 +528,7 @@ func (m *Manager) handleSetGlobal(req *broker.Request) {
 		}
 		for _, a := range m.allocs {
 			a.PerNodeW = perNode
+			m.recordCapLocked(a.JobID, perNode)
 			push = append(push, a)
 		}
 	}
@@ -526,17 +562,19 @@ func (m *Manager) handleStatus(req *broker.Request) {
 	for rank, times := range m.pushAckSec {
 		pushAckSec[rank] = append([]float64(nil), times...)
 	}
+	controller := m.controllerStatusLocked()
 	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
 	_ = req.Respond(map[string]any{
-		"policy":        m.cfg.Policy,
-		"global_cap_w":  global,
-		"allocations":   out,
-		"push_failures": pushFailures,
-		"push_errors":   pushErrs,
+		"policy":         m.cfg.Policy,
+		"global_cap_w":   global,
+		"allocations":    out,
+		"push_failures":  pushFailures,
+		"push_errors":    pushErrs,
 		"push_acks":      pushAcks,
 		"push_ack_sec":   pushAckSec,
 		"limit_repushes": repushes,
+		"controller":     controller,
 	})
 }
 
@@ -548,6 +586,8 @@ func (m *Manager) handleNode(req *broker.Request) {
 		m.handleSetLimit(req)
 	case "power-manager.node.info":
 		m.handleNodeInfo(req)
+	case "power-manager.node.observe":
+		m.handleObserve(req)
 	default:
 		_ = req.Fail(msg.ENOSYS, fmt.Sprintf("powermgr: unknown operation %q", req.Msg.Topic))
 	}
@@ -736,14 +776,16 @@ func (m *Manager) clearCapsLocked() {
 	m.fppCtrls = nil
 }
 
-// onSample feeds the FPP controllers with per-GPU telemetry.
+// onSample tracks node power (the closed-loop controller's feedback
+// signal) and feeds the FPP controllers with per-GPU telemetry.
 func (m *Manager) onSample(now simtime.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	r := m.node.Read(now)
+	m.lastNodeW = r.TotalMeasuredW()
 	if len(m.fppCtrls) == 0 {
 		return
 	}
-	r := m.node.Read(now)
 	per := r.GPUsPerSensor
 	if per <= 0 {
 		per = 1
@@ -833,6 +875,22 @@ func (c *Client) Status() (policy Policy, globalW float64, allocs []Allocation, 
 		return "", 0, nil, err
 	}
 	return body.Policy, body.GlobalCapW, body.Allocations, nil
+}
+
+// Controller returns the closed-loop controller's status: rounds,
+// retunes, per-job cap history, and cap-violation counters.
+func (c *Client) Controller() (ControllerStatus, error) {
+	resp, err := c.b.Call(msg.NodeAny, "power-manager.status", nil)
+	if err != nil {
+		return ControllerStatus{}, err
+	}
+	var body struct {
+		Controller ControllerStatus `json:"controller"`
+	}
+	if err := resp.Unmarshal(&body); err != nil {
+		return ControllerStatus{}, err
+	}
+	return body.Controller, nil
 }
 
 // SetGlobalCap changes the cluster power bound.

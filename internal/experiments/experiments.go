@@ -62,6 +62,8 @@ type envConfig struct {
 	manager      *powermgr.Config // nil = no manager
 	monitorCfg   powermon.Config
 	overheadFrac float64 // <0 selects per-system default
+	schedPolicy  string  // "" = FCFS
+	schedBudgetW float64 // 0 = node-count admission only
 }
 
 func newEnv(cfg envConfig) (*env, error) {
@@ -73,6 +75,8 @@ func newEnv(cfg envConfig) (*env, error) {
 		Jitter:              cfg.jitter,
 		SensorNoiseW:        cfg.sensorNoiseW,
 		MonitorOverheadFrac: overhead,
+		SchedPolicy:         cfg.schedPolicy,
+		SchedBudgetW:        cfg.schedBudgetW,
 	})
 	if err != nil {
 		return nil, err

@@ -173,6 +173,22 @@ func TestGoldenHeal(t *testing.T) {
 	checkGolden(t, "heal_csv", r.RenderCSV())
 }
 
+func TestGoldenPolicy(t *testing.T) {
+	r := &PolicyResult{Nodes: 16, BudgetW: 18000, Jobs: 6, Rows: []PolicyRow{
+		{Scheme: "fcfs", MakespanSec: 461, ThroughputPerHr: 46.8,
+			AvgQueueWaitSec: 108, MaxQueueWaitSec: 261, Rounds: 230,
+			Violations: 46, Sustained: 1, TotalEnergyKJ: 3062, BudgetTrims: 5},
+		{Scheme: "power-aware", MakespanSec: 426, ThroughputPerHr: 50.7,
+			AvgQueueWaitSec: 66, MaxQueueWaitSec: 151, Rounds: 212,
+			Violations: 75, Sustained: 2, TotalEnergyKJ: 3065},
+		{Scheme: "closed-loop", MakespanSec: 426, ThroughputPerHr: 50.7,
+			AvgQueueWaitSec: 66, MaxQueueWaitSec: 151, Rounds: 212,
+			Violations: 3, ReclaimedKW: 6.4, GrantedKW: 4.1, TotalEnergyKJ: 3061},
+	}}
+	checkGolden(t, "policy", r.Render())
+	checkGolden(t, "policy_csv", r.RenderCSV())
+}
+
 func TestGoldenChaos(t *testing.T) {
 	r := &ChaosResult{Nodes: 16, Rows: []ChaosRow{
 		{DropProb: 0, Queries: 15, OK: 15},

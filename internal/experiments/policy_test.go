@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyExperiment runs the quick policy comparison end-to-end and
+// gates the acceptance criteria: the closed loop must beat FCFS on
+// makespan at the same power budget, with zero sustained cap violations
+// and a per-round violation rate under 10%, and no scheme may ever let
+// the fleet's sum of caps exceed the budget.
+func TestPolicyExperiment(t *testing.T) {
+	res, err := Policy(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3: %+v", len(res.Rows), res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row.MakespanSec <= 0 {
+			t.Errorf("%s: makespan %.0f, queue did not run", row.Scheme, row.MakespanSec)
+		}
+		if row.Rounds == 0 {
+			t.Errorf("%s: controller never observed", row.Scheme)
+		}
+		if row.BudgetExceededAt != 0 {
+			t.Errorf("%s: fleet caps exceeded the budget at %d checkpoints (max %.1f kW)",
+				row.Scheme, row.BudgetExceededAt, row.MaxFleetCapKW)
+		}
+	}
+	fcfs, ok := res.Row("fcfs")
+	if !ok {
+		t.Fatal("no fcfs row")
+	}
+	pa, ok := res.Row("power-aware")
+	if !ok {
+		t.Fatal("no power-aware row")
+	}
+	cl, ok := res.Row("closed-loop")
+	if !ok {
+		t.Fatal("no closed-loop row")
+	}
+
+	// FCFS must actually exhibit the head-of-line power block the
+	// power-aware policy relieves — otherwise the comparison is vacuous.
+	if fcfs.BudgetTrims == 0 {
+		t.Error("fcfs never blocked on predicted power; the workload no longer exercises the budget gate")
+	}
+	if pa.MakespanSec >= fcfs.MakespanSec {
+		t.Errorf("power-aware makespan %.0f s did not beat FCFS %.0f s", pa.MakespanSec, fcfs.MakespanSec)
+	}
+
+	// The gated acceptance bar: closed-loop beats FCFS on makespan at
+	// equal budget, with zero sustained violations.
+	if cl.MakespanSec >= fcfs.MakespanSec {
+		t.Errorf("closed-loop makespan %.0f s did not beat FCFS %.0f s", cl.MakespanSec, fcfs.MakespanSec)
+	}
+	if cl.Sustained != 0 {
+		t.Errorf("closed-loop had %d sustained cap violations, want 0", cl.Sustained)
+	}
+	if rate := cl.ViolationRate(); rate > 0.10 {
+		t.Errorf("closed-loop violation rate %.3f exceeds the 0.10 gate (%d violations / %d rounds)",
+			rate, cl.Violations, cl.Rounds)
+	}
+	// The loop must have actually moved watts, not won by inaction.
+	if cl.ReclaimedKW == 0 || cl.GrantedKW == 0 {
+		t.Errorf("closed-loop moved no watts: reclaimed %.1f kW granted %.1f kW",
+			cl.ReclaimedKW, cl.GrantedKW)
+	}
+	// Observe-mode schemes must count the violations the static split
+	// cannot prevent, and the closed loop must clear almost all of them.
+	if fcfs.Violations == 0 || pa.Violations == 0 {
+		t.Error("static schemes reported no cap violations; the workload no longer presses the caps")
+	}
+	if cl.Violations >= pa.Violations {
+		t.Errorf("closed-loop violations %d not below power-aware %d", cl.Violations, pa.Violations)
+	}
+
+	if !strings.Contains(res.Render(), "makespan_s") {
+		t.Fatal("render missing makespan_s column")
+	}
+}

@@ -1,0 +1,152 @@
+package chaos_test
+
+import (
+	"testing"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/core/powermgr"
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/chaos"
+	"fluxpower/internal/flux/job"
+)
+
+// TestHealClosedLoopCapRepush soaks the closed-loop budget controller
+// across an interior-rank crash-restart. The controller has already
+// retuned caps away from the proportional split when the rank dies;
+// while it is gone, observation RPCs to it fail and cap pushes time out.
+// After the rank revives and reattaches, the re-pushed limits must match
+// the controller's current state — a rebooted node running at the stale
+// boot-time split would silently break the budget story — and the usual
+// heal invariants must hold.
+func TestHealClosedLoopCapRepush(t *testing.T) {
+	const size = 15
+	const budgetW = 15000 // 1000 W/node when both jobs run
+	plan := chaos.Plan{
+		Seed: 3,
+		Nodes: []chaos.NodeRule{
+			// Crash-then-restart of interior rank 1 (a laghos rank whose
+			// cap the loop has reclaimed below the split).
+			{Rank: 1, Kind: chaos.FaultCrash, Window: chaos.Window{StartSec: 30.5, EndSec: 36.5}},
+		},
+	}
+	inj := chaos.New(plan)
+	c, err := cluster.New(cluster.Config{
+		System:      cluster.Lassen,
+		Nodes:       size,
+		Seed:        3,
+		WrapLink:    inj.WrapLink,
+		CallTimeout: 2 * time.Second,
+		Heal:        healSim(),
+	})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Close()
+	inj.Bind(c.Sched)
+
+	var live *chaos.Liveness
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		l := chaos.NewLiveness(2 * time.Second)
+		if rank == 0 {
+			live = l
+		}
+		return l
+	}); err != nil {
+		t.Fatalf("load liveness: %v", err)
+	}
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		return powermgr.New(powermgr.Config{
+			Policy:     powermgr.PolicyProportional,
+			GlobalCapW: budgetW,
+			Controller: powermgr.ControllerConfig{
+				Mode:     powermgr.ControllerRetune,
+				Interval: 2 * time.Second,
+			},
+		})
+	}); err != nil {
+		t.Fatalf("load manager: %v", err)
+	}
+	pm := powermgr.NewClient(c.Inst.Root())
+
+	// Laghos on ranks 0-6 (slack, reclaimed) and LAMMPS on ranks 7-14
+	// (throttled, granted); both outlive the whole soak.
+	laghosID, err := c.Submit(job.Spec{App: "laghos", Nodes: 7, SizeFactor: 60})
+	if err != nil {
+		t.Fatalf("submit laghos: %v", err)
+	}
+	if _, err := c.Submit(job.Spec{App: "lammps", Nodes: 8, RepFactor: 30}); err != nil {
+		t.Fatalf("submit lammps: %v", err)
+	}
+
+	c.RunFor(30 * time.Second) // ~15 controller rounds: caps move off the split
+	st, err := pm.Controller()
+	if err != nil {
+		t.Fatalf("controller status: %v", err)
+	}
+	if st.Retunes == 0 {
+		t.Fatal("controller never retuned before the crash; the soak would prove nothing")
+	}
+	roundsBefore := st.Rounds
+
+	inj.Arm()
+	c.RunFor(20 * time.Second) // crash at 30.5s, heal away, revive at 36.5s, rejoin
+	inj.Disarm()
+	c.RunFor(15 * time.Second) // quiesce: deadlines drain, reattach re-pushes land
+
+	res, err := live.Sweep(nil, 2*time.Second)
+	if err != nil || res.Missing != 0 || res.Partial {
+		t.Fatalf("coverage did not converge after restart: %+v err=%v", res, err)
+	}
+	st, err = pm.Controller()
+	if err != nil {
+		t.Fatalf("controller status: %v", err)
+	}
+	if st.Rounds <= roundsBefore {
+		t.Fatalf("controller stalled across the crash: rounds %d -> %d", roundsBefore, st.Rounds)
+	}
+
+	// Every rank must run at exactly the cap the controller currently
+	// holds for its job — including revived rank 1, whose limit was
+	// re-pushed on reattach.
+	_, _, allocs, err := pm.Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if len(allocs) != 2 {
+		t.Fatalf("allocations: %+v", allocs)
+	}
+	total := 0.0
+	for _, a := range allocs {
+		total += a.PerNodeW * float64(len(a.Ranks))
+		for _, rank := range a.Ranks {
+			info, err := pm.NodeInfo(rank)
+			if err != nil {
+				t.Fatalf("node info rank %d: %v", rank, err)
+			}
+			limit, _ := info["limit_w"].(float64)
+			if limit != a.PerNodeW {
+				t.Errorf("rank %d runs at %.0f W, controller holds %.0f W for job %d",
+					rank, limit, a.PerNodeW, a.JobID)
+			}
+		}
+		if a.JobID == laghosID && a.PerNodeW >= 1000 {
+			t.Errorf("laghos cap %.0f W: retuned state did not survive the crash-restart", a.PerNodeW)
+		}
+	}
+	if total > budgetW+1e-6 {
+		t.Errorf("fleet caps %.1f W exceed the %d W budget after the heal", total, budgetW)
+	}
+
+	vs := chaos.Check(chaos.CheckConfig{
+		Brokers:            c.Inst.Brokers,
+		Injector:           inj,
+		Liveness:           live,
+		Heal:               true,
+		RPCTimeout:         2 * time.Second,
+		ExpectAllReachable: true,
+	})
+	if len(vs) > 0 {
+		t.Fatalf("%d invariant violations after crash-restart heal:\n%s", len(vs), violationList(vs))
+	}
+}

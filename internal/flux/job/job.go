@@ -1,6 +1,6 @@
 // Package job implements the job manager: jobspecs, job state tracking,
-// FCFS scheduling onto broker ranks, and the job.start / job.finish events
-// the power modules key off.
+// policy-driven scheduling onto broker ranks, and the job.start /
+// job.finish events the power modules key off.
 //
 // The paper's framework is deliberately job-centric: "anything that can be
 // launched under a Flux job" — MPI codes, Charm++, Python workflows — gets
@@ -8,6 +8,14 @@
 // application *model* (resolved by the cluster engine) plus its node count
 // and scaling knobs; the job manager neither knows nor cares what the
 // application is.
+//
+// Dispatch is delegated to a sched.Policy behind a sched.Dispatcher: FCFS
+// is the default (a conventional resource manager), the power-aware policy
+// schedules against predicted per-job draw under a cluster power budget,
+// and the dispatcher centrally guarantees no policy ever admits a job set
+// whose predicted draw exceeds that budget. Finished jobs feed their
+// telemetry-measured average power back to the predictor via the power
+// monitor's in-network aggregate query.
 package job
 
 import (
@@ -18,11 +26,18 @@ import (
 	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/flux/kvs"
 	"fluxpower/internal/flux/msg"
-	"fluxpower/internal/flux/sched"
+	"fluxpower/internal/hw"
+	"fluxpower/internal/sched"
 )
 
 // ModuleName is the job manager's registered module/service name.
 const ModuleName = "job-manager"
+
+// monitorTopic is the power monitor's query service. Named here rather
+// than imported from core/powermon to keep the dependency one-way (the
+// monitor subscribes to this package's events); absence of the monitor
+// module simply fails the observation RPC, which is tolerated.
+const monitorTopic = "power-monitor.query"
 
 // Event topics published by the manager.
 const (
@@ -90,29 +105,68 @@ type Record struct {
 	SubmitSec float64 `json:"submit_sec"`
 	StartSec  float64 `json:"start_sec"`
 	EndSec    float64 `json:"end_sec"`
+	// QueueWaitSec is StartSec−SubmitSec once the job starts.
+	QueueWaitSec float64 `json:"queue_wait_sec"`
+	// PredNodeW is the dispatcher's predicted per-node draw at admission
+	// time (0 until first considered for dispatch).
+	PredNodeW float64 `json:"pred_node_w,omitempty"`
+}
+
+// Options configures the manager's scheduling. The zero value is the
+// paper's baseline: FCFS, no power budget.
+type Options struct {
+	// Policy names the sched policy ("fcfs", "power-aware"); "" = FCFS.
+	Policy string
+	// BudgetW is the cluster power budget the dispatcher admits against;
+	// 0 = unlimited.
+	BudgetW float64
+	// HW is the machine model the predictor derives catalog priors from.
+	// The zero Config falls back to Lassen.
+	HW hw.Config
+	// Predictor tunes the power predictor.
+	Predictor sched.PredictorConfig
 }
 
 // Manager is the job-manager broker module. Load it on rank 0.
 type Manager struct {
 	computeRanks []int32
+	opts         Options
 
 	mu      sync.Mutex
 	ctx     *broker.Context
-	alloc   *sched.FCFS
+	disp    *sched.Dispatcher
+	pred    *sched.Predictor
 	records map[uint64]*Record
 	queue   []uint64 // submission order, SCHED state only
 	nextID  uint64
 	kvs     *kvs.Client // optional mirror; nil if no KVS module
+
+	// queue-wait accounting over started jobs
+	waitCount  int
+	waitSumSec float64
+	waitMaxSec float64
 }
 
 // NewManager creates a job manager scheduling over the given compute
-// ranks. Normally that is every rank in the instance: brokers double as
-// compute nodes, as on real Flux systems.
+// ranks with the baseline FCFS policy and no power budget. Normally that
+// is every rank in the instance: brokers double as compute nodes, as on
+// real Flux systems.
 func NewManager(computeRanks []int32) *Manager {
+	return NewManagerWith(computeRanks, Options{})
+}
+
+// NewManagerWith creates a job manager with explicit scheduling options.
+// An unknown policy name falls back to FCFS at Init (surfaced in the
+// job-manager.sched status), keeping module load infallible.
+func NewManagerWith(computeRanks []int32, opts Options) *Manager {
 	rs := append([]int32(nil), computeRanks...)
 	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	if opts.HW.Sockets == 0 {
+		opts.HW = hw.LassenConfig()
+	}
 	return &Manager{
 		computeRanks: rs,
+		opts:         opts,
 		records:      make(map[uint64]*Record),
 	}
 }
@@ -126,7 +180,12 @@ func (m *Manager) Shutdown() error { return nil }
 // Init implements broker.Module.
 func (m *Manager) Init(ctx *broker.Context) error {
 	m.ctx = ctx
-	m.alloc = sched.New(m.computeRanks)
+	policy, err := sched.New(m.opts.Policy)
+	if err != nil {
+		policy = sched.FCFS{}
+	}
+	m.pred = sched.NewPredictor(m.opts.HW, m.opts.Predictor)
+	m.disp = sched.NewDispatcher(sched.NewPool(m.computeRanks), policy, m.opts.BudgetW)
 	m.kvs = kvs.NewClient(ctx.Broker())
 	return ctx.RegisterService(ModuleName, func(req *broker.Request) {
 		switch req.Msg.Topic {
@@ -140,6 +199,8 @@ func (m *Manager) Init(ctx *broker.Context) error {
 			m.handleInfo(req)
 		case "job-manager.list":
 			m.handleList(req)
+		case "job-manager.sched":
+			m.handleSched(req)
 		default:
 			_ = req.Fail(msg.ENOSYS, fmt.Sprintf("job-manager: unknown operation %q", req.Msg.Topic))
 		}
@@ -184,31 +245,52 @@ func (m *Manager) handleSubmit(req *broker.Request) {
 	m.trySchedule()
 }
 
-// trySchedule starts queued jobs in FCFS order while nodes are available.
-// Strict FCFS: the queue head blocks later jobs (no backfill).
+// trySchedule hands the current queue to the dispatcher and starts
+// whatever the policy admits. The dispatcher enforces the power budget
+// centrally, so this holds regardless of policy implementation.
 func (m *Manager) trySchedule() {
-	for {
-		m.mu.Lock()
-		if len(m.queue) == 0 {
-			m.mu.Unlock()
-			return
-		}
-		id := m.queue[0]
+	m.mu.Lock()
+	queue := make([]sched.Job, 0, len(m.queue))
+	for _, id := range m.queue {
 		rec := m.records[id]
-		ranks, ok := m.alloc.Alloc(rec.Spec.Nodes)
-		if !ok {
-			m.mu.Unlock()
-			return
+		if rec.PredNodeW == 0 {
+			rec.PredNodeW = m.pred.Predict(rec.Spec.App, rec.Spec.Nodes)
 		}
-		m.queue = m.queue[1:]
+		queue = append(queue, sched.Job{
+			ID:        rec.ID,
+			App:       rec.Spec.App,
+			Nodes:     rec.Spec.Nodes,
+			PredNodeW: rec.PredNodeW,
+			SubmitSec: rec.SubmitSec,
+		})
+	}
+	admits := m.disp.Dispatch(queue)
+	started := make([]Record, 0, len(admits))
+	now := m.ctx.Clock().Now().Seconds()
+	for _, a := range admits {
+		rec := m.records[a.ID]
+		for i, id := range m.queue {
+			if id == a.ID {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
 		rec.State = StateRun
-		rec.Ranks = ranks
-		rec.StartSec = m.ctx.Clock().Now().Seconds()
-		started := *rec
-		m.mu.Unlock()
+		rec.Ranks = a.Ranks
+		rec.StartSec = now
+		rec.QueueWaitSec = now - rec.SubmitSec
+		m.waitCount++
+		m.waitSumSec += rec.QueueWaitSec
+		if rec.QueueWaitSec > m.waitMaxSec {
+			m.waitMaxSec = rec.QueueWaitSec
+		}
+		started = append(started, *rec)
+	}
+	m.mu.Unlock()
 
-		m.mirror(&started)
-		_ = m.ctx.Publish(EventStart, started)
+	for i := range started {
+		m.mirror(&started[i])
+		_ = m.ctx.Publish(EventStart, started[i])
 	}
 }
 
@@ -237,14 +319,42 @@ func (m *Manager) handleFinish(req *broker.Request) {
 	}
 	rec.State = StateInactive
 	rec.EndSec = m.ctx.Clock().Now().Seconds()
-	m.alloc.Release(rec.Ranks)
+	m.disp.Release(rec.ID, rec.Ranks)
 	finished := *rec
 	m.mu.Unlock()
 
+	m.observe(finished)
 	m.mirror(&finished)
 	_ = m.ctx.Publish(EventFinish, finished)
 	_ = req.Respond(finished)
 	m.trySchedule()
+}
+
+// observe asynchronously queries the power monitor for the finished
+// job's in-network aggregate and feeds the measured average node power
+// back to the predictor. Best-effort: instances without a power monitor
+// (or with the job's window already evicted) simply learn nothing from
+// this job.
+func (m *Manager) observe(rec Record) {
+	type aggRequest struct {
+		JobID uint64 `json:"jobid"`
+		Mode  string `json:"mode"`
+	}
+	type aggResponse struct {
+		AvgNodePowerW float64 `json:"avg_node_power_w"`
+		NodesWithData int     `json:"nodes_with_data"`
+	}
+	f := m.ctx.RPC(msg.NodeAny, monitorTopic, aggRequest{JobID: rec.ID, Mode: "aggregate"})
+	f.Then(func(resp *msg.Message) {
+		if resp.Err() != nil {
+			return
+		}
+		var agg aggResponse
+		if err := resp.Unmarshal(&agg); err != nil || agg.NodesWithData == 0 {
+			return
+		}
+		m.pred.Observe(rec.Spec.App, rec.Spec.Nodes, agg.AvgNodePowerW)
+	})
 }
 
 func (m *Manager) handleCancel(req *broker.Request) {
@@ -304,6 +414,33 @@ func (m *Manager) handleList(req *broker.Request) {
 	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	_ = req.Respond(map[string][]Record{"jobs": out})
+}
+
+// SchedStatus is the job-manager.sched response: dispatcher state,
+// learned predictor corrections, and queue-wait accounting.
+type SchedStatus struct {
+	sched.Stats
+	QueueDepth      int             `json:"queue_depth"`
+	Predictor       []sched.AppStat `json:"predictor,omitempty"`
+	StartedJobs     int             `json:"started_jobs"`
+	AvgQueueWaitSec float64         `json:"avg_queue_wait_sec"`
+	MaxQueueWaitSec float64         `json:"max_queue_wait_sec"`
+}
+
+func (m *Manager) handleSched(req *broker.Request) {
+	st := SchedStatus{
+		Stats:     m.disp.Stats(),
+		Predictor: m.pred.Snapshot(),
+	}
+	m.mu.Lock()
+	st.QueueDepth = len(m.queue)
+	st.StartedJobs = m.waitCount
+	if m.waitCount > 0 {
+		st.AvgQueueWaitSec = m.waitSumSec / float64(m.waitCount)
+	}
+	st.MaxQueueWaitSec = m.waitMaxSec
+	m.mu.Unlock()
+	_ = req.Respond(st)
 }
 
 // mirror best-effort copies the record into the KVS (job.<id>); absence of
@@ -379,4 +516,17 @@ func (c *Client) List() ([]Record, error) {
 		return nil, err
 	}
 	return body["jobs"], nil
+}
+
+// Sched fetches the scheduler/dispatcher status.
+func (c *Client) Sched() (SchedStatus, error) {
+	resp, err := c.b.Call(msg.NodeAny, "job-manager.sched", nil)
+	if err != nil {
+		return SchedStatus{}, err
+	}
+	var st SchedStatus
+	if err := resp.Unmarshal(&st); err != nil {
+		return SchedStatus{}, err
+	}
+	return st, nil
 }

@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func job(id uint64, nodes int, nodeW float64) Job {
+	return Job{ID: id, Nodes: nodes, PredNodeW: nodeW}
+}
+
+func TestFCFSHeadOfLineBlocks(t *testing.T) {
+	queue := []Job{job(1, 6, 500), job(2, 2, 500), job(3, 1, 500)}
+	picks := FCFS{}.Select(queue, Cluster{FreeNodes: 4})
+	if len(picks) != 0 {
+		t.Fatalf("FCFS backfilled past a blocked head: %v", picks)
+	}
+	picks = FCFS{}.Select(queue[1:], Cluster{FreeNodes: 4})
+	if len(picks) != 2 || picks[0] != 2 || picks[1] != 3 {
+		t.Fatalf("FCFS picks=%v, want [2 3]", picks)
+	}
+}
+
+func TestPowerAwareBackfillsNodesAndPower(t *testing.T) {
+	// Head needs 6 nodes; only 4 free. Backfill admits the 2- and
+	// 1-node jobs behind it.
+	queue := []Job{job(1, 6, 500), job(2, 2, 500), job(3, 1, 500)}
+	picks := PowerAware{}.Select(queue, Cluster{FreeNodes: 4})
+	if len(picks) != 2 || picks[0] != 2 || picks[1] != 3 {
+		t.Fatalf("node backfill picks=%v, want [2 3]", picks)
+	}
+
+	// Head fits nodes but not power budget; a cooler job behind it does.
+	queue = []Job{job(1, 4, 1200), job(2, 2, 500)}
+	picks = PowerAware{}.Select(queue, Cluster{FreeNodes: 8, BudgetW: 2000})
+	if len(picks) != 1 || picks[0] != 2 {
+		t.Fatalf("power backfill picks=%v, want [2]", picks)
+	}
+
+	// No budget: power is ignored.
+	picks = PowerAware{}.Select(queue, Cluster{FreeNodes: 8})
+	if len(picks) != 2 {
+		t.Fatalf("unbudgeted picks=%v, want both", picks)
+	}
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+	}{{"", PolicyFCFS}, {PolicyFCFS, PolicyFCFS}, {PolicyPowerAware, PolicyPowerAware}} {
+		p, err := New(tc.in)
+		if err != nil {
+			t.Fatalf("New(%q): %v", tc.in, err)
+		}
+		if p.Name() != tc.want {
+			t.Fatalf("New(%q).Name()=%q, want %q", tc.in, p.Name(), tc.want)
+		}
+	}
+	if _, err := New("dqn"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// greedy is a deliberately defective policy: it selects every queued
+// job (twice, plus a bogus ID) regardless of nodes or budget. The
+// dispatcher must still never exceed the budget.
+type greedy struct{}
+
+func (greedy) Name() string { return "greedy" }
+func (greedy) Select(queue []Job, _ Cluster) []uint64 {
+	picks := make([]uint64, 0, 2*len(queue)+1)
+	for _, j := range queue {
+		picks = append(picks, j.ID)
+	}
+	for _, j := range queue {
+		picks = append(picks, j.ID) // duplicates
+	}
+	return append(picks, ^uint64(0)) // unknown ID
+}
+
+// Regression for the central budget invariant: no schedule produced by
+// ANY policy — baseline, power-aware, or adversarial — ever admits a
+// job set whose predicted draw exceeds the cluster budget, across
+// arbitrary dispatch/release interleavings.
+func TestQuickNoPolicyExceedsBudget(t *testing.T) {
+	policies := []Policy{FCFS{}, PowerAware{}, greedy{}}
+	f := func(seed int64, rawBudget uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nodes = 16
+		budgetW := 500 + float64(rawBudget%20000)
+
+		for _, pol := range policies {
+			d := NewDispatcher(NewPoolRange(0, nodes), pol, budgetW)
+			var queue []Job
+			running := map[uint64][]int32{}
+			nextID := uint64(1)
+			for step := 0; step < 40; step++ {
+				switch rng.Intn(3) {
+				case 0: // submit
+					queue = append(queue, Job{
+						ID:        nextID,
+						Nodes:     1 + rng.Intn(nodes),
+						PredNodeW: 200 + rng.Float64()*1800,
+					})
+					nextID++
+				case 1: // finish a random running job
+					for id, ranks := range running {
+						d.Release(id, ranks)
+						delete(running, id)
+						break
+					}
+				}
+				admitted := d.Dispatch(queue)
+				for _, a := range admitted {
+					running[a.ID] = a.Ranks
+					for i, j := range queue {
+						if j.ID == a.ID {
+							queue = append(queue[:i], queue[i+1:]...)
+							break
+						}
+					}
+				}
+				st := d.Stats()
+				if st.PredictedW > budgetW+1e-9 {
+					t.Logf("policy %s: predicted %.1f W > budget %.1f W",
+						pol.Name(), st.PredictedW, budgetW)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDispatcherTrimsAccounted(t *testing.T) {
+	d := NewDispatcher(NewPoolRange(0, 4), greedy{}, 1000)
+	queue := []Job{job(1, 2, 400), job(2, 2, 400), job(3, 2, 400)}
+	admitted := d.Dispatch(queue)
+	if len(admitted) != 1 {
+		t.Fatalf("admitted %d jobs under a 1000 W budget of 800 W jobs", len(admitted))
+	}
+	st := d.Stats()
+	if st.BudgetTrims == 0 {
+		t.Fatal("budget trims not counted")
+	}
+	if st.NodeTrims == 0 {
+		t.Fatal("duplicate/unknown picks not counted")
+	}
+}
+
+func TestDispatcherReleaseRestoresHeadroom(t *testing.T) {
+	d := NewDispatcher(NewPoolRange(0, 8), PowerAware{}, 1600)
+	a := d.Dispatch([]Job{job(1, 2, 700)}) // 1400 W of 1600 W
+	if len(a) != 1 {
+		t.Fatal("first job rejected")
+	}
+	if got := d.Dispatch([]Job{job(2, 1, 700)}); len(got) != 0 {
+		t.Fatal("second job should not fit the remaining 200 W")
+	}
+	d.Release(1, a[0].Ranks)
+	if got := d.Dispatch([]Job{job(2, 1, 700)}); len(got) != 1 {
+		t.Fatal("headroom not restored after release")
+	}
+}
+
+func BenchmarkDispatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const nodes = 512
+	queue := make([]Job, 256)
+	for i := range queue {
+		queue[i] = Job{
+			ID:        uint64(i + 1),
+			Nodes:     1 + rng.Intn(32),
+			PredNodeW: 400 + rng.Float64()*1200,
+		}
+	}
+	for _, pol := range []Policy{FCFS{}, PowerAware{}} {
+		b.Run(pol.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := NewDispatcher(NewPoolRange(0, nodes), pol, float64(nodes)*900)
+				admitted := d.Dispatch(queue)
+				if len(admitted) == 0 {
+					b.Fatal("nothing admitted")
+				}
+			}
+		})
+	}
+}

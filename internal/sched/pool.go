@@ -1,0 +1,80 @@
+// Package sched implements the scheduling subsystem behind the job
+// manager: a node pool allocator, a pluggable dispatch Policy (FCFS
+// baseline and a power-aware policy with backfill), a per-job power
+// Predictor trained on the apps catalog's signatures plus observed
+// telemetry, and a Dispatcher that combines them while centrally
+// enforcing the cluster power budget — no policy, however buggy or
+// adversarial, can admit a job set whose predicted draw exceeds the
+// budget.
+//
+// The paper's baseline is plain FCFS ("Flux schedules these jobs as any
+// regular resource manager would", §IV-E); the power-aware policy and
+// the closed-loop budget controller layered on top in powermgr are the
+// production-grade extension the paper's framework is designed to host.
+// The Policy interface is deliberately a pure function of queue and
+// cluster state so an RL-style policy (SPARS) can drop in later.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pool allocates whole nodes (broker ranks) to jobs. It is a plain
+// free-set with deterministic lowest-rank-first allocation; ordering
+// decisions belong to the Policy, not the Pool.
+type Pool struct {
+	free map[int32]bool
+}
+
+// NewPool creates a pool over the given ranks.
+func NewPool(ranks []int32) *Pool {
+	p := &Pool{free: make(map[int32]bool, len(ranks))}
+	for _, r := range ranks {
+		p.free[r] = true
+	}
+	return p
+}
+
+// NewPoolRange creates a pool over ranks [lo, hi).
+func NewPoolRange(lo, hi int32) *Pool {
+	p := &Pool{free: make(map[int32]bool, hi-lo)}
+	for r := lo; r < hi; r++ {
+		p.free[r] = true
+	}
+	return p
+}
+
+// FreeCount returns the number of unallocated nodes.
+func (p *Pool) FreeCount() int { return len(p.free) }
+
+// Alloc reserves n nodes, returning the lowest-numbered free ranks for
+// determinism. ok is false (and nothing is reserved) when fewer than n
+// are free.
+func (p *Pool) Alloc(n int) (ranks []int32, ok bool) {
+	if n <= 0 || n > len(p.free) {
+		return nil, false
+	}
+	ranks = make([]int32, 0, n)
+	for r := range p.free {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	ranks = ranks[:n]
+	for _, r := range ranks {
+		delete(p.free, r)
+	}
+	return ranks, true
+}
+
+// Release returns nodes to the free pool. Releasing a rank that is
+// already free panics: it indicates double-release, a bookkeeping bug
+// worth failing loudly on.
+func (p *Pool) Release(ranks []int32) {
+	for _, r := range ranks {
+		if p.free[r] {
+			panic(fmt.Sprintf("sched: double release of rank %d", r))
+		}
+		p.free[r] = true
+	}
+}

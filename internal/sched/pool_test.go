@@ -6,8 +6,8 @@ import (
 )
 
 func TestAllocLowestRanksFirst(t *testing.T) {
-	s := NewRange(0, 8)
-	ranks, ok := s.Alloc(3)
+	p := NewPoolRange(0, 8)
+	ranks, ok := p.Alloc(3)
 	if !ok {
 		t.Fatal("alloc failed with free nodes")
 	}
@@ -17,55 +17,55 @@ func TestAllocLowestRanksFirst(t *testing.T) {
 			t.Fatalf("Alloc=%v, want %v", ranks, want)
 		}
 	}
-	if s.FreeCount() != 5 {
-		t.Fatalf("FreeCount=%d", s.FreeCount())
+	if p.FreeCount() != 5 {
+		t.Fatalf("FreeCount=%d", p.FreeCount())
 	}
 }
 
 func TestAllocFailsWhenInsufficient(t *testing.T) {
-	s := NewRange(0, 4)
-	if _, ok := s.Alloc(5); ok {
+	p := NewPoolRange(0, 4)
+	if _, ok := p.Alloc(5); ok {
 		t.Fatal("oversized alloc succeeded")
 	}
-	if s.FreeCount() != 4 {
+	if p.FreeCount() != 4 {
 		t.Fatal("failed alloc leaked reservations")
 	}
-	if _, ok := s.Alloc(0); ok {
+	if _, ok := p.Alloc(0); ok {
 		t.Fatal("zero alloc succeeded")
 	}
-	if _, ok := s.Alloc(-1); ok {
+	if _, ok := p.Alloc(-1); ok {
 		t.Fatal("negative alloc succeeded")
 	}
 }
 
 func TestReleaseEnablesReuse(t *testing.T) {
-	s := NewRange(0, 2)
-	a, _ := s.Alloc(2)
-	if _, ok := s.Alloc(1); ok {
+	p := NewPoolRange(0, 2)
+	a, _ := p.Alloc(2)
+	if _, ok := p.Alloc(1); ok {
 		t.Fatal("alloc on empty pool succeeded")
 	}
-	s.Release(a)
-	b, ok := s.Alloc(2)
+	p.Release(a)
+	b, ok := p.Alloc(2)
 	if !ok || len(b) != 2 {
 		t.Fatalf("re-alloc after release: %v ok=%v", b, ok)
 	}
 }
 
 func TestDoubleReleasePanics(t *testing.T) {
-	s := NewRange(0, 2)
-	a, _ := s.Alloc(1)
-	s.Release(a)
+	p := NewPoolRange(0, 2)
+	a, _ := p.Alloc(1)
+	p.Release(a)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("double release did not panic")
 		}
 	}()
-	s.Release(a)
+	p.Release(a)
 }
 
-func TestNewFromExplicitRanks(t *testing.T) {
-	s := New([]int32{5, 3, 9})
-	ranks, ok := s.Alloc(2)
+func TestNewPoolFromExplicitRanks(t *testing.T) {
+	p := NewPool([]int32{5, 3, 9})
+	ranks, ok := p.Alloc(2)
 	if !ok || ranks[0] != 3 || ranks[1] != 5 {
 		t.Fatalf("Alloc=%v ok=%v", ranks, ok)
 	}
@@ -76,13 +76,13 @@ func TestNewFromExplicitRanks(t *testing.T) {
 func TestQuickAllocReleaseInvariant(t *testing.T) {
 	f := func(ops []uint8) bool {
 		const total = 16
-		s := NewRange(0, total)
+		p := NewPoolRange(0, total)
 		held := map[int32]bool{}
 		var allocations [][]int32
 		for _, op := range ops {
 			if op%2 == 0 || len(allocations) == 0 {
 				n := int(op%5) + 1
-				ranks, ok := s.Alloc(n)
+				ranks, ok := p.Alloc(n)
 				if !ok {
 					continue
 				}
@@ -97,12 +97,12 @@ func TestQuickAllocReleaseInvariant(t *testing.T) {
 				idx := int(op) % len(allocations)
 				ranks := allocations[idx]
 				allocations = append(allocations[:idx], allocations[idx+1:]...)
-				s.Release(ranks)
+				p.Release(ranks)
 				for _, r := range ranks {
 					delete(held, r)
 				}
 			}
-			if s.FreeCount()+len(held) != total {
+			if p.FreeCount()+len(held) != total {
 				return false
 			}
 		}

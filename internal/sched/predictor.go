@@ -1,0 +1,187 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+
+	"fluxpower/internal/apps"
+	"fluxpower/internal/hw"
+)
+
+// Predictor estimates a job's per-node power draw before dispatch. It
+// follows the two-stage shape of the NERSC prediction framework: a
+// static prior from the application catalog's power signature (the peak
+// of one phase period at the requested node count, so admission is safe
+// against the worst phase), corrected by observed history — an EWMA of
+// the ratio between telemetry-measured draw and the prior, learned per
+// application as jobs finish. Predictions carry a safety margin and
+// never drop below the machine's idle power; an application the catalog
+// does not know predicts the machine's maximum node power, the only
+// admission-safe answer.
+type Predictor struct {
+	cfg        hw.Config
+	marginFrac float64
+	alpha      float64
+	minObs     int
+
+	mu   sync.Mutex
+	hist map[string]*appHist
+}
+
+// appHist is the learned per-application correction.
+type appHist struct {
+	ratioEWMA float64 // observed avg node W / prior peak W
+	ratioMax  float64
+	n         int
+}
+
+// PredictorConfig tunes a Predictor. Zero values take defaults.
+type PredictorConfig struct {
+	// MarginFrac inflates every prediction by this fraction (default
+	// 0.05): under-prediction admits too much and violates the budget,
+	// over-prediction only delays a job.
+	MarginFrac float64
+	// Alpha is the EWMA weight of the newest observation (default 0.4).
+	Alpha float64
+	// MinObs is how many observations an application needs before the
+	// learned correction can reduce a prediction below the catalog
+	// prior (default 2). Corrections upward apply immediately.
+	MinObs int
+}
+
+// NewPredictor builds a predictor for the given machine.
+func NewPredictor(cfg hw.Config, pc PredictorConfig) *Predictor {
+	if pc.MarginFrac == 0 {
+		pc.MarginFrac = 0.05
+	}
+	if pc.Alpha == 0 {
+		pc.Alpha = 0.4
+	}
+	if pc.MinObs == 0 {
+		pc.MinObs = 2
+	}
+	return &Predictor{
+		cfg:        cfg,
+		marginFrac: pc.MarginFrac,
+		alpha:      pc.Alpha,
+		minObs:     pc.MinObs,
+		hist:       make(map[string]*appHist),
+	}
+}
+
+// maxNodeW is the machine's per-node ceiling; machines without a
+// published maximum (Tioga) derive a peak from components, matching
+// powermgr's static analysis.
+func (p *Predictor) maxNodeW() float64 {
+	if p.cfg.MaxNodePowerW > 0 {
+		return p.cfg.MaxNodePowerW
+	}
+	return float64(p.cfg.Sockets)*300 + float64(p.cfg.GPUs)*p.cfg.GPUMaxPowerW
+}
+
+// idleNodeW is the machine's per-node idle floor.
+func (p *Predictor) idleNodeW() float64 {
+	return float64(p.cfg.Sockets)*p.cfg.CPUIdleW + p.cfg.MemIdleW +
+		p.cfg.UncoreW + float64(p.cfg.GPUs)*p.cfg.GPUIdleW
+}
+
+// prior returns the catalog's peak per-node draw for app at the given
+// node count, or the machine maximum when the catalog cannot answer.
+func (p *Predictor) prior(app string, nodes int) float64 {
+	prof, err := apps.Lookup(app)
+	if err != nil {
+		return p.maxNodeW()
+	}
+	sig, err := prof.Signature(p.cfg, nodes)
+	if err != nil {
+		return p.maxNodeW()
+	}
+	st, err := apps.Stats(sig)
+	if err != nil {
+		return p.maxNodeW()
+	}
+	return st.PeakW
+}
+
+// Predict returns the expected per-node draw in watts for a job of app
+// at the given node count, margin included.
+func (p *Predictor) Predict(app string, nodes int) float64 {
+	pred := p.prior(app, nodes)
+
+	p.mu.Lock()
+	if h, ok := p.hist[app]; ok && h.n > 0 {
+		// Corrections above the prior apply immediately (the prior was
+		// optimistic — dangerous); corrections below wait for MinObs
+		// confirmations (one quiet run must not shrink the envelope).
+		ratio := h.ratioEWMA
+		if ratio > 1 {
+			pred *= ratio
+		} else if h.n >= p.minObs {
+			pred *= ratio
+		}
+	}
+	p.mu.Unlock()
+
+	pred *= 1 + p.marginFrac
+	if idle := p.idleNodeW(); pred < idle {
+		pred = idle
+	}
+	if max := p.maxNodeW(); pred > max {
+		pred = max
+	}
+	return pred
+}
+
+// Observe feeds one finished (or sampled) job's measured average node
+// power back into the model. nodes is the job's node count at the time
+// of measurement; non-positive observations are ignored.
+func (p *Predictor) Observe(app string, nodes int, avgNodeW float64) {
+	if avgNodeW <= 0 || nodes <= 0 {
+		return
+	}
+	prior := p.prior(app, nodes)
+	if prior <= 0 {
+		return
+	}
+	ratio := avgNodeW / prior
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.hist[app]
+	if !ok {
+		h = &appHist{ratioEWMA: ratio, ratioMax: ratio}
+		p.hist[app] = h
+	} else {
+		h.ratioEWMA = p.alpha*ratio + (1-p.alpha)*h.ratioEWMA
+		if ratio > h.ratioMax {
+			h.ratioMax = ratio
+		}
+	}
+	h.n++
+}
+
+// AppStat is one application's learned state, for status RPCs.
+type AppStat struct {
+	App          string  `json:"app"`
+	Observations int     `json:"observations"`
+	RatioEWMA    float64 `json:"ratio_ewma"`
+	RatioMax     float64 `json:"ratio_max"`
+}
+
+// Snapshot returns the per-application learned corrections, sorted by
+// application name.
+func (p *Predictor) Snapshot() []AppStat {
+	p.mu.Lock()
+	out := make([]AppStat, 0, len(p.hist))
+	for app, h := range p.hist {
+		out = append(out, AppStat{
+			App:          app,
+			Observations: h.n,
+			RatioEWMA:    h.ratioEWMA,
+			RatioMax:     h.ratioMax,
+		})
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].App < out[j].App })
+	return out
+}

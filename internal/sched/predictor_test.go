@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"testing"
+
+	"fluxpower/internal/hw"
+)
+
+func TestPredictUnknownAppIsConservative(t *testing.T) {
+	p := NewPredictor(hw.LassenConfig(), PredictorConfig{})
+	if got := p.Predict("mystery-app", 4); got != hw.LassenConfig().MaxNodePowerW {
+		t.Fatalf("unknown app predicted %.0f W, want machine max %.0f W",
+			got, hw.LassenConfig().MaxNodePowerW)
+	}
+}
+
+func TestPredictCatalogPriorWithMargin(t *testing.T) {
+	cfg := hw.LassenConfig()
+	p := NewPredictor(cfg, PredictorConfig{MarginFrac: 0.05})
+	got := p.Predict("lammps", 4)
+	// Table II: 4-node LAMMPS ≈ 1284 W; margin adds 5%.
+	want := 1284 * 1.05
+	if got < want*0.97 || got > want*1.03 {
+		t.Fatalf("lammps prediction %.0f W, want ≈%.0f W", got, want)
+	}
+}
+
+func TestObserveCorrectsUpImmediatelyDownSlowly(t *testing.T) {
+	cfg := hw.LassenConfig()
+	p := NewPredictor(cfg, PredictorConfig{MarginFrac: 0.0, Alpha: 1, MinObs: 2})
+	base := p.Predict("gemm", 4)
+
+	// One hot observation (20% over prior) raises the prediction at once.
+	p.Observe("gemm", 4, base*1.2)
+	if got := p.Predict("gemm", 4); got < base*1.15 {
+		t.Fatalf("hot observation ignored: %.0f W vs base %.0f W", got, base)
+	}
+
+	// A single quiet observation must NOT shrink the envelope...
+	q := NewPredictor(cfg, PredictorConfig{MarginFrac: 0.0, Alpha: 1, MinObs: 2})
+	q.Observe("gemm", 4, base*0.5)
+	if got := q.Predict("gemm", 4); got < base*0.99 {
+		t.Fatalf("single quiet run shrank prediction to %.0f W", got)
+	}
+	// ...but repeated quiet observations do.
+	q.Observe("gemm", 4, base*0.5)
+	if got := q.Predict("gemm", 4); got > base*0.6 {
+		t.Fatalf("confirmed quiet history not applied: %.0f W", got)
+	}
+}
+
+func TestPredictClampedToMachineEnvelope(t *testing.T) {
+	cfg := hw.LassenConfig()
+	p := NewPredictor(cfg, PredictorConfig{})
+	p.Observe("gemm", 4, cfg.MaxNodePowerW*10) // absurd telemetry
+	if got := p.Predict("gemm", 4); got > cfg.MaxNodePowerW {
+		t.Fatalf("prediction %.0f W above machine max", got)
+	}
+	idle := float64(cfg.Sockets)*cfg.CPUIdleW + cfg.MemIdleW +
+		cfg.UncoreW + float64(cfg.GPUs)*cfg.GPUIdleW
+	if got := p.Predict("nqueens", 1); got < idle {
+		t.Fatalf("prediction %.0f W below idle floor %.0f W", got, idle)
+	}
+}
+
+func TestPredictorSnapshotSorted(t *testing.T) {
+	p := NewPredictor(hw.LassenConfig(), PredictorConfig{})
+	p.Observe("quicksilver", 4, 500)
+	p.Observe("gemm", 4, 1500)
+	snap := p.Snapshot()
+	if len(snap) != 2 || snap[0].App != "gemm" || snap[1].App != "quicksilver" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Observations != 1 {
+		t.Fatalf("observation count = %d", snap[0].Observations)
+	}
+}
+
+func TestPredictTiogaNoPublishedMax(t *testing.T) {
+	// Tioga publishes no MaxNodePowerW; predictions must still be
+	// positive and finite for catalog and unknown apps alike.
+	p := NewPredictor(hw.TiogaConfig(), PredictorConfig{})
+	if got := p.Predict("gemm", 4); got <= 0 {
+		t.Fatalf("tioga gemm prediction %.0f W", got)
+	}
+	if got := p.Predict("mystery", 4); got <= 0 {
+		t.Fatalf("tioga unknown-app prediction %.0f W", got)
+	}
+}
