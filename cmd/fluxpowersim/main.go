@@ -172,6 +172,13 @@ var registry = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	"evsim": func(o experiments.Options) (string, error) {
+		r, err := experiments.Evsim(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 }
 
 // csvRegistry covers the experiments with a CSV rendering (-format csv).
@@ -246,6 +253,25 @@ var csvRegistry = map[string]runner{
 		}
 		return r.RenderCSV(), nil
 	},
+	"evsim": func(o experiments.Options) (string, error) {
+		r, err := experiments.Evsim(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderCSV(), nil
+	},
+}
+
+// jsonRegistry covers the experiments with a JSON rendering (-format
+// json) — the benchmark artifacts CI publishes (BENCH_evsim.json).
+var jsonRegistry = map[string]runner{
+	"evsim": func(o experiments.Options) (string, error) {
+		r, err := experiments.Evsim(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderJSON()
+	},
 }
 
 func names() []string {
@@ -265,7 +291,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	exp := fs.String("exp", "", "experiment to run: "+strings.Join(names(), ", ")+", or 'all'")
 	quick := fs.Bool("quick", false, "shrink sweeps/repetitions for a fast run")
-	format := fs.String("format", "text", "output format: text, or csv (table2, table3, table4, scale, sweep)")
+	format := fs.String("format", "text", "output format: text, csv (table2, table3, table4, scale, sweep, ...), or json (evsim)")
 	seed := fs.Int64("seed", experiments.DefaultSeed, "simulation seed")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
@@ -293,11 +319,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "fluxpowersim: unknown experiment %q (have %s)\n", name, strings.Join(names(), ", "))
 			return 2
 		}
-		if *format == "csv" {
+		switch *format {
+		case "csv":
 			if csvRun, csvOK := csvRegistry[name]; csvOK {
 				run = csvRun
 			} else {
 				fmt.Fprintf(stderr, "fluxpowersim: %q has no CSV rendering\n", name)
+				return 2
+			}
+		case "json":
+			if jsonRun, jsonOK := jsonRegistry[name]; jsonOK {
+				run = jsonRun
+			} else {
+				fmt.Fprintf(stderr, "fluxpowersim: %q has no JSON rendering\n", name)
 				return 2
 			}
 		}
@@ -305,6 +339,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintf(stderr, "fluxpowersim: %s: %v\n", name, err)
 			return 1
+		}
+		if *format == "json" {
+			// Raw machine-readable output: no banner, pipeable straight to
+			// an artifact file (BENCH_evsim.json).
+			fmt.Fprint(stdout, out)
+			continue
 		}
 		fmt.Fprintf(stdout, "==== %s ====\n%s\n", name, out)
 	}

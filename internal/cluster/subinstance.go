@@ -157,7 +157,7 @@ func (si *SubInstance) Close() error {
 	delete(si.c.subs, si.JobID)
 	for id, rj := range si.running {
 		delete(si.running, id)
-		_ = rj
+		rj.ev.Stop()
 	}
 	_, err := si.c.JM.Finish(si.JobID)
 	return err
@@ -188,7 +188,11 @@ func (si *SubInstance) onSubJobStart(ev *msg.Message) {
 		StartSec: rec.StartSec,
 	}
 	si.stats[rec.ID] = st
-	si.running[rec.ID] = &runningJob{rec: rec, instance: instance, stats: st}
+	rj := &runningJob{rec: rec, instance: instance, stats: st}
+	si.running[rec.ID] = rj
+	if si.c.cfg.Engine == EngineEvent {
+		si.scheduleSubJobEvent(rj)
+	}
 }
 
 func (si *SubInstance) onSubJobFinish(ev *msg.Message) {
@@ -201,6 +205,7 @@ func (si *SubInstance) onSubJobFinish(ev *msg.Message) {
 		return
 	}
 	delete(si.running, rec.ID)
+	rj.ev.Stop()
 	for _, subRank := range rj.rec.Ranks {
 		si.c.nodes[si.ranks[subRank]].SetIdle()
 	}
@@ -212,8 +217,39 @@ func (si *SubInstance) onSubJobFinish(ev *msg.Message) {
 	}
 }
 
+// advanceSubJob moves one nested job forward by dt seconds — the same
+// math as Cluster.advanceJob with sub-instance rank indirection. Both
+// engines call exactly this. It reports whether the job completed.
+func (si *SubInstance) advanceSubJob(rj *runningJob, dt float64) bool {
+	c := si.c
+	nodeCfg := c.nodes[si.ranks[rj.rec.Ranks[0]]].Config()
+	demand := rj.instance.Demand(nodeCfg)
+	jobRate := 1.0
+	var avgPower float64
+	for _, subRank := range rj.rec.Ranks {
+		node := c.nodes[si.ranks[subRank]]
+		node.SetDemand(demand)
+		act := node.Actual()
+		r := rj.instance.NodeRate(nodeCfg, demand, act)
+		if r < jobRate {
+			jobRate = r
+		}
+		w := measuredNodePower(node, act)
+		avgPower += w
+		if w > rj.stats.MaxNodePowerW {
+			rj.stats.MaxNodePowerW = w
+		}
+	}
+	avgPower /= float64(len(rj.rec.Ranks))
+	rj.stats.sumPowerDt += avgPower * dt
+	rj.stats.sampleSec += dt
+	rj.instance.Advance(dt, jobRate)
+	return rj.instance.Done()
+}
+
 // tickSubInstances advances every nested instance's running jobs by one
-// tick; called from the cluster engine's onTick.
+// tick; called from the tick engine's onTick. (The event engine never
+// calls this: sub-jobs schedule their own events at start.)
 func (c *Cluster) tickSubInstances(dt float64) {
 	if len(c.subs) == 0 {
 		return
@@ -232,30 +268,7 @@ func (c *Cluster) tickSubInstances(dt float64) {
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		var done []uint64
 		for _, id := range ids {
-			rj := si.running[id]
-			nodeCfg := c.nodes[si.ranks[rj.rec.Ranks[0]]].Config()
-			demand := rj.instance.Demand(nodeCfg)
-			jobRate := 1.0
-			var avgPower float64
-			for _, subRank := range rj.rec.Ranks {
-				node := c.nodes[si.ranks[subRank]]
-				node.SetDemand(demand)
-				act := node.Actual()
-				r := rj.instance.NodeRate(nodeCfg, demand, act)
-				if r < jobRate {
-					jobRate = r
-				}
-				w := measuredNodePower(node, act)
-				avgPower += w
-				if w > rj.stats.MaxNodePowerW {
-					rj.stats.MaxNodePowerW = w
-				}
-			}
-			avgPower /= float64(len(rj.rec.Ranks))
-			rj.stats.sumPowerDt += avgPower * dt
-			rj.stats.sampleSec += dt
-			rj.instance.Advance(dt, jobRate)
-			if rj.instance.Done() {
+			if si.advanceSubJob(si.running[id], dt) {
 				done = append(done, id)
 			}
 		}

@@ -136,7 +136,8 @@ type Manager struct {
 	node        *hw.Node
 	nodeLimitW  float64
 	nodePolicy  Policy
-	lastNodeW   float64 // last sampled node draw, the controller's feedback
+	lastNodeW   float64    // last sampled node draw, the controller's feedback
+	sampleBuf   hw.Reading // scratch for onSample: one Read per interval per rank, zero allocs
 	fppCtrls    []*fpp.Controller
 	capWrites   uint64 // diagnostics: Variorum cap calls issued
 	capRetries  uint64 // writes re-issued after verification failed (§V)
@@ -781,7 +782,8 @@ func (m *Manager) clearCapsLocked() {
 func (m *Manager) onSample(now simtime.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	r := m.node.Read(now)
+	m.node.ReadInto(now, &m.sampleBuf)
+	r := &m.sampleBuf
 	m.lastNodeW = r.TotalMeasuredW()
 	if len(m.fppCtrls) == 0 {
 		return

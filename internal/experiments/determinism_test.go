@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// Determinism regression: the experiment CSVs are published artifacts, so
+// the same seed (and, for chaos, the same fault plan — it derives from
+// the seed) must reproduce them byte for byte, run to run and regardless
+// of GOMAXPROCS. Host wall-clock columns (headers ending in _ms) are the
+// only sanctioned nondeterminism and are stripped before comparison.
+
+// stripVolatileColumns removes every column whose header ends in "_ms"
+// from a CSV rendering.
+func stripVolatileColumns(t *testing.T, csv string) string {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty CSV")
+	}
+	header := strings.Split(lines[0], ",")
+	keep := make([]int, 0, len(header))
+	for i, h := range header {
+		if !strings.HasSuffix(h, "_ms") {
+			keep = append(keep, i)
+		}
+	}
+	var b strings.Builder
+	for _, line := range lines {
+		cells := strings.Split(line, ",")
+		if len(cells) != len(header) {
+			t.Fatalf("ragged CSV row (%d cells, header %d): %q", len(cells), len(header), line)
+		}
+		for j, i := range keep {
+			if j > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(cells[i])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// determinismTargets are the seeded experiments whose CSV output the
+// regression pins: a scale sweep (byte counters + queries), a chaos sweep
+// (a full fault plan riding the seed) and a policy comparison (the
+// power-aware scheduler end to end).
+func determinismTargets() map[string]func(Options) (string, error) {
+	return map[string]func(Options) (string, error){
+		"scale": func(o Options) (string, error) {
+			r, err := Scale(o)
+			if err != nil {
+				return "", err
+			}
+			return r.RenderCSV(), nil
+		},
+		"chaos": func(o Options) (string, error) {
+			r, err := Chaos(o)
+			if err != nil {
+				return "", err
+			}
+			return r.RenderCSV(), nil
+		},
+		"policy": func(o Options) (string, error) {
+			r, err := Policy(o)
+			if err != nil {
+				return "", err
+			}
+			return r.RenderCSV(), nil
+		},
+	}
+}
+
+// TestDeterministicCSVAcrossRuns runs each target twice with the same
+// seed and requires byte-identical CSV (volatile columns stripped).
+func TestDeterministicCSVAcrossRuns(t *testing.T) {
+	for name, run := range determinismTargets() {
+		t.Run(name, func(t *testing.T) {
+			opts := Options{Quick: true, Seed: DefaultSeed + 11}
+			first, err := run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := stripVolatileColumns(t, first), stripVolatileColumns(t, second)
+			if a != b {
+				t.Fatalf("same-seed runs diverged:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestDeterministicCSVAcrossGOMAXPROCS pins scheduler-independence: the
+// simulation is single-threaded by design, so pinning the runtime to one
+// P must not change a single byte of output.
+func TestDeterministicCSVAcrossGOMAXPROCS(t *testing.T) {
+	for name, run := range determinismTargets() {
+		t.Run(name, func(t *testing.T) {
+			opts := Options{Quick: true, Seed: DefaultSeed + 13}
+			parallel, err := run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := runtime.GOMAXPROCS(1)
+			serial, serr := run(opts)
+			runtime.GOMAXPROCS(prev)
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			a, b := stripVolatileColumns(t, parallel), stripVolatileColumns(t, serial)
+			if a != b {
+				t.Fatalf("GOMAXPROCS=%d vs 1 diverged:\n--- default ---\n%s--- serial ---\n%s", prev, a, b)
+			}
+		})
+	}
+}
+
+// TestStripVolatileColumns pins the stripper itself: only _ms-suffixed
+// columns go, everything else survives untouched.
+func TestStripVolatileColumns(t *testing.T) {
+	in := "nodes,raw_ms,avg_w,agg_ms\n8,1.23,400,0.5\n64,9.87,410,0.6\n"
+	want := "nodes,avg_w\n8,400\n64,410\n"
+	if got := stripVolatileColumns(t, in); got != want {
+		t.Fatalf("stripped CSV:\n%q\nwant:\n%q", got, want)
+	}
+	if got := fmt.Sprintf("%q", stripVolatileColumns(t, "a,b\n1,2\n")); got != `"a,b\n1,2\n"` {
+		t.Fatalf("no-volatile CSV changed: %s", got)
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/flux/job"
+)
+
+// EvsimRow is one fleet size of the event-core scaling benchmark: the
+// host wall-clock cost of simulating one second of cluster time, on both
+// engines, with the active-job count held fixed while idle nodes grow.
+type EvsimRow struct {
+	Nodes      int
+	ActiveJobs int
+	SimSec     float64
+	// TickWallMs / EventWallMs are the host milliseconds each engine spent
+	// advancing the measurement window (cluster construction excluded).
+	TickWallMs  float64
+	EventWallMs float64
+	// TickMsPerSimSec / EventMsPerSimSec normalize to wall milliseconds
+	// per simulated second.
+	TickMsPerSimSec  float64
+	EventMsPerSimSec float64
+	// EventRatio is this row's event-engine cost relative to the smallest
+	// fleet's — the "flat cost" number the suite gates at 3x.
+	EventRatio float64
+}
+
+// EvsimResult is the event-core scaling benchmark.
+type EvsimResult struct {
+	Rows []EvsimRow
+	// MaxRatio is the gate: the largest EventRatio observed (how much the
+	// per-simulated-second cost grew from the smallest to the largest
+	// fleet at fixed active work).
+	MaxRatio float64
+}
+
+// evsimMaxRatio is the acceptance bound: growing the idle fleet 50x may
+// cost at most this factor in wall-clock per simulated second. A
+// tick-style engine whose cost scaled with fleet size would blow far
+// past it; the discrete-event core, whose cost follows active work,
+// stays near 1x.
+const evsimMaxRatio = 3.0
+
+// Evsim measures wall-clock-per-simulated-second as idle nodes grow with
+// the active-job count pinned. Each fleet size runs the same 64 two-node
+// jobs (long GEMMs that never finish inside the window) on the tick
+// engine and on the event engine; only the simulation window is timed.
+// It errors when the event engine's cost is not flat (MaxRatio above
+// 3x), which is what gates the benchmark in CI.
+func Evsim(o Options) (*EvsimResult, error) {
+	o = o.withDefaults()
+	sizes := []int{1000, 8000, 50000}
+	simWindow := 30 * time.Second
+	if o.Quick {
+		sizes = []int{1000, 4000}
+		simWindow = 10 * time.Second
+	}
+	const activeJobs = 64
+	res := &EvsimResult{}
+	for _, n := range sizes {
+		row := EvsimRow{Nodes: n, ActiveJobs: activeJobs, SimSec: simWindow.Seconds()}
+		var err error
+		if row.TickWallMs, err = evsimOne(cluster.EngineTick, n, activeJobs, o.Seed, simWindow); err != nil {
+			return nil, fmt.Errorf("evsim: tick engine, %d nodes: %w", n, err)
+		}
+		if row.EventWallMs, err = evsimOne(cluster.EngineEvent, n, activeJobs, o.Seed, simWindow); err != nil {
+			return nil, fmt.Errorf("evsim: event engine, %d nodes: %w", n, err)
+		}
+		row.TickMsPerSimSec = row.TickWallMs / row.SimSec
+		row.EventMsPerSimSec = row.EventWallMs / row.SimSec
+		res.Rows = append(res.Rows, row)
+	}
+	base := res.Rows[0].EventMsPerSimSec
+	for i := range res.Rows {
+		if base > 0 {
+			res.Rows[i].EventRatio = res.Rows[i].EventMsPerSimSec / base
+		}
+		if res.Rows[i].EventRatio > res.MaxRatio {
+			res.MaxRatio = res.Rows[i].EventRatio
+		}
+	}
+	if res.MaxRatio > evsimMaxRatio {
+		return res, fmt.Errorf("evsim: event-engine cost grew %.2fx from %d to the largest fleet (gate %.1fx): %s",
+			res.MaxRatio, sizes[0], evsimMaxRatio, res.RenderCSV())
+	}
+	return res, nil
+}
+
+// evsimOne builds one cluster on the given engine, starts the fixed
+// active set, and times a RunFor window.
+func evsimOne(engine string, nodes, activeJobs int, seed int64, window time.Duration) (float64, error) {
+	c, err := cluster.New(cluster.Config{
+		System: cluster.Lassen,
+		Nodes:  nodes,
+		Seed:   seed,
+		Engine: engine,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	for i := 0; i < activeJobs; i++ {
+		// RepFactor 100 GEMMs run for hours of simulated time: the active
+		// set stays exactly activeJobs for the whole window.
+		if _, err := c.Submit(job.Spec{App: "gemm", Nodes: 2, RepFactor: 100}); err != nil {
+			return 0, err
+		}
+	}
+	c.RunFor(time.Second) // warm-up: dispatch, first demand installs
+	start := time.Now()
+	c.RunFor(window)
+	return float64(time.Since(start)) / float64(time.Millisecond), nil
+}
+
+func (r *EvsimResult) tabular() ([]string, [][]string) {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Nodes),
+			fmt.Sprintf("%d", row.ActiveJobs),
+			f0(row.SimSec),
+			f2(row.TickMsPerSimSec),
+			f2(row.EventMsPerSimSec),
+			f2(row.EventRatio),
+		})
+	}
+	return []string{"nodes", "active_jobs", "sim_s",
+		"tick_wall_ms_per_sim_s", "event_wall_ms_per_sim_s", "event_ratio_vs_base"}, rows
+}
+
+// Render prints the benchmark.
+func (r *EvsimResult) Render() string {
+	header, rows := r.tabular()
+	return "Evsim: wall-clock cost per simulated second vs fleet size (fixed 64 active jobs)\n" +
+		table(header, rows) +
+		fmt.Sprintf("event-engine cost follows active work, not fleet size: max growth %.2fx (gate %.1fx).\n",
+			r.MaxRatio, evsimMaxRatio)
+}
+
+// RenderCSV emits the benchmark as CSV.
+func (r *EvsimResult) RenderCSV() string {
+	header, rows := r.tabular()
+	return csvTable(header, rows)
+}
+
+// RenderJSON emits the benchmark in the BENCH_evsim.json shape CI
+// publishes as an artifact.
+func (r *EvsimResult) RenderJSON() (string, error) {
+	out, err := json.MarshalIndent(struct {
+		Experiment string     `json:"experiment"`
+		GateRatio  float64    `json:"gate_ratio"`
+		MaxRatio   float64    `json:"max_ratio"`
+		Rows       []EvsimRow `json:"rows"`
+	}{Experiment: "evsim", GateRatio: evsimMaxRatio, MaxRatio: r.MaxRatio, Rows: r.Rows}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

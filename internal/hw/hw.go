@@ -634,7 +634,20 @@ func (n *Node) Actual() Actual { return n.actual }
 
 // Read samples the node's sensors at the given instant, applying the
 // configured measurement noise and the architecture's telemetry holes.
+// The returned slices are freshly allocated; callers sampling on a hot
+// path should hold a scratch Reading and use ReadInto instead.
 func (n *Node) Read(now simtime.Time) Reading {
+	var r Reading
+	n.ReadInto(now, &r)
+	return r
+}
+
+// ReadInto samples the node's sensors into r, reusing r's slice capacity
+// when it fits. This is the allocation-free path for periodic samplers
+// (the power manager reads every rank every interval): after the first
+// call a steady-state sampler allocates nothing. The result is
+// bit-identical to Read — same noise draws in the same order.
+func (n *Node) ReadInto(now simtime.Time, r *Reading) {
 	noise := func(w float64) float64 {
 		if n.cfg.SensorNoiseW <= 0 || w == 0 {
 			return w
@@ -645,12 +658,16 @@ func (n *Node) Read(now simtime.Time) Reading {
 		}
 		return v
 	}
-	r := Reading{
-		Time:          now,
-		HasNode:       n.cfg.HasNodeSensor,
-		HasMem:        n.cfg.HasMemSensor,
-		GPUsPerSensor: n.cfg.GPUsPerSensor,
-		CPUW:          make([]float64, n.cfg.Sockets),
+	r.Time = now
+	r.HasNode = n.cfg.HasNodeSensor
+	r.HasMem = n.cfg.HasMemSensor
+	r.GPUsPerSensor = n.cfg.GPUsPerSensor
+	r.NodeW = 0
+	r.MemW = 0
+	if cap(r.CPUW) >= n.cfg.Sockets {
+		r.CPUW = r.CPUW[:n.cfg.Sockets]
+	} else {
+		r.CPUW = make([]float64, n.cfg.Sockets)
 	}
 	for i, w := range n.actual.CPUW {
 		r.CPUW[i] = noise(w)
@@ -660,18 +677,26 @@ func (n *Node) Read(now simtime.Time) Reading {
 	}
 	if n.cfg.GPUs > 0 {
 		sensors := n.cfg.GPUs / n.cfg.GPUsPerSensor
-		r.GPUW = make([]float64, sensors)
+		if cap(r.GPUW) >= sensors {
+			r.GPUW = r.GPUW[:sensors]
+			for i := range r.GPUW {
+				r.GPUW[i] = 0
+			}
+		} else {
+			r.GPUW = make([]float64, sensors)
+		}
 		for i, w := range n.actual.GPUW {
 			r.GPUW[i/n.cfg.GPUsPerSensor] += w
 		}
 		for i := range r.GPUW {
 			r.GPUW[i] = noise(r.GPUW[i])
 		}
+	} else {
+		r.GPUW = nil
 	}
 	if r.HasNode {
 		r.NodeW = noise(n.actual.NodeW)
 	}
-	return r
 }
 
 // IdlePowerW returns the node's total idle draw — the paper's static

@@ -1,0 +1,67 @@
+package hw
+
+import (
+	"testing"
+	"time"
+
+	"fluxpower/internal/simtime"
+)
+
+// TestReadIntoMatchesRead pins the pooling contract: ReadInto with a
+// reused scratch buffer produces bit-identical readings to fresh Read
+// calls — same noise draws in the same order — on both architectures.
+func TestReadIntoMatchesRead(t *testing.T) {
+	for _, cfg := range []Config{LassenConfig(), TiogaConfig()} {
+		cfg.SensorNoiseW = 5 // exercise the RNG ordering, not just the copy
+		fresh := mustNode(t, cfg)
+		pooled := mustNode(t, cfg)
+		d := Demand{MemW: 90}
+		for s := 0; s < cfg.Sockets; s++ {
+			d.CPUW = append(d.CPUW, 200)
+		}
+		for g := 0; g < cfg.GPUs; g++ {
+			d.GPUW = append(d.GPUW, 250)
+		}
+		fresh.SetDemand(d)
+		pooled.SetDemand(d)
+		var scratch Reading
+		for i := 0; i < 50; i++ {
+			now := simtime.Time(i) * simtime.Time(time.Second)
+			want := fresh.Read(now)
+			pooled.ReadInto(now, &scratch)
+			if scratch.Time != want.Time || scratch.HasNode != want.HasNode ||
+				scratch.NodeW != want.NodeW || scratch.HasMem != want.HasMem ||
+				scratch.MemW != want.MemW || scratch.GPUsPerSensor != want.GPUsPerSensor {
+				t.Fatalf("%s sample %d scalar mismatch: %+v vs %+v", cfg.Arch, i, scratch, want)
+			}
+			if len(scratch.CPUW) != len(want.CPUW) || len(scratch.GPUW) != len(want.GPUW) {
+				t.Fatalf("%s sample %d slice lengths: %+v vs %+v", cfg.Arch, i, scratch, want)
+			}
+			for s := range want.CPUW {
+				if scratch.CPUW[s] != want.CPUW[s] {
+					t.Fatalf("%s sample %d CPUW[%d]: %v vs %v", cfg.Arch, i, s, scratch.CPUW[s], want.CPUW[s])
+				}
+			}
+			for g := range want.GPUW {
+				if scratch.GPUW[g] != want.GPUW[g] {
+					t.Fatalf("%s sample %d GPUW[%d]: %v vs %v", cfg.Arch, i, g, scratch.GPUW[g], want.GPUW[g])
+				}
+			}
+		}
+	}
+}
+
+// TestReadIntoZeroAllocSteadyState pins the point of the pooled path: a
+// sampler holding a scratch Reading allocates nothing after warm-up.
+func TestReadIntoZeroAllocSteadyState(t *testing.T) {
+	n := mustNode(t, LassenConfig())
+	n.SetDemand(Demand{CPUW: []float64{200, 200}, MemW: 90, GPUW: []float64{250, 250, 250, 250}})
+	var scratch Reading
+	n.ReadInto(0, &scratch) // warm-up sizes the buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		n.ReadInto(simtime.Time(time.Second), &scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ReadInto allocates %.1f objects per sample, want 0", allocs)
+	}
+}

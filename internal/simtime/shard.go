@@ -1,0 +1,114 @@
+package simtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShardTimers is a TimerProvider bound to one shard of a sharded
+// Scheduler. Handing each component (a broker rank, say) its own shard
+// keeps that component's events on one queue and makes the cross-shard
+// firing order at shared instants explicit: (deadline, shard, seq).
+type ShardTimers struct {
+	s     *Scheduler
+	shard int
+}
+
+// Shard returns a TimerProvider that schedules onto shard i.
+func (s *Scheduler) Shard(i int) *ShardTimers {
+	if i < 0 || i >= len(s.shards) {
+		panic(fmt.Sprintf("simtime: shard %d out of range [0,%d)", i, len(s.shards)))
+	}
+	return &ShardTimers{s: s, shard: i}
+}
+
+// Now implements Clock.
+func (p *ShardTimers) Now() Time { return p.s.Now() }
+
+// RealTime reports deterministic inline execution, like the Scheduler.
+func (p *ShardTimers) RealTime() bool { return false }
+
+// Every implements TimerProvider on the bound shard.
+func (p *ShardTimers) Every(period time.Duration, fn TimerFunc) TimerHandle {
+	if period <= 0 {
+		panic("simtime: Every requires a positive period")
+	}
+	return p.s.schedule(p.shard, p.s.now.Add(period), period, fn)
+}
+
+// AfterFunc implements TimerProvider on the bound shard.
+func (p *ShardTimers) AfterFunc(d time.Duration, fn TimerFunc) TimerHandle {
+	if d < 0 {
+		d = 0
+	}
+	return p.s.schedule(p.shard, p.s.now.Add(d), 0, fn)
+}
+
+var _ TimerProvider = (*ShardTimers)(nil)
+
+// EventRef is a cancellation handle for a pooled one-shot event scheduled
+// with EventAt. Unlike *Timer, the underlying object is recycled into the
+// shard's free list the moment the event fires or is cancelled; the
+// generation check makes a stale handle's Stop a no-op instead of
+// cancelling whatever event reused the slot.
+type EventRef struct {
+	t   *Timer
+	gen uint64
+}
+
+// Stop cancels the event if it has not fired yet. Safe on the zero value,
+// safe to call twice, and safe after the underlying timer was recycled.
+func (r EventRef) Stop() {
+	if r.t != nil && r.t.gen == r.gen {
+		r.t.stopped = true
+	}
+}
+
+// Active reports whether the event is still scheduled to fire.
+func (r EventRef) Active() bool {
+	return r.t != nil && r.t.gen == r.gen && !r.t.stopped
+}
+
+// EventAt schedules fn once at the absolute instant t on the given shard,
+// drawing the timer from the shard's free list when possible. This is the
+// allocation-pooled path for high-churn events (per-job progress in the
+// event-driven cluster engine): after the first few thousand events a
+// steady-state simulation allocates nothing per event. Instants in the
+// past fire at the current instant on the next Advance.
+func (s *Scheduler) EventAt(shardID int, t Time, fn TimerFunc) EventRef {
+	if fn == nil {
+		panic("simtime: nil TimerFunc")
+	}
+	if shardID < 0 || shardID >= len(s.shards) {
+		panic(fmt.Sprintf("simtime: shard %d out of range [0,%d)", shardID, len(s.shards)))
+	}
+	if t < s.now {
+		t = s.now
+	}
+	sh := s.shards[shardID]
+	var tm *Timer
+	if n := len(sh.free); n > 0 {
+		tm = sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+	} else {
+		tm = &Timer{shard: sh, pooled: true}
+	}
+	tm.deadline = t
+	tm.seq = sh.seq
+	tm.fn = fn
+	tm.period = 0
+	tm.stopped = false
+	sh.seq++
+	pushTimer(&sh.queue, tm)
+	return EventRef{t: tm, gen: tm.gen}
+}
+
+// EventAfter schedules fn once, d from now, on the given shard's pooled
+// event path.
+func (s *Scheduler) EventAfter(shardID int, d time.Duration, fn TimerFunc) EventRef {
+	if d < 0 {
+		d = 0
+	}
+	return s.EventAt(shardID, s.now.Add(d), fn)
+}

@@ -1,0 +1,185 @@
+package simtime
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestShardOrderingAtSharedInstant pins the determinism contract: at a
+// shared deadline, events fire in (shard, seq) order, with shard 0 (the
+// engine shard) always first.
+func TestShardOrderingAtSharedInstant(t *testing.T) {
+	s := NewShardedScheduler(4)
+	var order []int
+	record := func(id int) TimerFunc {
+		return func(Time) { order = append(order, id) }
+	}
+	at := Time(100 * time.Millisecond)
+	// Schedule out of shard order on purpose; creation order within a
+	// shard is the tie-break, shard id across shards.
+	s.Shard(3).AfterFunc(100*time.Millisecond, record(30))
+	s.Shard(1).AfterFunc(100*time.Millisecond, record(10))
+	s.EventAt(0, at, record(0))
+	s.Shard(1).AfterFunc(100*time.Millisecond, record(11))
+	s.EventAt(2, at, record(20))
+	s.EventAt(0, at, record(1))
+	s.Advance(100 * time.Millisecond)
+	want := []int{0, 1, 10, 11, 20, 30}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d (%v)", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("firing order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEventRefStaleStopIsInert proves the pool's generation check: a
+// handle kept past its event's firing cannot cancel the event that
+// recycled the same Timer.
+func TestEventRefStaleStopIsInert(t *testing.T) {
+	s := NewShardedScheduler(2)
+	fired := 0
+	ref1 := s.EventAt(1, Time(10*time.Millisecond), func(Time) { fired++ })
+	s.Advance(20 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("first event fired %d times, want 1", fired)
+	}
+	// The pooled Timer is now on the free list; the next event reuses it.
+	ref2 := s.EventAt(1, Time(30*time.Millisecond), func(Time) { fired++ })
+	if ref2.t != ref1.t {
+		t.Fatalf("expected the free list to recycle the timer")
+	}
+	ref1.Stop() // stale handle: must not cancel the second event
+	if !ref2.Active() {
+		t.Fatalf("stale Stop cancelled a recycled event")
+	}
+	s.Advance(20 * time.Millisecond)
+	if fired != 2 {
+		t.Fatalf("second event fired %d times, want 2 total", fired)
+	}
+	ref2.Stop() // already fired: harmless
+}
+
+// TestEventAtPoolReuse checks the free list actually bounds allocations
+// under churn: schedule-and-fire N sequential events, expect one Timer.
+func TestEventAtPoolReuse(t *testing.T) {
+	s := NewShardedScheduler(1)
+	var first *Timer
+	for i := 0; i < 1000; i++ {
+		ref := s.EventAfter(0, time.Millisecond, func(Time) {})
+		if first == nil {
+			first = ref.t
+		} else if ref.t != first {
+			t.Fatalf("event %d allocated a fresh timer; free list not reused", i)
+		}
+		s.Advance(time.Millisecond)
+	}
+}
+
+// opSeq is a random program over the scheduler for the property test.
+type opSeq struct {
+	seed int64
+	ops  []byte
+}
+
+// Generate implements quick.Generator.
+func (opSeq) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 40 + r.Intn(160)
+	ops := make([]byte, n)
+	r.Read(ops)
+	return reflect.ValueOf(opSeq{seed: r.Int63(), ops: ops})
+}
+
+// TestQuickEventQueue drives arbitrary interleaved Schedule/Cancel/Advance
+// sequences through a sharded scheduler and asserts the three queue
+// invariants: events never fire out of timestamp order, a cancelled event
+// never fires, and the queue drains to empty.
+func TestQuickEventQueue(t *testing.T) {
+	property := func(prog opSeq) bool {
+		rng := rand.New(rand.NewSource(prog.seed))
+		s := NewShardedScheduler(1 + rng.Intn(5))
+		type scheduled struct {
+			ref       EventRef
+			timer     *Timer
+			cancelled bool
+			fired     *bool
+		}
+		var livePool []*scheduled
+		lastFired := Time(-1)
+		ok := true
+		for _, op := range prog.ops {
+			switch op % 5 {
+			case 0, 1: // schedule a pooled event on a random shard
+				shard := rng.Intn(s.NumShards())
+				d := time.Duration(rng.Intn(50)) * time.Millisecond
+				fired := false
+				sc := &scheduled{fired: &fired}
+				sc.ref = s.EventAt(shard, s.Now().Add(d), func(now Time) {
+					if now < lastFired {
+						ok = false // out-of-order firing
+					}
+					lastFired = now
+					if sc.cancelled {
+						ok = false // cancelled event fired
+					}
+					fired = true
+				})
+				livePool = append(livePool, sc)
+			case 2: // schedule an unpooled one-shot
+				d := time.Duration(rng.Intn(50)) * time.Millisecond
+				fired := false
+				sc := &scheduled{fired: &fired}
+				sc.timer = s.After(d, func(now Time) {
+					if now < lastFired {
+						ok = false
+					}
+					lastFired = now
+					if sc.cancelled {
+						ok = false
+					}
+					fired = true
+				})
+				livePool = append(livePool, sc)
+			case 3: // cancel a random not-yet-fired event
+				if len(livePool) == 0 {
+					continue
+				}
+				sc := livePool[rng.Intn(len(livePool))]
+				if *sc.fired {
+					continue // stale handle: Stop must stay inert, exercise it anyway
+				}
+				sc.cancelled = true
+				if sc.timer != nil {
+					sc.timer.Stop()
+				} else {
+					sc.ref.Stop()
+				}
+			case 4: // advance a random window
+				s.Advance(time.Duration(rng.Intn(40)) * time.Millisecond)
+			}
+		}
+		// Drain: everything still pending must fire (or be cancelled) by
+		// the horizon; afterwards the queue must be empty.
+		s.Advance(time.Hour)
+		if s.Pending() != 0 {
+			return false
+		}
+		for _, sc := range livePool {
+			if !sc.cancelled && !*sc.fired {
+				return false // a live event was lost
+			}
+			if sc.cancelled && *sc.fired {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+package variorum
+
+import (
+	"testing"
+	"time"
+
+	"fluxpower/internal/simtime"
+)
+
+// TestGetNodePowerSingleBackingAllocation pins the hot sample path's
+// allocation budget: the document's retained slices must come from one
+// backing array, so a sample costs one allocation, not one per slice.
+func TestGetNodePowerSingleBackingAllocation(t *testing.T) {
+	lassen := lassenNode(t)
+	tioga := tiogaNode(t)
+	var sink NodePower
+	lassenAllocs := testing.AllocsPerRun(100, func() {
+		sink = GetNodePower(lassen, simtime.Time(time.Second))
+	})
+	tiogaAllocs := testing.AllocsPerRun(100, func() {
+		sink = GetNodePower(tioga, simtime.Time(time.Second))
+	})
+	_ = sink
+	if lassenAllocs > 1 {
+		t.Fatalf("lassen GetNodePower: %.1f allocations per sample, want <=1", lassenAllocs)
+	}
+	if tiogaAllocs > 1 {
+		t.Fatalf("tioga GetNodePower: %.1f allocations per sample, want <=1", tiogaAllocs)
+	}
+}

@@ -112,9 +112,36 @@ func (p NodePower) TotalGPUWatts() float64 {
 // GetNodePower samples the node's sensors and returns the decoded
 // document. This is the zero-serialization path the node agent uses on its
 // own node.
+//
+// The document's slices are retained by the caller (the monitor's ring
+// buffer holds them), so they need fresh memory every sample — but one
+// backing array, not one allocation per slice: the monitor samples every
+// rank every interval, and this is the hottest allocation site on that
+// path.
 func GetNodePower(n *hw.Node, now simtime.Time) NodePower {
-	r := n.Read(now)
 	cfg := n.Config()
+	sensors := 0
+	if cfg.GPUs > 0 {
+		sensors = cfg.GPUs / cfg.GPUsPerSensor
+	}
+	memN := 0
+	if cfg.HasMemSensor {
+		memN = cfg.Sockets
+	}
+	sgpuN := 0
+	if sensors > 0 {
+		sgpuN = cfg.Sockets
+	}
+	buf := make([]float64, cfg.Sockets+sensors+memN+sgpuN)
+	var r hw.Reading
+	r.CPUW = buf[:cfg.Sockets:cfg.Sockets]
+	buf = buf[cfg.Sockets:]
+	if sensors > 0 {
+		r.GPUW = buf[:sensors:sensors]
+		buf = buf[sensors:]
+	}
+	n.ReadInto(now, &r)
+
 	p := NodePower{
 		Hostname:           n.Name(),
 		Timestamp:          now.Seconds(),
@@ -130,7 +157,8 @@ func GetNodePower(n *hw.Node, now simtime.Time) NodePower {
 	if r.HasMem {
 		// The AC922 memory sensor is per socket; split evenly, matching
 		// Variorum's per-socket reporting.
-		p.SocketMemWatts = make([]float64, cfg.Sockets)
+		p.SocketMemWatts = buf[:memN:memN]
+		buf = buf[memN:]
 		for i := range p.SocketMemWatts {
 			p.SocketMemWatts[i] = r.MemW / float64(cfg.Sockets)
 		}
@@ -138,7 +166,7 @@ func GetNodePower(n *hw.Node, now simtime.Time) NodePower {
 	if len(r.GPUW) > 0 {
 		// Portable per-socket GPU aggregate: GPUs are distributed evenly
 		// across sockets on both modelled systems.
-		p.SocketGPUWatts = make([]float64, cfg.Sockets)
+		p.SocketGPUWatts = buf[:sgpuN:sgpuN]
 		perSocket := len(r.GPUW) / cfg.Sockets
 		if perSocket == 0 {
 			perSocket = len(r.GPUW)
