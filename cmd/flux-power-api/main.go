@@ -11,6 +11,7 @@
 //	curl localhost:8080/v1/jobs
 //	curl localhost:8080/v1/jobs/1/power?mode=aggregate
 //	curl -N localhost:8080/v1/jobs/1/stream
+//	curl 'localhost:8080/v1/query?expr=avg%20by%20(job)%20(avg_over_time(node_power_watts%5B5m%5D))'
 //
 // SIGINT/SIGTERM shut down gracefully: the HTTP server stops accepting,
 // in-flight requests and SSE streams drain, then the process exits.
@@ -36,6 +37,7 @@ import (
 	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/flux/job"
 	"fluxpower/internal/powerapi"
+	"fluxpower/internal/query"
 )
 
 // demoApps is the workload mix the driver cycles through.
@@ -54,9 +56,22 @@ func newDemo(system cluster.System, nodes int, seed int64, apiCfg powerapi.Confi
 	if err != nil {
 		return nil, err
 	}
+	mons := make([]*powermon.Module, nodes)
 	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
 		// Live sample publication feeds the SSE streams.
-		return powermon.New(powermon.Config{PublishSamples: true})
+		m := powermon.New(powermon.Config{PublishSamples: true})
+		mons[rank] = m
+		return m
+	}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	// The query engine reads each rank's monitor archive and answers
+	// /v1/query through the pushdown reduction.
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		return query.New(query.Config{
+			Source: func(rank int32) query.Source { return mons[rank] },
+		})
 	}); err != nil {
 		c.Close()
 		return nil, err

@@ -179,6 +179,13 @@ var registry = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	"query": func(o experiments.Options) (string, error) {
+		r, err := experiments.Query(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 }
 
 // csvRegistry covers the experiments with a CSV rendering (-format csv).
@@ -260,13 +267,28 @@ var csvRegistry = map[string]runner{
 		}
 		return r.RenderCSV(), nil
 	},
+	"query": func(o experiments.Options) (string, error) {
+		r, err := experiments.Query(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderCSV(), nil
+	},
 }
 
 // jsonRegistry covers the experiments with a JSON rendering (-format
-// json) — the benchmark artifacts CI publishes (BENCH_evsim.json).
+// json) — the benchmark artifacts CI publishes (BENCH_evsim.json,
+// BENCH_query.json).
 var jsonRegistry = map[string]runner{
 	"evsim": func(o experiments.Options) (string, error) {
 		r, err := experiments.Evsim(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderJSON()
+	},
+	"query": func(o experiments.Options) (string, error) {
+		r, err := experiments.Query(o)
 		if err != nil {
 			return "", err
 		}

@@ -1,0 +1,116 @@
+package powermon
+
+import (
+	"math"
+	"sort"
+
+	"fluxpower/internal/query"
+	"fluxpower/internal/tsdb"
+	"fluxpower/internal/variorum"
+)
+
+// The monitor is the query engine's node-local storage: the raw ring,
+// the in-memory archive tiers, and the durable store all surface
+// through query.Source so the planner can pick the cheapest resolution
+// covering a window. The interface lives in internal/query (powermon
+// imports query, not the reverse) to keep the dependency acyclic.
+
+var _ query.Source = (*Module)(nil)
+
+// QueryMeta implements query.Source: a snapshot of what resolutions
+// exist on this node and how far back each still reaches, in planner
+// preference order — raw described by its own fields, then tiers finest
+// first with in-memory tiers before durable ones of equal period.
+func (m *Module) QueryMeta() query.SourceMeta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta := query.SourceMeta{
+		RawPeriodSec: m.arch.rawPeriodSec,
+		MaxRawPoints: m.arch.maxRawPoints,
+		RawLostTs:    m.arch.rawLostTs,
+		StoreLostTs:  math.Inf(-1),
+	}
+	for _, t := range m.arch.tiers {
+		meta.Tiers = append(meta.Tiers, query.TierMeta{
+			PeriodSec:  t.spec.Period.Seconds(),
+			LostEndSec: t.lostEndSec,
+		})
+	}
+	if m.store != nil {
+		meta.HasStore = true
+		meta.StoreLostTs = m.store.LostBeforeSec()
+		for _, period := range m.store.TierPeriods() {
+			lost := math.Inf(1) // empty tier log covers nothing
+			if first, _, ok := m.store.TierCoverage(period); ok {
+				lost = first
+			}
+			meta.Tiers = append(meta.Tiers, query.TierMeta{
+				PeriodSec:  period,
+				LostEndSec: lost,
+				Durable:    true,
+			})
+		}
+	}
+	sort.SliceStable(meta.Tiers, func(i, j int) bool {
+		return meta.Tiers[i].PeriodSec < meta.Tiers[j].PeriodSec
+	})
+	return meta
+}
+
+// QueryRaw implements query.Source: ring samples in [start, end].
+func (m *Module) QueryRaw(start, end float64) []variorum.NodePower {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.arch.raw.SelectRange(start, end, func(p variorum.NodePower) float64 { return p.Timestamp })
+}
+
+// QueryStoreRaw implements query.Source: durable raw samples in
+// [start, end]. The store has its own lock; only the reference is taken
+// under the module's.
+func (m *Module) QueryStoreRaw(start, end float64) ([]variorum.NodePower, error) {
+	m.mu.Lock()
+	st := m.store
+	m.mu.Unlock()
+	if st == nil {
+		return nil, nil
+	}
+	return st.SelectRange(start, end)
+}
+
+// QueryTier implements query.Source: the tier's buckets intersecting
+// [start, end], from the in-memory archive or the durable tier logs.
+func (m *Module) QueryTier(periodSec float64, durable bool, start, end float64) []query.Bucket {
+	if durable {
+		m.mu.Lock()
+		st := m.store
+		m.mu.Unlock()
+		if st == nil {
+			return nil
+		}
+		return bucketsFromTierRecs(st.SelectTier(periodSec, start, end))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range m.arch.tiers {
+		if t.spec.Period.Seconds() == periodSec {
+			return bucketsFromTierSamples(t.buckets(start, end))
+		}
+	}
+	return nil
+}
+
+func bucketsFromTierSamples(in []TierSample) []query.Bucket {
+	out := make([]query.Bucket, len(in))
+	for i, b := range in {
+		out[i] = query.Bucket(b)
+	}
+	return out
+}
+
+func bucketsFromTierRecs(in []tsdb.TierRec) []query.Bucket {
+	out := make([]query.Bucket, len(in))
+	for i, b := range in {
+		out[i] = query.Bucket(b)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQueryQuick runs the query-pushdown benchmark at quick scale and
+// gates the byte-ratio acceptance bound: Query itself errors when the
+// largest fleet ships fewer than 10x fewer root-link bytes than the
+// flat fetch, or when any pushdown answer diverges from the reference
+// evaluation. CI runs the same quick sweep through the CLI and publishes
+// BENCH_query.json; the full 792-node week-long sweep gates at 50x.
+func TestQueryQuick(t *testing.T) {
+	res, err := Query(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("quick rows = %d, want 3: %+v", len(res.Rows), res.Rows)
+	}
+	for _, row := range res.Rows {
+		if !row.Identical {
+			t.Fatalf("pushdown diverged at %d nodes: %+v", row.Nodes, row)
+		}
+		if row.Groups != row.Jobs {
+			t.Fatalf("groups %d != jobs %d at %d nodes", row.Groups, row.Jobs, row.Nodes)
+		}
+		if !strings.Contains(row.Source, "tier:600") {
+			t.Fatalf("window must outrun the ring onto the 10min tier, got source %q", row.Source)
+		}
+		if row.RawRootBytes == 0 || row.PushRootBytes == 0 {
+			t.Fatalf("missing byte measurements: %+v", row)
+		}
+	}
+	if res.LastRatio < res.GateRatio {
+		t.Fatalf("largest quick fleet ratio %.1f under gate %.0f", res.LastRatio, res.GateRatio)
+	}
+	if !strings.Contains(res.Render(), "byte_ratio") {
+		t.Fatal("render missing byte_ratio column")
+	}
+	js, err := res.RenderJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"experiment": "query"`, `"gate_ratio": 10`, `"Nodes": 8`} {
+		if !strings.Contains(js, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, js)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/flux/msg"
 	"fluxpower/internal/flux/reduce"
+	"fluxpower/internal/query"
 )
 
 // LivenessTopic is the reduction topic of the Liveness module.
@@ -57,7 +58,9 @@ type Violation struct {
 	// "reduce-conservation", "partial-flag", "liveness-missing",
 	// "heal-subtree-count", "heal-topology",
 	// "archive-monotonic", "status-unreachable", "status-pending",
-	// "dead-rank-ack", "store-accounting", "probe-failed").
+	// "dead-rank-ack", "store-accounting",
+	// "query-conservation", "query-partial-flag", "query-missing",
+	// "probe-failed").
 	Invariant string
 	// Rank localizes the violation; -1 when instance-wide.
 	Rank   int32
@@ -94,6 +97,15 @@ type CheckConfig struct {
 	// the difference, and durable data occupies disk). Requires the
 	// power-monitor module configured with a StoreDir.
 	Store bool
+	// Query enables the query-engine conservation check: a cluster-wide
+	// evaluation through power-query.eval must account every rank
+	// (covered + missing == size) and flag Partial exactly when a
+	// subtree is missing. Requires the power-query module loaded
+	// instance-wide over a power monitor.
+	Query bool
+	// QueryExpr overrides the expression the query check evaluates
+	// (default "count(max_over_time(node_power_watts[30s]))").
+	QueryExpr string
 	// Heal enables the self-healing convergence invariants: after faults
 	// clear, the root's subtree accounting must cover every rank not
 	// permanently crashed, and the parent/child topology must be a
@@ -123,6 +135,9 @@ func (c CheckConfig) withDefaults() CheckConfig {
 	}
 	if c.AckMarginSec <= 0 {
 		c.AckMarginSec = 0.05
+	}
+	if c.QueryExpr == "" {
+		c.QueryExpr = "count(max_over_time(node_power_watts[30s]))"
 	}
 	return c
 }
@@ -184,6 +199,9 @@ func Check(cfg CheckConfig) []Violation {
 	if cfg.Heal {
 		vs = append(vs, checkHeal(cfg, root, size)...)
 	}
+	if cfg.Query {
+		vs = append(vs, checkQuery(cfg, root, size)...)
+	}
 	if cfg.Monitor {
 		vs = append(vs, checkMonitor(cfg, root, nowSec)...)
 	}
@@ -192,6 +210,38 @@ func Check(cfg CheckConfig) []Violation {
 	}
 	if cfg.Manager && cfg.Injector != nil {
 		vs = append(vs, checkManagerAcks(cfg, root, nowSec)...)
+	}
+	return vs
+}
+
+// checkQuery asserts the query engine's conservation contract: one
+// cluster-wide evaluation, and every rank is either covered by the
+// merged partial or counted missing — a dead subtree degrades the
+// answer, it never silently shrinks the denominator.
+func checkQuery(cfg CheckConfig, root *broker.Broker, size int) []Violation {
+	var vs []Violation
+	resp, err := root.CallTimeout(msg.NodeAny, query.EvalService,
+		query.EvalRequest{Expr: cfg.QueryExpr}, cfg.RPCTimeout)
+	if err != nil {
+		vs = append(vs, Violation{"probe-failed", -1, fmt.Sprintf("query eval: %v", err)})
+		return vs
+	}
+	var res query.Result
+	if err := resp.Unmarshal(&res); err != nil {
+		vs = append(vs, Violation{"probe-failed", -1, fmt.Sprintf("query decode: %v", err)})
+		return vs
+	}
+	if res.RanksCovered+res.RanksMissing != size {
+		vs = append(vs, Violation{"query-conservation", -1,
+			fmt.Sprintf("covered %d + missing %d != size %d", res.RanksCovered, res.RanksMissing, size)})
+	}
+	if res.Partial != (res.RanksMissing > 0) {
+		vs = append(vs, Violation{"query-partial-flag", -1,
+			fmt.Sprintf("partial=%v with missing=%d", res.Partial, res.RanksMissing)})
+	}
+	if cfg.ExpectAllReachable && res.RanksMissing > 0 {
+		vs = append(vs, Violation{"query-missing", -1,
+			fmt.Sprintf("%d ranks unreachable after quiesce", res.RanksMissing)})
 	}
 	return vs
 }

@@ -1,0 +1,120 @@
+package chaos_test
+
+import (
+	"testing"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/chaos"
+	"fluxpower/internal/flux/reduce"
+	"fluxpower/internal/query"
+)
+
+// buildQueryChaosCluster wires monitor + query engine on every rank with
+// the injector's links, so queries run over a fabric that can lose
+// whole subtrees.
+func buildQueryChaosCluster(t *testing.T, size int, inj *chaos.Injector) (*cluster.Cluster, *query.Client) {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		System:      cluster.Lassen,
+		Nodes:       size,
+		Seed:        13,
+		WrapLink:    inj.WrapLink,
+		CallTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	inj.Bind(c.Sched)
+	mons := make([]*powermon.Module, size)
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		m := powermon.New(powermon.Config{
+			SampleInterval: 2 * time.Second,
+			CollectTimeout: 2 * time.Second,
+		})
+		mons[rank] = m
+		return m
+	}); err != nil {
+		t.Fatalf("load monitor: %v", err)
+	}
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		return query.New(query.Config{
+			Source:  func(rank int32) query.Source { return mons[rank] },
+			Timeout: 8 * time.Second,
+			Reduce:  reduce.Config{ChildTimeout: 2 * time.Second},
+		})
+	}); err != nil {
+		t.Fatalf("load query engine: %v", err)
+	}
+	return c, query.NewClient(c.Inst.Root())
+}
+
+// TestQueryPartialOnCrashedSubtree is the acceptance scenario: an
+// interior TBON rank crashes, a cluster-wide query runs over the
+// degraded tree, and the answer must come back Partial=true with every
+// rank accounted — never an error, never a silently shrunken fleet.
+// After the fault clears, the same query heals to Complete and the
+// chaos invariants hold with zero violations.
+func TestQueryPartialOnCrashedSubtree(t *testing.T) {
+	const size = 8
+	// Rank 1 is interior in the fanout-2 TBON: killing it severs its
+	// whole subtree from the root.
+	inj := chaos.New(chaos.Plan{
+		Seed:  13,
+		Nodes: []chaos.NodeRule{{Rank: 1, Kind: chaos.FaultCrash}},
+	})
+	c, cl := buildQueryChaosCluster(t, size, inj)
+	c.RunFor(time.Minute) // fault-free warm-up: every ring holds samples
+
+	const expr = "avg by (rank) (avg_over_time(node_power_watts[30s]))"
+	pre, err := cl.Eval(expr, 0, 0)
+	if err != nil {
+		t.Fatalf("pre-fault eval: %v", err)
+	}
+	if pre.Partial || pre.RanksCovered != size || len(pre.Groups) != size {
+		t.Fatalf("pre-fault result degraded: %+v", pre)
+	}
+
+	inj.Arm()
+	c.RunFor(10 * time.Second) // let the crash bite mid-collection
+	res, err := cl.Eval(expr, 0, 0)
+	if err != nil {
+		t.Fatalf("eval with crashed subtree must degrade, not fail: %v", err)
+	}
+	if !res.Partial {
+		t.Fatalf("crashed interior rank but Partial=false: %+v", res)
+	}
+	if res.RanksMissing == 0 || res.RanksCovered+res.RanksMissing != size {
+		t.Fatalf("conservation broken: covered %d + missing %d != %d",
+			res.RanksCovered, res.RanksMissing, size)
+	}
+	// The surviving ranks still answer: per-rank groups for everyone
+	// outside the dead subtree.
+	if len(res.Groups) != res.RanksCovered {
+		t.Fatalf("want %d surviving per-rank groups, got %d", res.RanksCovered, len(res.Groups))
+	}
+	// Conservation invariants hold even while the fault is live.
+	if vs := chaos.Check(chaos.CheckConfig{
+		Brokers: c.Inst.Brokers, Query: true,
+	}); len(vs) > 0 {
+		t.Fatalf("mid-fault violations:\n%s", violationList(vs))
+	}
+
+	inj.Disarm()
+	c.RunFor(15 * time.Second) // quiesce: deadlines fire, rank 1 rejoins
+	post, err := cl.Eval(expr, 0, 0)
+	if err != nil {
+		t.Fatalf("post-heal eval: %v", err)
+	}
+	if post.Partial || post.RanksCovered != size {
+		t.Fatalf("query did not heal after disarm: %+v", post)
+	}
+	if vs := chaos.Check(chaos.CheckConfig{
+		Brokers: c.Inst.Brokers, Query: true, Monitor: true, ExpectAllReachable: true,
+	}); len(vs) > 0 {
+		t.Fatalf("post-heal violations:\n%s", violationList(vs))
+	}
+}

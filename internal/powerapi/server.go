@@ -38,6 +38,8 @@ import (
 	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/flux/job"
 	"fluxpower/internal/flux/msg"
+	"fluxpower/internal/query"
+	"fluxpower/internal/stats"
 )
 
 // Config parameterizes a Gateway. The zero value of every field except
@@ -123,6 +125,13 @@ type Metrics struct {
 	SamplesDropped  uint64 `json:"samples_dropped"`
 
 	CacheEntries int `json:"cache_entries"`
+
+	// Request-latency quantiles in milliseconds, from a log-bucketed
+	// histogram over every served request (upper-bound estimates; 0
+	// until the first request completes).
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
 }
 
 // StoreMetrics summarizes every rank's durable tsdb store for
@@ -152,6 +161,7 @@ type metricsResponse struct {
 type Gateway struct {
 	cfg Config
 	pm  *powermon.Client
+	qc  *query.Client
 	mux *http.ServeMux
 
 	// brokerMu serializes all broker-bound work. The gateway holds ONE
@@ -186,6 +196,11 @@ type Gateway struct {
 	storeVal *StoreMetrics
 	storeAt  time.Time
 
+	// Request-latency sketch behind /v1/metrics quantiles. Log-bucketed
+	// (10 µs .. 60 s) so merges and quantile reads stay cheap.
+	latMu   sync.Mutex
+	latency *stats.Histogram
+
 	unsubs []func()
 }
 
@@ -199,9 +214,11 @@ func New(cfg Config) (*Gateway, error) {
 	gw := &Gateway{
 		cfg:      cfg,
 		pm:       powermon.NewClient(cfg.Broker),
+		qc:       query.NewClient(cfg.Broker),
 		cache:    newResponseCache(cfg.CacheSize, cfg.Now),
 		flight:   newFlightGroup(),
 		limiters: newLimiterPool(cfg.RateLimit, cfg.RateBurst, cfg.Now),
+		latency:  stats.NewHistogram(0.01, 60_000, 64),
 		done:     make(chan struct{}),
 	}
 
@@ -210,6 +227,7 @@ func New(cfg Config) (*Gateway, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}/power", gw.handleJobPower)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", gw.handleJobStream)
 	mux.HandleFunc("GET /v1/nodes/{rank}/power", gw.handleNodePower)
+	mux.HandleFunc("GET /v1/query", gw.handleQuery)
 	mux.HandleFunc("GET /v1/cluster/status", gw.handleClusterStatus)
 	mux.HandleFunc("GET /v1/metrics", gw.handleMetrics)
 	gw.mux = mux
@@ -266,7 +284,15 @@ func (gw *Gateway) Sync(fn func()) {
 // Metrics returns a snapshot of the gateway's counters.
 func (gw *Gateway) Metrics() Metrics {
 	hits, misses, entries := gw.cache.stats()
+	gw.latMu.Lock()
+	p50 := gw.latency.Quantile(0.50)
+	p95 := gw.latency.Quantile(0.95)
+	p99 := gw.latency.Quantile(0.99)
+	gw.latMu.Unlock()
 	return Metrics{
+		LatencyP50Ms:    p50,
+		LatencyP95Ms:    p95,
+		LatencyP99Ms:    p99,
 		Requests:        gw.requests.Load(),
 		RateLimited:     gw.rateLimited.Load(),
 		CacheHits:       hits,
@@ -287,6 +313,13 @@ func (gw *Gateway) Metrics() Metrics {
 // rate limit), then route dispatch.
 func (gw *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	gw.requests.Add(1)
+	began := gw.cfg.Now()
+	defer func() {
+		ms := float64(gw.cfg.Now().Sub(began)) / float64(time.Millisecond)
+		gw.latMu.Lock()
+		gw.latency.Observe(ms)
+		gw.latMu.Unlock()
+	}()
 	if gw.closing.Load() {
 		http.Error(w, `{"error":"shutting down"}`, http.StatusServiceUnavailable)
 		return

@@ -1,0 +1,292 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/msg"
+	"fluxpower/internal/flux/reduce"
+)
+
+// ModuleName is the query engine's registered module name.
+const ModuleName = "power-query"
+
+// ReduceTopic is the pushdown reduction topic: the plan flows down it,
+// merged Partials flow back up.
+const ReduceTopic = "power-query.reduce"
+
+// Services. Eval and Plan live on rank 0 (the only rank that can root a
+// whole-instance reduction); Fetch is per-rank and ships the rank's
+// plan-selected records verbatim — the raw-fetch baseline, and the
+// reference evaluator's input.
+const (
+	EvalService  = "power-query.eval"
+	PlanService  = "power-query.plan"
+	FetchService = "power-query.fetch"
+)
+
+// DefaultTimeout bounds one whole evaluation.
+const DefaultTimeout = 10 * time.Second
+
+// Config wires the engine module.
+type Config struct {
+	// Source returns the rank's node-local storage (the power monitor
+	// module). Required.
+	Source func(rank int32) Source
+	// Timeout bounds one evaluation (default DefaultTimeout).
+	Timeout time.Duration
+	// Reduce tunes the tree reduction's failure handling.
+	Reduce reduce.Config
+}
+
+// EvalRequest asks rank 0 to evaluate an expression. EndSec 0 means
+// "now"; the window is [EndSec−range, EndSec], with StartSec (when set)
+// clipping the window's beginning.
+type EvalRequest struct {
+	Expr     string  `json:"expr"`
+	StartSec float64 `json:"start_sec,omitempty"`
+	EndSec   float64 `json:"end_sec,omitempty"`
+}
+
+// Module is one rank's query engine instance. Load it on every broker
+// after the power monitor.
+type Module struct {
+	cfg     Config
+	ctx     *broker.Context
+	src     Source
+	reducer *reduce.Reducer[Partial]
+}
+
+// New creates a query engine module.
+func New(cfg Config) *Module {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	return &Module{cfg: cfg}
+}
+
+// Name implements broker.Module.
+func (m *Module) Name() string { return ModuleName }
+
+// Shutdown implements broker.Module.
+func (m *Module) Shutdown() error { return nil }
+
+// Init implements broker.Module: registers the reduce combiner and the
+// fetch service on every rank, the eval/plan services on rank 0.
+func (m *Module) Init(ctx *broker.Context) error {
+	m.ctx = ctx
+	if m.cfg.Source == nil {
+		return fmt.Errorf("query: rank %d has no Source configured", ctx.Rank())
+	}
+	m.src = m.cfg.Source(ctx.Rank())
+	if m.src == nil {
+		return fmt.Errorf("query: rank %d Source returned nil", ctx.Rank())
+	}
+	r, err := reduce.Register[Partial](ctx, ReduceTopic, reduce.Op[Partial]{
+		Local: m.localPartial,
+		Merge: MergePartial,
+	}, m.cfg.Reduce)
+	if err != nil {
+		return err
+	}
+	m.reducer = r
+	if err := ctx.RegisterService(FetchService, m.handleFetch); err != nil {
+		return err
+	}
+	if ctx.Rank() == 0 {
+		if err := ctx.RegisterService(EvalService, m.handleEval); err != nil {
+			return err
+		}
+		if err := ctx.RegisterService(PlanService, m.handlePlan); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// localPlanFor parses the plan body and decides whether this rank needs
+// to read anything at all: a rank excluded by the rank matcher, or with
+// no job window in a job-scoped query, answers an empty complete
+// partial without touching storage.
+func (m *Module) localPlanFor(body json.RawMessage) (*Expr, PlanSpec, bool, error) {
+	var spec PlanSpec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		return nil, PlanSpec{}, false, err
+	}
+	e, err := Parse(spec.Expr)
+	if err != nil {
+		return nil, PlanSpec{}, false, err
+	}
+	rank := m.ctx.Rank()
+	if !rankSelected(e, rank) {
+		return e, spec, true, nil
+	}
+	if e.NeedsJobs() && len(rankJobs(e, spec, rank)) == 0 {
+		return e, spec, true, nil
+	}
+	return e, spec, false, nil
+}
+
+// localPartial is the reduce Local hook: plan, read, fold.
+func (m *Module) localPartial(body json.RawMessage) (Partial, error) {
+	e, spec, skip, err := m.localPlanFor(body)
+	if err != nil {
+		return Partial{}, err
+	}
+	if skip {
+		return Partial{Complete: true}, nil
+	}
+	data, err := readLocal(m.src, spec.StartSec, spec.EndSec)
+	if err != nil {
+		return Partial{}, err
+	}
+	return FoldLocal(e, spec, m.ctx.Rank(), data), nil
+}
+
+// handleFetch ships this rank's plan-selected records — what the
+// pushdown would have folded locally, unfolded.
+func (m *Module) handleFetch(req *broker.Request) {
+	_, spec, skip, err := m.localPlanFor(req.Msg.Payload)
+	if err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	reply := FetchReply{Rank: m.ctx.Rank(), LocalData: LocalData{Complete: true}}
+	if !skip {
+		data, err := readLocal(m.src, spec.StartSec, spec.EndSec)
+		if err != nil {
+			_ = req.Fail(msg.EPROTO, err.Error())
+			return
+		}
+		reply.LocalData = data
+	}
+	_ = req.Respond(reply)
+}
+
+// handleEval evaluates an expression across the instance: resolve the
+// plan once at the root, push it down the reduce tree, finalize the
+// merged partial. A dead subtree degrades the answer to Partial=true;
+// only a malformed request fails.
+func (m *Module) handleEval(req *broker.Request) {
+	var body EvalRequest
+	if err := req.Msg.Unmarshal(&body); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	e, spec, err := m.resolvePlan(body)
+	if err != nil {
+		m.failPlan(req, err)
+		return
+	}
+	res, rerr := m.reducer.Reduce(nil, spec, m.cfg.Timeout)
+	if rerr != nil {
+		_ = req.Fail(msg.EPROTO, rerr.Error())
+		return
+	}
+	_ = req.Respond(Finalize(e, spec, res.Aggregate, res.Ranks, res.Missing))
+}
+
+// handlePlan resolves a plan without executing it, for clients that
+// fetch and evaluate out-of-band (the experiment's baseline).
+func (m *Module) handlePlan(req *broker.Request) {
+	var body EvalRequest
+	if err := req.Msg.Unmarshal(&body); err != nil {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	_, spec, err := m.resolvePlan(body)
+	if err != nil {
+		m.failPlan(req, err)
+		return
+	}
+	_ = req.Respond(spec)
+}
+
+func (m *Module) failPlan(req *broker.Request, err error) {
+	if _, ok := err.(*ParseError); ok {
+		_ = req.Fail(msg.EINVAL, err.Error())
+		return
+	}
+	if pe, ok := err.(*planError); ok {
+		_ = req.Fail(pe.code, pe.Error())
+		return
+	}
+	_ = req.Fail(msg.EPROTO, err.Error())
+}
+
+// planError carries a msg error code out of plan resolution.
+type planError struct {
+	code int
+	msg  string
+}
+
+func (e *planError) Error() string { return e.msg }
+
+// jobRecord is the slice of the job manager's record the planner needs.
+// State distinguishes a job that started at simulation time zero from
+// one that never started (both report StartSec 0).
+type jobRecord struct {
+	ID       uint64  `json:"id"`
+	State    string  `json:"state"`
+	Ranks    []int32 `json:"ranks"`
+	StartSec float64 `json:"start_sec"`
+	EndSec   float64 `json:"end_sec"`
+}
+
+// resolvePlan turns a request into the absolute plan: window resolution
+// against the clock, and — for job-scoped expressions — one job-manager
+// lookup whose windows every rank then applies identically.
+func (m *Module) resolvePlan(body EvalRequest) (*Expr, PlanSpec, error) {
+	e, err := Parse(body.Expr)
+	if err != nil {
+		return nil, PlanSpec{}, err
+	}
+	end := body.EndSec
+	if end <= 0 {
+		end = m.ctx.Clock().Now().Seconds()
+	}
+	start := end - e.RangeSec
+	if body.StartSec > start {
+		start = body.StartSec
+	}
+	if start >= end {
+		return nil, PlanSpec{}, &planError{code: msg.EINVAL, msg: fmt.Sprintf("query: empty window [%g, %g]", start, end)}
+	}
+	spec := PlanSpec{Expr: e.String(), StartSec: start, EndSec: end}
+	if e.NeedsJobs() {
+		resp, err := m.ctx.Broker().CallTimeout(msg.NodeAny, "job-manager.list", nil, m.cfg.Timeout)
+		if err != nil {
+			return nil, PlanSpec{}, &planError{code: msg.ENOSYS, msg: fmt.Sprintf("query: job lookup: %v", err)}
+		}
+		var list struct {
+			Jobs []jobRecord `json:"jobs"`
+		}
+		if err := resp.Unmarshal(&list); err != nil {
+			return nil, PlanSpec{}, &planError{code: msg.EPROTO, msg: fmt.Sprintf("query: job list: %v", err)}
+		}
+		for _, rec := range list.Jobs {
+			if rec.State == "SCHED" || len(rec.Ranks) == 0 {
+				continue // never started: nothing to attribute
+			}
+			ws, we := rec.StartSec, rec.EndSec
+			if we <= ws {
+				we = end // still running
+			}
+			if ws < start {
+				ws = start
+			}
+			if we > end {
+				we = end
+			}
+			if ws >= we {
+				continue
+			}
+			spec.Jobs = append(spec.Jobs, JobWindow{ID: rec.ID, Ranks: rec.Ranks, StartSec: ws, EndSec: we})
+		}
+		sort.Slice(spec.Jobs, func(i, j int) bool { return spec.Jobs[i].ID < spec.Jobs[j].ID })
+	}
+	return e, spec, nil
+}

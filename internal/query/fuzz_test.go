@@ -1,0 +1,47 @@
+package query
+
+import "testing"
+
+// FuzzParseQuery is the hostile-input contract: Parse never panics,
+// every rejection is a *ParseError (the EINVAL→400 path), and every
+// accepted expression canonicalizes to a fixed point — the property the
+// powerapi cache key depends on.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"avg by (job) (avg_over_time(node_power_watts[7d]))",
+		"sum(avg_over_time(node_power_watts[90m]))",
+		"sum by (component, job) (max_over_time(power_watts[300s]))",
+		`max by (rank) (rate(cpu_power_watts{job="12"}[1h]))`,
+		"topk(5, avg_over_time(node_power_watts[60s]))",
+		"topk(3, sum by (job) (avg_over_time(node_power_watts[1d])))",
+		`count(min_over_time(power_watts{component="cpu", rank="3"}[2m]))`,
+		`sum(sum_over_time(mem_power_watts[1.5h]))`,
+		"avg_over_time(node_power_watts[60s])",
+		"sum(avg_over_time(node_power_watts[60s]",
+		`sum(avg_over_time(node_power_watts{job="1[60s]))`,
+		"topk(99999999999999999999, avg_over_time(node_power_watts[60s]))",
+		"sum by ((((((((((",
+		"{}[]()=,\"\\",
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		e, err := Parse(input)
+		if err != nil {
+			if _, ok := err.(*ParseError); !ok {
+				t.Fatalf("Parse(%q) returned %T, want *ParseError", input, err)
+			}
+			return
+		}
+		canon := e.String()
+		e2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, input, err)
+		}
+		if got := e2.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q -> %q", input, canon, got)
+		}
+	})
+}

@@ -1,0 +1,450 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxExprLen bounds accepted expression length; longer inputs are
+// rejected before lexing so hostile payloads cannot make the parser do
+// unbounded work.
+const MaxExprLen = 4096
+
+// ParseError reports where and why parsing failed. The powerapi layer
+// maps it to EINVAL→400; it must be the only way hostile input comes
+// back out of Parse.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("query: parse error at %d: %s", e.Pos, e.Msg)
+}
+
+// token kinds.
+const (
+	tokEOF = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokEq
+	tokDuration
+)
+
+type token struct {
+	kind int
+	pos  int
+	text string
+}
+
+// lexer walks the expression byte-wise; the grammar is ASCII, so any
+// non-ASCII byte is simply an invalid character with a position.
+type lexer struct {
+	in  string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) *ParseError {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isIdentByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case !first && c >= '0' && c <= '9':
+		return true
+	}
+	return false
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() (token, *ParseError) {
+	for l.pos < len(l.in) {
+		switch c := l.in[l.pos]; c {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+			continue
+		case '(':
+			l.pos++
+			return token{tokLParen, l.pos - 1, "("}, nil
+		case ')':
+			l.pos++
+			return token{tokRParen, l.pos - 1, ")"}, nil
+		case '{':
+			l.pos++
+			return token{tokLBrace, l.pos - 1, "{"}, nil
+		case '}':
+			l.pos++
+			return token{tokRBrace, l.pos - 1, "}"}, nil
+		case '[':
+			l.pos++
+			return token{tokLBracket, l.pos - 1, "["}, nil
+		case ']':
+			l.pos++
+			return token{tokRBracket, l.pos - 1, "]"}, nil
+		case ',':
+			l.pos++
+			return token{tokComma, l.pos - 1, ","}, nil
+		case '=':
+			l.pos++
+			return token{tokEq, l.pos - 1, "="}, nil
+		case '"':
+			return l.lexString()
+		default:
+			if isDigit(c) || c == '.' {
+				return l.lexNumber()
+			}
+			if isIdentByte(c, true) {
+				start := l.pos
+				for l.pos < len(l.in) && isIdentByte(l.in[l.pos], false) {
+					l.pos++
+				}
+				return token{tokIdent, start, l.in[start:l.pos]}, nil
+			}
+			return token{}, l.errf(l.pos, "invalid character %q", c)
+		}
+	}
+	return token{tokEOF, l.pos, ""}, nil
+}
+
+func (l *lexer) lexString() (token, *ParseError) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{tokString, start, b.String()}, nil
+		case '\\':
+			if l.pos+1 >= len(l.in) {
+				return token{}, l.errf(start, "unterminated string")
+			}
+			l.pos++
+			b.WriteByte(l.in[l.pos])
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errf(start, "unterminated string")
+}
+
+// lexNumber lexes a number, optionally carrying a duration unit suffix
+// (s, m, h, d, w) — in which case the token is a duration.
+func (l *lexer) lexNumber() (token, *ParseError) {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == '.' {
+			if seenDot {
+				return token{}, l.errf(start, "malformed number")
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if !isDigit(c) {
+			break
+		}
+		l.pos++
+	}
+	if l.pos == start || l.in[start:l.pos] == "." {
+		return token{}, l.errf(start, "malformed number")
+	}
+	if l.pos < len(l.in) {
+		switch l.in[l.pos] {
+		case 's', 'm', 'h', 'd', 'w':
+			l.pos++
+			return token{tokDuration, start, l.in[start:l.pos]}, nil
+		}
+	}
+	return token{tokNumber, start, l.in[start:l.pos]}, nil
+}
+
+// durationSeconds converts a duration token ("7d", "90m", "300s", bare
+// "300") to seconds.
+func durationSeconds(t token) (float64, *ParseError) {
+	text, unit := t.text, 1.0
+	if t.kind == tokDuration {
+		switch text[len(text)-1] {
+		case 's':
+			unit = 1
+		case 'm':
+			unit = 60
+		case 'h':
+			unit = 3600
+		case 'd':
+			unit = 86400
+		case 'w':
+			unit = 7 * 86400
+		}
+		text = text[:len(text)-1]
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return 0, &ParseError{Pos: t.pos, Msg: "malformed duration"}
+	}
+	return v * unit, nil
+}
+
+// parser is a one-token-lookahead recursive descent parser.
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() *ParseError {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind int, what string) (token, *ParseError) {
+	if p.tok.kind != kind {
+		return token{}, &ParseError{Pos: p.tok.pos, Msg: fmt.Sprintf("expected %s, found %q", what, p.tok.text)}
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// Parse parses one query expression into its normalized AST. All
+// failures are *ParseError; Parse never panics, whatever the input.
+func Parse(input string) (*Expr, error) {
+	if len(input) > MaxExprLen {
+		return nil, &ParseError{Pos: MaxExprLen, Msg: fmt.Sprintf("expression longer than %d bytes", MaxExprLen)}
+	}
+	p := &parser{lex: lexer{in: input}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, &ParseError{Pos: p.tok.pos, Msg: fmt.Sprintf("trailing input %q", p.tok.text)}
+	}
+	if err := e.validate(0); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// parseQuery parses the top level: an aggregation or topk. A bare
+// window function is rejected here — per-series results do not ship.
+func (p *parser) parseQuery() (*Expr, *ParseError) {
+	t, err := p.expect(tokIdent, "aggregation operator")
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case t.text == OpTopK:
+		return p.parseTopK(t)
+	case validOps[t.text]:
+		e := &Expr{Op: t.text}
+		if err := p.parseAggBody(e); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case validFns[t.text]:
+		return nil, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("bare %s is per-series; wrap it in an aggregation (sum, avg, ..., topk)", t.text)}
+	default:
+		return nil, &ParseError{Pos: t.pos, Msg: fmt.Sprintf("unknown aggregation operator %q", t.text)}
+	}
+}
+
+// parseAggBody parses what follows an aggregation operator name:
+// optional by clause, parenthesized window, optional trailing by clause
+// (PromQL allows the modifier on either side).
+func (p *parser) parseAggBody(e *Expr) *ParseError {
+	if err := p.maybeBy(e); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return err
+	}
+	if err := p.parseWindow(e); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return err
+	}
+	return p.maybeBy(e)
+}
+
+// maybeBy parses a by clause if one is next. A second clause on the
+// same aggregation is an error.
+func (p *parser) maybeBy(e *Expr) *ParseError {
+	if p.tok.kind != tokIdent || p.tok.text != "by" {
+		return nil
+	}
+	if e.By != nil {
+		return &ParseError{Pos: p.tok.pos, Msg: "duplicate by clause"}
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen, "( after by"); err != nil {
+		return err
+	}
+	e.By = []string{}
+	for {
+		t, err := p.expect(tokIdent, "grouping label")
+		if err != nil {
+			return err
+		}
+		e.By = append(e.By, t.text)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	_, err := p.expect(tokRParen, ") after grouping labels")
+	return err
+}
+
+// parseTopK parses topk(k, window) and topk(k, op [by (...)] (window)).
+func (p *parser) parseTopK(t token) (*Expr, *ParseError) {
+	e := &Expr{Op: OpTopK}
+	if _, err := p.expect(tokLParen, "( after topk"); err != nil {
+		return nil, err
+	}
+	kt, err := p.expect(tokNumber, "topk k")
+	if err != nil {
+		return nil, err
+	}
+	k, convErr := strconv.Atoi(kt.text)
+	if convErr != nil {
+		return nil, &ParseError{Pos: kt.pos, Msg: "topk k must be an integer"}
+	}
+	e.K = k
+	if _, err := p.expect(tokComma, ", after topk k"); err != nil {
+		return nil, err
+	}
+	inner, err := p.expect(tokIdent, "window function or inner aggregation")
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case validFns[inner.text]:
+		e.Fn = inner.text
+		if err := p.parseWindowBody(e); err != nil {
+			return nil, err
+		}
+	case validOps[inner.text]:
+		e.InnerOp = inner.text
+		if err := p.parseAggBody(e); err != nil {
+			return nil, err
+		}
+		if len(e.By) == 0 {
+			return nil, &ParseError{Pos: inner.pos, Msg: "inner aggregation inside topk needs a by clause"}
+		}
+	default:
+		return nil, &ParseError{Pos: inner.pos, Msg: fmt.Sprintf("expected window function or inner aggregation, found %q", inner.text)}
+	}
+	if _, err := p.expect(tokRParen, ") closing topk"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// parseWindow parses fn(selector[dur]) where fn is the next token.
+func (p *parser) parseWindow(e *Expr) *ParseError {
+	t, err := p.expect(tokIdent, "window function")
+	if err != nil {
+		return err
+	}
+	if !validFns[t.text] {
+		return &ParseError{Pos: t.pos, Msg: fmt.Sprintf("unknown window function %q", t.text)}
+	}
+	e.Fn = t.text
+	return p.parseWindowBody(e)
+}
+
+// parseWindowBody parses (selector[dur]) after the function name.
+func (p *parser) parseWindowBody(e *Expr) *ParseError {
+	if _, err := p.expect(tokLParen, "( after window function"); err != nil {
+		return err
+	}
+	mt, err := p.expect(tokIdent, "metric name")
+	if err != nil {
+		return err
+	}
+	e.Metric = mt.text
+	if p.tok.kind == tokLBrace {
+		if err := p.parseMatchers(e); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tokLBracket, "[range]"); err != nil {
+		return err
+	}
+	if p.tok.kind != tokNumber && p.tok.kind != tokDuration {
+		return &ParseError{Pos: p.tok.pos, Msg: fmt.Sprintf("expected duration, found %q", p.tok.text)}
+	}
+	sec, err := durationSeconds(p.tok)
+	if err != nil {
+		return err
+	}
+	e.RangeSec = sec
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRBracket, "] closing range"); err != nil {
+		return err
+	}
+	_, perr := p.expect(tokRParen, ") closing window")
+	return perr
+}
+
+func (p *parser) parseMatchers(e *Expr) *ParseError {
+	if err := p.advance(); err != nil { // consume {
+		return err
+	}
+	if p.tok.kind == tokRBrace {
+		return p.advance() // empty matcher set: {}
+	}
+	for {
+		lt, err := p.expect(tokIdent, "matcher label")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokEq, "= in matcher"); err != nil {
+			return err
+		}
+		vt, err := p.expect(tokString, "quoted matcher value")
+		if err != nil {
+			return err
+		}
+		e.Matchers = append(e.Matchers, Matcher{Label: lt.text, Value: vt.text})
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	_, err := p.expect(tokRBrace, "} closing matchers")
+	return err
+}

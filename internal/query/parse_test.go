@@ -1,0 +1,156 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseCanonical: expressions parse and render in canonical form,
+// and the canonical form is a fixed point of Parse∘String.
+func TestParseCanonical(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{
+			"avg by (job) (avg_over_time(node_power_watts[7d]))",
+			`avg by (job) (avg_over_time(node_power_watts[604800s]))`,
+		},
+		{
+			"sum(avg_over_time(node_power_watts[90m]))",
+			`sum(avg_over_time(node_power_watts[5400s]))`,
+		},
+		{
+			"  sum   by(component, job)(  max_over_time( power_watts [ 300 ] ) ) ",
+			`sum by (component, job) (max_over_time(power_watts[300s]))`,
+		},
+		{
+			// PromQL also allows the by clause after the parens.
+			"sum (max_over_time(power_watts[300s])) by (job, component)",
+			`sum by (component, job) (max_over_time(power_watts[300s]))`,
+		},
+		{
+			`max by (rank) (rate(cpu_power_watts{job="12"}[1h]))`,
+			`max by (rank) (rate(cpu_power_watts{job="12"}[3600s]))`,
+		},
+		{
+			`topk(5, avg_over_time(node_power_watts[60s]))`,
+			`topk(5, avg_over_time(node_power_watts[60s]))`,
+		},
+		{
+			`topk(3, sum by (job) (avg_over_time(node_power_watts[1d])))`,
+			`topk(3, sum by (job) (avg_over_time(node_power_watts[86400s])))`,
+		},
+		{
+			// Matchers sort by label.
+			`count(min_over_time(power_watts{rank="3", component="cpu"}[2m]))`,
+			`count(min_over_time(power_watts{component="cpu", rank="3"}[120s]))`,
+		},
+		{
+			`sum(sum_over_time(mem_power_watts[1.5h]))`,
+			`sum(sum_over_time(mem_power_watts[5400s]))`,
+		},
+	}
+	for _, tc := range cases {
+		e, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if got := e.String(); got != tc.want {
+			t.Fatalf("Parse(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+		// Canonical form is a fixed point.
+		e2, err := Parse(tc.want)
+		if err != nil {
+			t.Fatalf("Parse(canonical %q): %v", tc.want, err)
+		}
+		if got := e2.String(); got != tc.want {
+			t.Fatalf("canonical not a fixed point: %q -> %q", tc.want, got)
+		}
+	}
+}
+
+// TestParseEquivalence: whitespace and clause-order variants of one
+// query collapse to the same canonical string — the cache-key contract.
+func TestParseEquivalence(t *testing.T) {
+	variants := []string{
+		`sum by (job, component) (avg_over_time(power_watts{component="cpu", job="7"}[600s]))`,
+		`sum by (component, job) (avg_over_time(power_watts{job="7",component="cpu"}[10m]))`,
+		"sum(avg_over_time(power_watts{ job = \"7\" ,\tcomponent = \"cpu\" }[600]))\nby (job, component)",
+	}
+	var canon string
+	for i, v := range variants {
+		e, err := Parse(v)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if i == 0 {
+			canon = e.String()
+			continue
+		}
+		if got := e.String(); got != canon {
+			t.Fatalf("variant %d canonicalized to %q, want %q", i, got, canon)
+		}
+	}
+}
+
+// TestParseErrors: every malformed input is a *ParseError with a
+// mention of what went wrong — never a panic, never a generic error.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantMsg string
+	}{
+		{"", "aggregation operator"},
+		{"avg_over_time(node_power_watts[60s])", "bare"},
+		{"frobnicate(avg_over_time(node_power_watts[60s]))", "unknown aggregation"},
+		{"sum(frob_over_time(node_power_watts[60s]))", "unknown window function"},
+		{"sum(avg_over_time(bogus_metric[60s]))", "unknown metric"},
+		{"sum(avg_over_time(node_power_watts[0s]))", "positive"},
+		{"sum(avg_over_time(node_power_watts[-60s]))", "invalid character"},
+		{"sum(avg_over_time(node_power_watts[60s])", "expected )"},
+		{"sum by () (avg_over_time(node_power_watts[60s]))", "grouping label"},
+		{"sum by (flavor) (avg_over_time(node_power_watts[60s]))", "unknown grouping label"},
+		{"sum by (job) by (rank) (avg_over_time(node_power_watts[60s]))", "expected ("},
+		{"sum by (job) (avg_over_time(node_power_watts[60s])) by (rank)", "duplicate by"},
+		{"sum by (job, job) (avg_over_time(node_power_watts[60s]))", "duplicate grouping"},
+		{`sum(avg_over_time(node_power_watts{job="abc"}[60s]))`, "not a job id"},
+		{`sum(avg_over_time(node_power_watts{rank="x"}[60s]))`, "not a rank"},
+		{`sum(avg_over_time(node_power_watts{component="disk"}[60s]))`, "unknown component"},
+		{`sum(avg_over_time(node_power_watts{flavor="x"}[60s]))`, "unknown matcher label"},
+		{`sum(avg_over_time(node_power_watts{job="1}[60s]))`, "unterminated string"},
+		{`sum(avg_over_time(node_power_watts{job=1}[60s]))`, "quoted matcher value"},
+		{"topk(0, avg_over_time(node_power_watts[60s]))", "[1, 1000]"},
+		{"topk(1001, avg_over_time(node_power_watts[60s]))", "[1, 1000]"},
+		{"topk(2.5, avg_over_time(node_power_watts[60s]))", "integer"},
+		{"topk(3, avg_over_time(node_power_watts[60s])) by (job)", "trailing"},
+		{"topk(3, sum(avg_over_time(node_power_watts[60s])))", "needs a by clause"},
+		{"topk(3, by (job) (avg_over_time(node_power_watts[60s])))", "window function or inner aggregation"},
+		{"sum(avg_over_time(node_power_watts[60s])) garbage", "trailing"},
+		{"sum(avg_over_time(node_power_watts[60x]))", "closing range"},
+		{"sum(avg_over_time(node_power_watts[s]))", "duration"},
+		{"süm(avg_over_time(node_power_watts[60s]))", "invalid character"},
+		{"sum(avg_over_time(node_power_watts[" + strings.Repeat("6", MaxExprLen) + "s]))", "longer than"},
+	}
+	for _, tc := range cases {
+		e, err := Parse(tc.in)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded as %q, want error containing %q", tc.in, e.String(), tc.wantMsg)
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Fatalf("Parse(%q) returned %T, want *ParseError", tc.in, err)
+		}
+		if !strings.Contains(pe.Msg, tc.wantMsg) && !strings.Contains(pe.Error(), tc.wantMsg) {
+			t.Fatalf("Parse(%q) error %q does not mention %q", tc.in, pe.Error(), tc.wantMsg)
+		}
+	}
+}
+
+// TestSeriesTopKWithByRejected pins the normalization rule: grouping on
+// a series topk must go through the nested form.
+func TestSeriesTopKWithByRejected(t *testing.T) {
+	if _, err := Parse("topk(3, sum by (job) (avg_over_time(node_power_watts[60s])))"); err != nil {
+		t.Fatalf("group topk rejected: %v", err)
+	}
+}

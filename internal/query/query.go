@@ -1,0 +1,284 @@
+// Package query implements the cluster-wide PromQL-lite query engine:
+// a hand-rolled lexer/parser for a small aggregation grammar, a planner
+// that picks the cheapest archive resolution covering the window on
+// each node, and a distributed executor that pushes evaluation down the
+// TBON as a reduce combiner, so a week-long fleet query ships mergeable
+// group partials — O(fanout × groups) bytes at the root — instead of
+// raw samples.
+//
+// Grammar (whitespace-insensitive):
+//
+//	query    = agg | topk
+//	agg      = op [by] "(" window ")" [by]
+//	topk     = "topk" "(" k "," (window | agg) ")"
+//	op       = "sum" | "avg" | "min" | "max" | "count"
+//	by       = "by" "(" label ("," label)* ")"
+//	window   = fn "(" selector "[" duration "]" ")"
+//	fn       = "avg_over_time" | "max_over_time" | "min_over_time"
+//	         | "sum_over_time" | "rate"
+//	selector = metric [ "{" matcher ("," matcher)* "}" ]
+//	matcher  = label "=" quoted-string
+//
+// A series is one (rank, component, job-attribution) stream; window
+// functions evaluate node-locally per series, and only the outer
+// aggregation crosses ranks. A bare window with no outer aggregation is
+// therefore a parse error: it would ship per-series values, which is
+// exactly what the engine exists to avoid.
+//
+// Determinism: per-series scalars are computed in float64 locally, then
+// quantized once to integer microunits at the series→group boundary.
+// Cross-rank aggregation works on int64 sums, exact float max/min, and
+// integer counts — all exactly associative and commutative — so the
+// merge order the tree imposes can never change the answer, and the
+// pushed-down result is byte-identical to a single-node reference
+// evaluation over the same records.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Aggregation operators.
+const (
+	OpSum   = "sum"
+	OpAvg   = "avg"
+	OpMin   = "min"
+	OpMax   = "max"
+	OpCount = "count"
+	OpTopK  = "topk"
+)
+
+// Window functions.
+const (
+	FnAvgOverTime = "avg_over_time"
+	FnMaxOverTime = "max_over_time"
+	FnMinOverTime = "min_over_time"
+	FnSumOverTime = "sum_over_time"
+	FnRate        = "rate"
+)
+
+// Grouping / matcher labels.
+const (
+	LabelJob       = "job"
+	LabelRank      = "rank"
+	LabelComponent = "component"
+)
+
+// Metrics. power_watts selects every component; the others select one.
+const (
+	MetricNodePower = "node_power_watts"
+	MetricCPUPower  = "cpu_power_watts"
+	MetricGPUPower  = "gpu_power_watts"
+	MetricMemPower  = "mem_power_watts"
+	MetricAllPower  = "power_watts"
+)
+
+// MaxTopK bounds topk's k argument.
+const MaxTopK = 1000
+
+// metricComponents maps each metric to the components it selects.
+var metricComponents = map[string][]string{
+	MetricNodePower: {"node"},
+	MetricCPUPower:  {"cpu"},
+	MetricGPUPower:  {"gpu"},
+	MetricMemPower:  {"mem"},
+	MetricAllPower:  {"node", "cpu", "gpu", "mem"},
+}
+
+var validOps = map[string]bool{
+	OpSum: true, OpAvg: true, OpMin: true, OpMax: true, OpCount: true,
+}
+
+var validFns = map[string]bool{
+	FnAvgOverTime: true, FnMaxOverTime: true, FnMinOverTime: true,
+	FnSumOverTime: true, FnRate: true,
+}
+
+var validLabels = map[string]bool{
+	LabelJob: true, LabelRank: true, LabelComponent: true,
+}
+
+// Matcher is one label="value" series filter.
+type Matcher struct {
+	Label string `json:"label"`
+	Value string `json:"value"`
+}
+
+// Expr is the parsed, normalized query. The grammar's two topk shapes —
+// topk over series and topk over an inner grouped aggregation — both
+// flatten into this one struct: InnerOp is empty for series topk and
+// carries the inner operator for group topk.
+type Expr struct {
+	// Op is the outer aggregation: sum|avg|min|max|count|topk.
+	Op string `json:"op"`
+	// K is topk's entry budget (0 unless Op is topk).
+	K int `json:"k,omitempty"`
+	// InnerOp is group-topk's inner operator ("" = series topk).
+	InnerOp string `json:"inner_op,omitempty"`
+	// By holds the grouping labels, sorted and deduplicated.
+	By []string `json:"by,omitempty"`
+	// Fn is the node-local window function.
+	Fn string `json:"fn"`
+	// Metric names the power series to read.
+	Metric string `json:"metric"`
+	// Matchers are the series filters, sorted by label then value.
+	Matchers []Matcher `json:"matchers,omitempty"`
+	// RangeSec is the window length in seconds.
+	RangeSec float64 `json:"range_sec"`
+}
+
+// String renders the canonical form: fixed clause order, no extra
+// whitespace, sorted by-labels and matchers, duration in plain seconds.
+// Two expressions that parse to the same AST render identically, which
+// is what makes this the cache key.
+func (e *Expr) String() string {
+	var b strings.Builder
+	writeBy := func() {
+		if len(e.By) > 0 {
+			b.WriteString(" by (")
+			b.WriteString(strings.Join(e.By, ", "))
+			b.WriteString(") ")
+		}
+	}
+	window := func() {
+		b.WriteString(e.Fn)
+		b.WriteByte('(')
+		b.WriteString(e.Metric)
+		if len(e.Matchers) > 0 {
+			b.WriteByte('{')
+			for i, m := range e.Matchers {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(m.Label)
+				b.WriteString("=\"")
+				b.WriteString(m.Value)
+				b.WriteByte('"')
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte('[')
+		b.WriteString(strconv.FormatFloat(e.RangeSec, 'g', -1, 64))
+		b.WriteString("s])")
+	}
+	switch {
+	case e.Op == OpTopK && e.InnerOp == "":
+		b.WriteString("topk(")
+		b.WriteString(strconv.Itoa(e.K))
+		b.WriteString(", ")
+		window()
+		b.WriteByte(')')
+	case e.Op == OpTopK:
+		b.WriteString("topk(")
+		b.WriteString(strconv.Itoa(e.K))
+		b.WriteString(", ")
+		b.WriteString(e.InnerOp)
+		writeBy()
+		b.WriteByte('(')
+		window()
+		b.WriteString("))")
+	default:
+		b.WriteString(e.Op)
+		writeBy()
+		b.WriteByte('(')
+		window()
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Components returns the components the expression's metric selects.
+func (e *Expr) Components() []string {
+	return metricComponents[e.Metric]
+}
+
+// NeedsJobs reports whether evaluating the expression requires job
+// windows from the job manager — grouping or filtering by job.
+func (e *Expr) NeedsJobs() bool {
+	for _, l := range e.By {
+		if l == LabelJob {
+			return true
+		}
+	}
+	for _, m := range e.Matchers {
+		if m.Label == LabelJob {
+			return true
+		}
+	}
+	return false
+}
+
+// groupOp returns the operator applied across series within a group:
+// the inner operator for group topk, the outer one otherwise.
+func (e *Expr) groupOp() string {
+	if e.Op == OpTopK && e.InnerOp != "" {
+		return e.InnerOp
+	}
+	return e.Op
+}
+
+// validate applies the semantic rules the grammar alone cannot express.
+func (e *Expr) validate(pos int) error {
+	if e.Op == OpTopK {
+		if e.K < 1 || e.K > MaxTopK {
+			return &ParseError{Pos: pos, Msg: fmt.Sprintf("topk k must be in [1, %d]", MaxTopK)}
+		}
+		if e.InnerOp == "" && len(e.By) > 0 {
+			return &ParseError{Pos: pos, Msg: "series topk cannot take a by clause; group with topk(k, op by (...) (window))"}
+		}
+	}
+	if !validFns[e.Fn] {
+		return &ParseError{Pos: pos, Msg: fmt.Sprintf("unknown window function %q", e.Fn)}
+	}
+	if _, ok := metricComponents[e.Metric]; !ok {
+		return &ParseError{Pos: pos, Msg: fmt.Sprintf("unknown metric %q", e.Metric)}
+	}
+	if e.RangeSec <= 0 {
+		return &ParseError{Pos: pos, Msg: "window range must be positive"}
+	}
+	seen := map[string]bool{}
+	for _, l := range e.By {
+		if !validLabels[l] {
+			return &ParseError{Pos: pos, Msg: fmt.Sprintf("unknown grouping label %q", l)}
+		}
+		if seen[l] {
+			return &ParseError{Pos: pos, Msg: fmt.Sprintf("duplicate grouping label %q", l)}
+		}
+		seen[l] = true
+	}
+	sort.Strings(e.By)
+	for _, m := range e.Matchers {
+		switch m.Label {
+		case LabelJob:
+			if _, err := strconv.ParseUint(m.Value, 10, 64); err != nil {
+				return &ParseError{Pos: pos, Msg: fmt.Sprintf("job matcher value %q is not a job id", m.Value)}
+			}
+		case LabelRank:
+			if _, err := strconv.ParseInt(m.Value, 10, 32); err != nil {
+				return &ParseError{Pos: pos, Msg: fmt.Sprintf("rank matcher value %q is not a rank", m.Value)}
+			}
+		case LabelComponent:
+			ok := false
+			for _, c := range metricComponents[MetricAllPower] {
+				if m.Value == c {
+					ok = true
+				}
+			}
+			if !ok {
+				return &ParseError{Pos: pos, Msg: fmt.Sprintf("unknown component %q", m.Value)}
+			}
+		default:
+			return &ParseError{Pos: pos, Msg: fmt.Sprintf("unknown matcher label %q", m.Label)}
+		}
+	}
+	sort.Slice(e.Matchers, func(i, j int) bool {
+		if e.Matchers[i].Label != e.Matchers[j].Label {
+			return e.Matchers[i].Label < e.Matchers[j].Label
+		}
+		return e.Matchers[i].Value < e.Matchers[j].Value
+	})
+	return nil
+}

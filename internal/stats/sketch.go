@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// TopEntry is one keyed observation in a TopK sketch.
+type TopEntry struct {
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// TopK is a mergeable exact top-k sketch over keyed observations. Each
+// partial keeps only its own k best entries, yet merging partials built
+// over disjoint key sets reconstructs the exact global top k: an entry
+// outside a partial's local top k cannot be in the union's top k either.
+// Duplicate keys across partials keep the larger value, so merging is
+// idempotent per key.
+//
+// Ordering is total and deterministic — value descending, then key
+// ascending — which together with the set-union merge makes the result
+// independent of merge order (the property the reduction tree needs: the
+// TBON imposes its own combining order).
+type TopK struct {
+	K       int        `json:"k"`
+	Entries []TopEntry `json:"entries,omitempty"`
+}
+
+// NewTopK builds a sketch keeping the k largest entries.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{K: k}
+}
+
+// less is the sketch's total order: better entries first.
+func (t *TopK) less(a, b TopEntry) bool {
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	return a.Key < b.Key
+}
+
+// compact restores the invariant: sorted, unique keys (max value wins),
+// at most K entries.
+func (t *TopK) compact() {
+	byKey := make(map[string]float64, len(t.Entries))
+	for _, e := range t.Entries {
+		if v, ok := byKey[e.Key]; !ok || e.Value > v {
+			byKey[e.Key] = e.Value
+		}
+	}
+	t.Entries = t.Entries[:0]
+	for k, v := range byKey {
+		t.Entries = append(t.Entries, TopEntry{Key: k, Value: v})
+	}
+	sort.Slice(t.Entries, func(i, j int) bool { return t.less(t.Entries[i], t.Entries[j]) })
+	if t.K > 0 && len(t.Entries) > t.K {
+		t.Entries = t.Entries[:t.K]
+	}
+}
+
+// Add folds one observation in.
+func (t *TopK) Add(key string, value float64) {
+	t.Entries = append(t.Entries, TopEntry{Key: key, Value: value})
+	t.compact()
+}
+
+// MergeTopK combines another sketch in; o may be nil. The receiver's K
+// wins when the sketches disagree.
+func (t *TopK) MergeTopK(o *TopK) {
+	if o == nil {
+		return
+	}
+	t.Entries = append(t.Entries, o.Entries...)
+	t.compact()
+}
+
+// Top returns the current best entries, best first.
+func (t *TopK) Top() []TopEntry {
+	return append([]TopEntry(nil), t.Entries...)
+}
+
+// ErrSketchShape is returned when merging histograms with different
+// bucket layouts.
+var ErrSketchShape = errors.New("stats: histogram bucket layouts differ")
+
+// Histogram is a mergeable fixed-bucket quantile sketch: log-spaced
+// buckets between Lo and Hi, integer counts per bucket. Because a merge
+// is element-wise integer addition, combining any number of histograms
+// in any order yields bit-identical counts — the same order-insensitivity
+// contract as TopK, for distributions instead of extremes. Values
+// outside [Lo, Hi] clamp into the edge buckets, so the quantile error is
+// bounded by the bucket width (one Growth factor) inside the range.
+type Histogram struct {
+	Lo     float64  `json:"lo"`
+	Growth float64  `json:"growth"`
+	Counts []uint64 `json:"counts"`
+	Total  uint64   `json:"total"`
+}
+
+// NewHistogram builds a sketch of n log-spaced buckets covering [lo, hi].
+// lo must be positive and hi greater than lo; n at least 1.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	if lo <= 0 {
+		lo = 1e-9
+	}
+	if hi <= lo {
+		hi = lo * 2
+	}
+	return &Histogram{
+		Lo:     lo,
+		Growth: math.Pow(hi/lo, 1/float64(n)),
+		Counts: make([]uint64, n),
+	}
+}
+
+// bucket maps a value to its bucket index, clamped to the edges.
+func (h *Histogram) bucket(v float64) int {
+	if !(v > h.Lo) { // catches NaN too
+		return 0
+	}
+	i := int(math.Log(v/h.Lo) / math.Log(h.Growth))
+	if i < 0 {
+		return 0
+	}
+	if i >= len(h.Counts) {
+		return len(h.Counts) - 1
+	}
+	return i
+}
+
+// Observe folds one value in.
+func (h *Histogram) Observe(v float64) {
+	h.Counts[h.bucket(v)]++
+	h.Total++
+}
+
+// MergeHistogram combines another sketch with the same layout; o may be
+// nil.
+func (h *Histogram) MergeHistogram(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if o.Lo != h.Lo || o.Growth != h.Growth || len(o.Counts) != len(h.Counts) {
+		return ErrSketchShape
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Total += o.Total
+	return nil
+}
+
+// Quantile returns an upper bound for the q-th quantile (0 ≤ q ≤ 1): the
+// upper edge of the bucket holding the q·Total-th observation. Returns 0
+// for an empty sketch.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	want := uint64(math.Ceil(q * float64(h.Total)))
+	if want == 0 {
+		want = 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= want {
+			return h.Lo * math.Pow(h.Growth, float64(i+1))
+		}
+	}
+	return h.Lo * math.Pow(h.Growth, float64(len(h.Counts)))
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// TestTopKMergeOrderInvariance is the sketch contract the reduction tree
+// depends on: splitting a stream into partials and merging them in any
+// order yields the same result as one sketch over the whole stream.
+func TestTopKMergeOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(8)
+		type obs struct {
+			key string
+			val float64
+		}
+		var all []obs
+		for i := 0; i < n; i++ {
+			all = append(all, obs{key: string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('A'+i/260)), val: rng.NormFloat64() * 100})
+		}
+
+		// Reference: one sketch over everything.
+		ref := NewTopK(k)
+		for _, o := range all {
+			ref.Add(o.key, o.val)
+		}
+		refJSON, _ := json.Marshal(ref)
+
+		// Split into 1..8 partials, merge in a random permutation.
+		parts := 1 + rng.Intn(8)
+		sketches := make([]*TopK, parts)
+		for i := range sketches {
+			sketches[i] = NewTopK(k)
+		}
+		for i, o := range all {
+			sketches[i%parts].Add(o.key, o.val)
+		}
+		order := rng.Perm(parts)
+		merged := NewTopK(k)
+		for _, idx := range order {
+			merged.MergeTopK(sketches[idx])
+		}
+		gotJSON, _ := json.Marshal(merged)
+		if string(gotJSON) != string(refJSON) {
+			t.Fatalf("trial %d: merge order %v changed the result:\n got %s\nwant %s",
+				trial, order, gotJSON, refJSON)
+		}
+	}
+}
+
+// TestTopKDuplicateKeys asserts the max-wins rule for a key observed in
+// several partials.
+func TestTopKDuplicateKeys(t *testing.T) {
+	a, b := NewTopK(3), NewTopK(3)
+	a.Add("x", 5)
+	a.Add("y", 1)
+	b.Add("x", 9)
+	b.Add("z", 2)
+	a.MergeTopK(b)
+	want := []TopEntry{{"x", 9}, {"z", 2}, {"y", 1}}
+	got := a.Top()
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTopKTruncationExactness: per-partial truncation to k must not lose
+// any entry of the global top k when keys are disjoint.
+func TestTopKTruncationExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k = 5
+	vals := map[string]float64{}
+	for i := 0; i < 100; i++ {
+		vals[string(rune('a'+i%26))+string(rune('0'+i/26))] = rng.Float64() * 1000
+	}
+	parts := make([]*TopK, 10)
+	for i := range parts {
+		parts[i] = NewTopK(k)
+	}
+	i := 0
+	full := NewTopK(k)
+	for key, v := range vals {
+		parts[i%len(parts)].Add(key, v)
+		full.Add(key, v)
+		i++
+	}
+	merged := NewTopK(k)
+	for _, p := range parts {
+		merged.MergeTopK(p)
+	}
+	a, b := merged.Top(), full.Top()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d: merged %v vs full %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHistogramMergeOrderInvariance: integer bucket counts make the
+// histogram exactly order-insensitive under merge.
+func TestHistogramMergeOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		ref := NewHistogram(0.01, 60_000, 64)
+		parts := make([]*Histogram, 1+rng.Intn(6))
+		for i := range parts {
+			parts[i] = NewHistogram(0.01, 60_000, 64)
+		}
+		for i := 0; i < 500; i++ {
+			v := math12(rng)
+			ref.Observe(v)
+			parts[i%len(parts)].Observe(v)
+		}
+		merged := NewHistogram(0.01, 60_000, 64)
+		for _, idx := range rng.Perm(len(parts)) {
+			if err := merged.MergeHistogram(parts[idx]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		refJSON, _ := json.Marshal(ref)
+		gotJSON, _ := json.Marshal(merged)
+		if string(gotJSON) != string(refJSON) {
+			t.Fatalf("trial %d: merged counts differ from whole-stream counts", trial)
+		}
+	}
+}
+
+// math12 draws latencies spanning the histogram's range, edges included.
+func math12(rng *rand.Rand) float64 {
+	switch rng.Intn(10) {
+	case 0:
+		return 0.0001 // below Lo: clamps into bucket 0
+	case 1:
+		return 1e9 // above Hi: clamps into the last bucket
+	default:
+		return rng.ExpFloat64() * 50
+	}
+}
+
+// TestHistogramQuantile sanity: quantiles are monotone, bound the data,
+// and an empty sketch answers 0.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 1000, 30)
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 > p99 {
+		t.Fatalf("p50 %.3f > p99 %.3f", p50, p99)
+	}
+	// Upper-edge answers: within one bucket of the true value.
+	if p50 < 50 || p50 > 50*h.Growth*h.Growth {
+		t.Fatalf("p50 %.3f implausible for uniform 1..100", p50)
+	}
+	if err := h.MergeHistogram(NewHistogram(2, 1000, 30)); err != ErrSketchShape {
+		t.Fatalf("mismatched layouts merged: %v", err)
+	}
+}

@@ -671,6 +671,50 @@ func (s *Store) TierRecords(periodSec float64) []TierRec {
 	return out
 }
 
+// TierPeriods returns the configured compaction periods, finest first —
+// the durable resolutions a query planner can choose from.
+func (s *Store) TierPeriods() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]float64(nil), s.cfg.TierPeriodsSec...)
+	sort.Float64s(out)
+	return out
+}
+
+// SelectTier returns the persisted compaction buckets of one period that
+// intersect the window [start, end], oldest first: every bucket with
+// EndSec > start and StartSec <= end. Buckets are retained forever (GC
+// deletes raw blocks, never tier logs), so this is the read path for
+// windows that have aged out of both the raw ring and the raw blocks.
+// The records are sorted and non-overlapping, so the window is two
+// binary searches plus a copy, not a scan.
+func (s *Store) SelectTier(periodSec, start, end float64) []TierRec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := s.tierRecs[periodSec]
+	lo := sort.Search(len(recs), func(i int) bool { return recs[i].EndSec > start })
+	hi := sort.Search(len(recs), func(i int) bool { return recs[i].StartSec > end })
+	if hi < lo {
+		hi = lo
+	}
+	out := make([]TierRec, hi-lo)
+	copy(out, recs[lo:hi])
+	return out
+}
+
+// TierCoverage reports how far back one period's persisted buckets
+// reach: the StartSec of the oldest bucket and the EndSec of the newest.
+// ok is false when the period has no buckets yet (or is not configured).
+func (s *Store) TierCoverage(periodSec float64) (firstStartSec, lastEndSec float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := s.tierRecs[periodSec]
+	if len(recs) == 0 {
+		return 0, 0, false
+	}
+	return recs[0].StartSec, recs[len(recs)-1].EndSec, true
+}
+
 // Covers reports whether the store still holds everything at or after
 // start — false only once GC has deleted samples newer than or at start.
 func (s *Store) Covers(start float64) bool {
