@@ -2,6 +2,7 @@ package powerapi
 
 import (
 	"context"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -38,16 +39,19 @@ func (gw *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		gw.badRequest(w, "%v", err)
 		return
 	}
+	// ParseFloat accepts NaN/Inf, and NaN compares false everywhere —
+	// it would slip past both the end<=0 "now" default and the planner's
+	// empty-window check, then fail JSON encoding. Reject it here.
 	var start, end float64
 	if s := q.Get("start"); s != "" {
-		if start, err = strconv.ParseFloat(s, 64); err != nil {
-			gw.badRequest(w, "start %q is not a number", s)
+		if start, err = strconv.ParseFloat(s, 64); err != nil || math.IsNaN(start) || math.IsInf(start, 0) {
+			gw.badRequest(w, "start %q is not a finite number", s)
 			return
 		}
 	}
 	if s := q.Get("end"); s != "" {
-		if end, err = strconv.ParseFloat(s, 64); err != nil {
-			gw.badRequest(w, "end %q is not a number", s)
+		if end, err = strconv.ParseFloat(s, 64); err != nil || math.IsNaN(end) || math.IsInf(end, 0) {
+			gw.badRequest(w, "end %q is not a finite number", s)
 			return
 		}
 	}

@@ -130,6 +130,13 @@ func TestQueryBadExpr(t *testing.T) {
 		queryURL("avg_over_time(node_power_watts[60s])", 0), // bare window
 		queryURL("sum(avg_over_time(node_power_watts[60s]", 0),
 		"/v1/query?expr=" + url.QueryEscape("sum(avg_over_time(node_power_watts[60s]))") + "&end=zebra",
+		// ParseFloat accepts these; the handler must not. NaN in
+		// particular would dodge every comparison-based guard and fail
+		// only at JSON encoding, hanging the request.
+		"/v1/query?expr=" + url.QueryEscape("sum(avg_over_time(node_power_watts[60s]))") + "&end=NaN",
+		"/v1/query?expr=" + url.QueryEscape("sum(avg_over_time(node_power_watts[60s]))") + "&start=NaN",
+		"/v1/query?expr=" + url.QueryEscape("sum(avg_over_time(node_power_watts[60s]))") + "&end=Inf",
+		"/v1/query?expr=" + url.QueryEscape("sum(avg_over_time(node_power_watts[60s]))") + "&start=-Infinity",
 	} {
 		rec := get(gw, path, "")
 		if rec.Code != http.StatusBadRequest {

@@ -3,6 +3,7 @@ package query
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -225,6 +226,8 @@ type planError struct {
 
 func (e *planError) Error() string { return e.msg }
 
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
 // jobRecord is the slice of the job manager's record the planner needs.
 // State distinguishes a job that started at simulation time zero from
 // one that never started (both report StartSec 0).
@@ -243,6 +246,13 @@ func (m *Module) resolvePlan(body EvalRequest) (*Expr, PlanSpec, error) {
 	e, err := Parse(body.Expr)
 	if err != nil {
 		return nil, PlanSpec{}, err
+	}
+	// NaN compares false everywhere, so it would sail through both the
+	// "now" default and the empty-window check below and poison the
+	// plan. The gateway rejects non-finite bounds too, but broker
+	// clients reach this service directly.
+	if !isFinite(body.StartSec) || !isFinite(body.EndSec) {
+		return nil, PlanSpec{}, &planError{code: msg.EINVAL, msg: "query: start/end must be finite"}
 	}
 	end := body.EndSec
 	if end <= 0 {

@@ -97,6 +97,9 @@ func TestQueryPushdownMatchesReference(t *testing.T) {
 		"topk(2, sum by (job) (sum_over_time(node_power_watts[4m])))",
 		`avg(avg_over_time(node_power_watts{rank="2"}[4m]))`,
 		fmt.Sprintf(`avg by (job) (avg_over_time(node_power_watts{job="%d"}[4m]))`, idA),
+		// Range >= 1e6 s: the canonical form must survive the per-rank
+		// re-parse (regression: 'g' formatting emitted 1.2096e+06).
+		"avg by (job) (avg_over_time(node_power_watts[2w]))",
 	}
 	for _, expr := range exprs {
 		pushed, ref, res := evalBoth(t, c, cl, expr, end)

@@ -287,7 +287,11 @@ func FoldLocal(e *Expr, spec PlanSpec, rank int32, data LocalData) Partial {
 		return out
 	}
 	comps := selectedComponents(e)
-	if len(data.Samples)+len(data.Buckets) > 0 {
+	// Attribute the source whenever a read happened, not only when it
+	// returned records: a degraded coarsest tier with zero covering
+	// buckets still needs to show up in X-Source for the Complete=false
+	// answer to be explainable. Skipped ranks carry no Source.
+	if data.Source != "" {
 		out.Sources = []string{data.Source}
 	}
 

@@ -1,0 +1,70 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"fluxpower/internal/flux/msg"
+)
+
+// TestFoldLocalAttributesEmptyRead: a rank that consulted a degraded
+// tier and got zero covering buckets must still report the tier in
+// Sources — an incomplete answer has to be attributable to the storage
+// that produced it. Only ranks the plan skipped carry no source.
+func TestFoldLocalAttributesEmptyRead(t *testing.T) {
+	spec := PlanSpec{StartSec: 0, EndSec: 60}
+
+	e, err := Parse("sum(avg_over_time(node_power_watts[60s]))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FoldLocal(e, spec, 0, LocalData{Source: "tier:600", Complete: false})
+	if len(out.Sources) != 1 || out.Sources[0] != "tier:600" {
+		t.Fatalf("empty degraded read lost its source: %+v", out)
+	}
+	if out.Complete {
+		t.Fatalf("degraded read reported complete: %+v", out)
+	}
+
+	// A rank excluded by the rank matcher never read anything and must
+	// not claim a source.
+	e2, err := Parse(`sum(avg_over_time(node_power_watts{rank="1"}[60s]))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := FoldLocal(e2, spec, 0, LocalData{Source: SourceRaw, Complete: true})
+	if len(skipped.Sources) != 0 {
+		t.Fatalf("skipped rank claimed sources: %+v", skipped)
+	}
+	if !skipped.Complete {
+		t.Fatalf("skipped rank reported incomplete: %+v", skipped)
+	}
+}
+
+// TestResolvePlanRejectsNonFinite: NaN compares false against
+// everything, so without an explicit check a NaN bound slips past both
+// the end<=0 "now" default and the empty-window guard and poisons the
+// plan (and the JSON encoding of the result). All non-finite bounds are
+// EINVAL.
+func TestResolvePlanRejectsNonFinite(t *testing.T) {
+	m := New(Config{})
+	const expr = "sum(avg_over_time(node_power_watts[60s]))"
+	cases := []struct{ start, end float64 }{
+		{math.NaN(), 100},
+		{0, math.NaN()},
+		{math.Inf(1), 100},
+		{math.Inf(-1), 100},
+		{0, math.Inf(1)},
+		{0, math.Inf(-1)},
+	}
+	for _, tc := range cases {
+		_, _, err := m.resolvePlan(EvalRequest{Expr: expr, StartSec: tc.start, EndSec: tc.end})
+		if err == nil {
+			t.Fatalf("start=%v end=%v accepted", tc.start, tc.end)
+		}
+		pe, ok := err.(*planError)
+		if !ok || pe.code != msg.EINVAL {
+			t.Fatalf("start=%v end=%v: got %T %v, want EINVAL planError", tc.start, tc.end, err, err)
+		}
+	}
+}

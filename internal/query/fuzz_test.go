@@ -16,6 +16,8 @@ func FuzzParseQuery(f *testing.F) {
 		"topk(3, sum by (job) (avg_over_time(node_power_watts[1d])))",
 		`count(min_over_time(power_watts{component="cpu", rank="3"}[2m]))`,
 		`sum(sum_over_time(mem_power_watts[1.5h]))`,
+		"sum(avg_over_time(node_power_watts[2w]))",
+		"max(max_over_time(gpu_power_watts[0.0000001s]))",
 		"avg_over_time(node_power_watts[60s])",
 		"sum(avg_over_time(node_power_watts[60s]",
 		`sum(avg_over_time(node_power_watts{job="1[60s]))`,

@@ -50,6 +50,17 @@ func TestParseCanonical(t *testing.T) {
 			`sum(sum_over_time(mem_power_watts[1.5h]))`,
 			`sum(sum_over_time(mem_power_watts[5400s]))`,
 		},
+		{
+			// >= 1e6 seconds: must render in plain decimal, not the
+			// exponent form FormatFloat 'g' would emit, or the canonical
+			// string no longer parses on the ranks.
+			"sum(avg_over_time(node_power_watts[2w]))",
+			`sum(avg_over_time(node_power_watts[1209600s]))`,
+		},
+		{
+			"sum(avg_over_time(node_power_watts[0.5s]))",
+			`sum(avg_over_time(node_power_watts[0.5s]))`,
+		},
 	}
 	for _, tc := range cases {
 		e, err := Parse(tc.in)
@@ -66,6 +77,36 @@ func TestParseCanonical(t *testing.T) {
 		}
 		if got := e2.String(); got != tc.want {
 			t.Fatalf("canonical not a fixed point: %q -> %q", tc.want, got)
+		}
+	}
+}
+
+// TestRangeRoundTrip: for any parseable range — sub-second fractions
+// through multi-week windows — the canonical rendering must re-parse to
+// the identical expression. This is the property the 'g'→'f' FormatFloat
+// regression broke for ranges >= 1e6 s (exponent notation).
+func TestRangeRoundTrip(t *testing.T) {
+	ranges := []string{
+		"0.001s", "0.25s", "1s", "2.5s", "90m", "1.5h", "36h",
+		"7d", "13d", "2w", "4w", "52w",
+		"1209600s", "31536000", "0.0000001s", "86400.5s",
+	}
+	for _, r := range ranges {
+		in := "sum(avg_over_time(node_power_watts[" + r + "]))"
+		e, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		canon := e.String()
+		e2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not re-parse: %v", canon, in, err)
+		}
+		if e2.RangeSec != e.RangeSec {
+			t.Fatalf("%q: range %v re-parsed as %v via %q", in, e.RangeSec, e2.RangeSec, canon)
+		}
+		if got := e2.String(); got != canon {
+			t.Fatalf("%q: canonical not a fixed point: %q -> %q", in, canon, got)
 		}
 	}
 }

@@ -160,8 +160,11 @@ func (e *Expr) String() string {
 			}
 			b.WriteByte('}')
 		}
+		// 'f', never 'g': the grammar has no exponent notation, so a
+		// range >= 1e6 seconds (a [2w] query) rendered as 1.2096e+06
+		// would make the canonical form unparseable on every rank.
 		b.WriteByte('[')
-		b.WriteString(strconv.FormatFloat(e.RangeSec, 'g', -1, 64))
+		b.WriteString(strconv.FormatFloat(e.RangeSec, 'f', -1, 64))
 		b.WriteString("s])")
 	}
 	switch {
