@@ -13,6 +13,15 @@
 //	curl -N localhost:8080/v1/jobs/1/stream
 //	curl 'localhost:8080/v1/query?expr=avg%20by%20(job)%20(avg_over_time(node_power_watts%5B5m%5D))'
 //
+// -replicas N runs a shared-nothing gateway tier: N powerapi.Gateway
+// instances sharing one fanout hub (one root-broker attachment, one set
+// of per-job broadcast rings), with requests spread round-robin the way
+// an L4 load balancer would. -tenant enables bearer-token authn with
+// per-tenant quotas:
+//
+//	flux-power-api -replicas 3 -tenant 'acme:s3cret:100:50'
+//	curl -H 'Authorization: Bearer s3cret' localhost:8080/v1/jobs
+//
 // SIGINT/SIGTERM shut down gracefully: the HTTP server stops accepting,
 // in-flight requests and SSE streams drain, then the process exits.
 package main
@@ -29,11 +38,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"fluxpower/internal/cluster"
 	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/fanout"
 	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/flux/job"
 	"fluxpower/internal/powerapi"
@@ -43,15 +56,23 @@ import (
 // demoApps is the workload mix the driver cycles through.
 var demoApps = []string{"gemm", "lammps", "quicksilver", "laghos", "nqueens"}
 
-// demo bundles the simulated instance and its gateway.
+// demo bundles the simulated instance, the shared broadcast hub, and
+// the gateway replica tier. Its ServeHTTP spreads requests round-robin
+// across replicas, standing in for an L4 load balancer.
 type demo struct {
-	c  *cluster.Cluster
-	gw *powerapi.Gateway
+	c    *cluster.Cluster
+	hub  *fanout.Hub
+	gws  []*powerapi.Gateway
+	next atomic.Uint64
 }
 
-// newDemo assembles the monitored cluster and attaches a gateway to its
-// root broker.
-func newDemo(system cluster.System, nodes int, seed int64, apiCfg powerapi.Config) (*demo, error) {
+func (d *demo) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d.gws[int(d.next.Add(1))%len(d.gws)].ServeHTTP(w, r)
+}
+
+// newDemo assembles the monitored cluster, one fanout hub on its root
+// broker, and replicas gateway instances sharing that hub.
+func newDemo(system cluster.System, nodes, replicas int, seed int64, apiCfg powerapi.Config) (*demo, error) {
 	c, err := cluster.New(cluster.Config{System: system, Nodes: nodes, Seed: seed})
 	if err != nil {
 		return nil, err
@@ -76,13 +97,23 @@ func newDemo(system cluster.System, nodes int, seed int64, apiCfg powerapi.Confi
 		c.Close()
 		return nil, err
 	}
-	apiCfg.Broker = c.Inst.Root()
-	gw, err := powerapi.New(apiCfg)
+	hub, err := fanout.New(fanout.Config{Broker: c.Inst.Root()})
 	if err != nil {
 		c.Close()
 		return nil, err
 	}
-	return &demo{c: c, gw: gw}, nil
+	d := &demo{c: c, hub: hub}
+	for i := 0; i < replicas; i++ {
+		cfg := apiCfg
+		cfg.Hub = hub
+		gw, err := powerapi.New(cfg)
+		if err != nil {
+			d.close()
+			return nil, err
+		}
+		d.gws = append(d.gws, gw)
+	}
+	return d, nil
 }
 
 // advance moves simulated time forward by d and keeps the workload
@@ -90,7 +121,7 @@ func newDemo(system cluster.System, nodes int, seed int64, apiCfg powerapi.Confi
 // cluster access goes through gw.Sync so the single-threaded sim
 // scheduler never races concurrent HTTP handlers.
 func (d *demo) advance(dur time.Duration, rng *rand.Rand, nodes int, logf func(string, ...any)) {
-	d.gw.Sync(func() {
+	d.hub.Sync(func() {
 		d.c.RunFor(dur)
 		if len(d.c.RunningJobs()) > 0 {
 			return
@@ -107,7 +138,10 @@ func (d *demo) advance(dur time.Duration, rng *rand.Rand, nodes int, logf func(s
 }
 
 func (d *demo) close() {
-	d.gw.Close()
+	for _, gw := range d.gws {
+		gw.Close()
+	}
+	d.hub.Close()
 	d.c.Close()
 }
 
@@ -123,8 +157,37 @@ func run(ctx context.Context, args []string, started chan<- string, logw io.Writ
 	seed := fs.Int64("seed", 1, "simulation seed")
 	speed := fs.Float64("speed", 1, "simulated seconds per wall second")
 	rate := fs.Float64("rate", 0, "per-client rate limit in requests/sec (0 = off)")
+	replicas := fs.Int("replicas", 1, "gateway replicas sharing one fanout hub")
+	trustProxy := fs.Bool("trust-proxy", false, "trust X-Forwarded-For for client identity (only behind a trusted proxy)")
+	var tenants []powerapi.Tenant
+	fs.Func("tenant", "tenant as name:token[:maxStreams[:reqPerSec]] (repeatable; enables bearer auth; limits enforced per replica)", func(v string) error {
+		parts := strings.Split(v, ":")
+		if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+			return fmt.Errorf("tenant %q: want name:token[:maxStreams[:reqPerSec]]", v)
+		}
+		t := powerapi.Tenant{Name: parts[0], Token: parts[1]}
+		if len(parts) > 2 {
+			n, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return fmt.Errorf("tenant %q: maxStreams: %w", v, err)
+			}
+			t.MaxStreams = n
+		}
+		if len(parts) > 3 {
+			r, err := strconv.ParseFloat(parts[3], 64)
+			if err != nil {
+				return fmt.Errorf("tenant %q: reqPerSec: %w", v, err)
+			}
+			t.RateLimit = r
+		}
+		tenants = append(tenants, t)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas %d: need at least one gateway", *replicas)
 	}
 	logger := log.New(logw, "flux-power-api: ", log.LstdFlags)
 
@@ -137,7 +200,11 @@ func run(ctx context.Context, args []string, started chan<- string, logw io.Writ
 	default:
 		return fmt.Errorf("unknown system %q (want lassen or tioga)", *system)
 	}
-	d, err := newDemo(sys, *nodes, *seed, powerapi.Config{RateLimit: *rate})
+	d, err := newDemo(sys, *nodes, *replicas, *seed, powerapi.Config{
+		RateLimit:  *rate,
+		TrustProxy: *trustProxy,
+		Tenants:    tenants,
+	})
 	if err != nil {
 		return err
 	}
@@ -147,7 +214,8 @@ func run(ctx context.Context, args []string, started chan<- string, logw io.Writ
 	if err != nil {
 		return err
 	}
-	logger.Printf("serving %s %d-node instance on http://%s", *system, *nodes, ln.Addr())
+	logger.Printf("serving %s %d-node instance on http://%s (%d gateway replica(s))",
+		*system, *nodes, ln.Addr(), *replicas)
 	if started != nil {
 		started <- ln.Addr().String()
 	}
@@ -172,7 +240,7 @@ func run(ctx context.Context, args []string, started chan<- string, logw io.Writ
 		}
 	}()
 
-	srv := &http.Server{Handler: d.gw}
+	srv := &http.Server{Handler: d}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -188,7 +256,9 @@ func run(ctx context.Context, args []string, started chan<- string, logw io.Writ
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return err
 	}
-	d.gw.Close()
+	for _, gw := range d.gws {
+		gw.Close()
+	}
 	logger.Printf("drained cleanly")
 	return nil
 }

@@ -78,3 +78,56 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal("server did not drain on cancellation")
 	}
 }
+
+// TestServeReplicatedWithTenants boots a 3-replica tier with bearer
+// auth and checks the round-robin front door enforces it uniformly.
+func TestServeReplicatedWithTenants(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-listen", "127.0.0.1:0", "-nodes", "4", "-speed", "50",
+			"-replicas", "3", "-tenant", "acme:s3cret:8:0"}, started, io.Discard)
+	}()
+	var addr string
+	select {
+	case addr = <-started:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never started")
+	}
+
+	// Every replica in the rotation must reject anonymous requests and
+	// accept the tenant's token.
+	for i := 0; i < 6; i++ {
+		resp, err := http.Get("http://" + addr + "/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("anonymous request %d: status %d, want 401", i, resp.StatusCode)
+		}
+		req, _ := http.NewRequest(http.MethodGet, "http://"+addr+"/v1/jobs", nil)
+		req.Header.Set("Authorization", "Bearer s3cret")
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("authed request %d: status %d, want 200", i, resp.StatusCode)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain on cancellation")
+	}
+}

@@ -186,6 +186,13 @@ var registry = map[string]runner{
 		}
 		return r.Render(), nil
 	},
+	"fanout": func(o experiments.Options) (string, error) {
+		r, err := experiments.Fanout(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
 }
 
 // csvRegistry covers the experiments with a CSV rendering (-format csv).
@@ -274,6 +281,13 @@ var csvRegistry = map[string]runner{
 		}
 		return r.RenderCSV(), nil
 	},
+	"fanout": func(o experiments.Options) (string, error) {
+		r, err := experiments.Fanout(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderCSV(), nil
+	},
 }
 
 // jsonRegistry covers the experiments with a JSON rendering (-format
@@ -289,6 +303,13 @@ var jsonRegistry = map[string]runner{
 	},
 	"query": func(o experiments.Options) (string, error) {
 		r, err := experiments.Query(o)
+		if err != nil {
+			return "", err
+		}
+		return r.RenderJSON()
+	},
+	"fanout": func(o experiments.Options) (string, error) {
+		r, err := experiments.Fanout(o)
 		if err != nil {
 			return "", err
 		}

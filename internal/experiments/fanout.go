@@ -1,0 +1,465 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/fanout"
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/job"
+	"fluxpower/internal/powerapi"
+	"fluxpower/internal/stats"
+)
+
+// Gates for the fanout benchmark, enforced by Fanout() and the CI quick
+// run. Delivery latency is wall-clock from a frame entering its ring to
+// a subscriber's Write seeing it; on one core the p99 is essentially
+// "how long a full fan-out of one sample burst to every client takes".
+// Allocations per delivered event must stay O(1) and small — the whole
+// design renders each frame once and shares the bytes.
+const (
+	fanoutMaxP99Ms         = 2_000.0
+	fanoutMaxAllocsPerEvt  = 2.0
+	fanoutMeasuredBursts   = 3
+	fanoutSampleIntervalMs = 2000
+)
+
+// FanoutRow is one client-count point of the broadcast-plane benchmark.
+type FanoutRow struct {
+	Clients  int `json:"clients"`
+	Replicas int `json:"replicas"`
+	// UpstreamSubs is the hub's live bus subscriptions during the
+	// measured window — the tentpole invariant says exactly 1 (one job),
+	// regardless of Clients.
+	UpstreamSubs int `json:"upstream_subs"`
+	// Frames appended to the ring and frames delivered to subscribers
+	// during the measured window.
+	Frames     uint64 `json:"frames"`
+	Deliveries uint64 `json:"deliveries"`
+	// Delivery latency percentiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// AllocsPerEvent is heap allocations per delivered frame over the
+	// measured window (sim advance included).
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	Evictions      uint64  `json:"evictions"`
+}
+
+// FanoutResult is the broadcast-plane benchmark's output.
+type FanoutResult struct {
+	Nodes int         `json:"nodes"`
+	Rows  []FanoutRow `json:"rows"`
+	// ResumeByteIdentical reports the snapshot-then-delta protocol
+	// check: an interrupted-and-resumed stream's concatenation is
+	// byte-identical to a never-disconnected reference client.
+	ResumeByteIdentical bool `json:"resume_byte_identical"`
+}
+
+// fanoutSink is the experiment's SSE client: an http.ResponseWriter
+// that discards frame bytes after parsing the leading "id:" line and
+// recording delivery latency against the ring's publish timestamp.
+// Everything on the Write path is allocation-free.
+type fanoutSink struct {
+	hub       *fanout.Hub
+	jobID     uint64
+	shard     *latShard
+	recording *atomic.Bool
+}
+
+// latShard is a mutex-guarded histogram; sinks are spread across shards
+// so 100k concurrent Writes do not serialize on one lock.
+type latShard struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+func (s *fanoutSink) Header() http.Header  { return http.Header{} }
+func (s *fanoutSink) WriteHeader(code int) {}
+func (s *fanoutSink) Flush()               {}
+
+func (s *fanoutSink) Write(p []byte) (int, error) {
+	if !s.recording.Load() {
+		return len(p), nil
+	}
+	// Frames look like "id: <seq>\nevent: ...". Parse the sequence
+	// without allocating.
+	if len(p) < 5 || p[0] != 'i' || p[1] != 'd' || p[2] != ':' || p[3] != ' ' {
+		return len(p), nil
+	}
+	var seq uint64
+	for i := 4; i < len(p) && p[i] != '\n'; i++ {
+		if p[i] < '0' || p[i] > '9' {
+			return len(p), nil
+		}
+		seq = seq*10 + uint64(p[i]-'0')
+	}
+	if at, ok := s.hub.FrameTime(s.jobID, seq); ok {
+		ms := float64(time.Since(at)) / float64(time.Millisecond)
+		s.shard.mu.Lock()
+		s.shard.h.Observe(ms)
+		s.shard.mu.Unlock()
+	}
+	return len(p), nil
+}
+
+// Fanout measures the broadcast plane at scale: an 8-node Lassen
+// instance publishes live samples for one running job, two gateway
+// replicas share a fanout hub, and K concurrent SSE clients stream the
+// job through the full HTTP handler path. Each row verifies the
+// tentpole invariant — exactly ONE upstream bus subscription however
+// many clients — and gates p99 delivery latency and allocations per
+// delivered event. A follow-up check replays the snapshot-then-delta
+// protocol and requires the resumed stream to be byte-identical to an
+// uninterrupted reference.
+func Fanout(o Options) (*FanoutResult, error) {
+	o = o.withDefaults()
+	const nodes = 8
+	clientCounts := []int{1_000, 10_000, 100_000}
+	if o.Quick {
+		clientCounts = []int{1_000, 10_000}
+	}
+
+	res := &FanoutResult{Nodes: nodes}
+	for _, clients := range clientCounts {
+		row, err := fanoutOne(o, nodes, clients)
+		if err != nil {
+			return nil, fmt.Errorf("fanout: %d clients: %w", clients, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	ok, err := fanoutResumeByteIdentical(o)
+	if err != nil {
+		return nil, fmt.Errorf("fanout: resume check: %w", err)
+	}
+	res.ResumeByteIdentical = ok
+
+	// Gate: render the offending table into the error so a CI failure is
+	// self-explanatory.
+	for _, row := range res.Rows {
+		switch {
+		case row.UpstreamSubs != 1:
+			return nil, fmt.Errorf("fanout gate: %d clients held %d upstream subscriptions, want exactly 1\n%s",
+				row.Clients, row.UpstreamSubs, res.Render())
+		case row.P99Ms > fanoutMaxP99Ms:
+			return nil, fmt.Errorf("fanout gate: %d clients p99 %.1fms > %.1fms\n%s",
+				row.Clients, row.P99Ms, fanoutMaxP99Ms, res.Render())
+		case row.AllocsPerEvent > fanoutMaxAllocsPerEvt:
+			return nil, fmt.Errorf("fanout gate: %d clients %.2f allocs/event > %.2f\n%s",
+				row.Clients, row.AllocsPerEvent, fanoutMaxAllocsPerEvt, res.Render())
+		}
+	}
+	if !res.ResumeByteIdentical {
+		return nil, fmt.Errorf("fanout gate: resumed stream not byte-identical to reference\n%s", res.Render())
+	}
+	return res, nil
+}
+
+func fanoutOne(o Options, nodes, clients int) (FanoutRow, error) {
+	const replicas = 2
+	row := FanoutRow{Clients: clients, Replicas: replicas}
+
+	c, err := cluster.New(cluster.Config{System: cluster.Lassen, Nodes: nodes, Seed: o.Seed})
+	if err != nil {
+		return row, err
+	}
+	defer c.Close()
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		return powermon.New(powermon.Config{PublishSamples: true})
+	}); err != nil {
+		return row, err
+	}
+	hub, err := fanout.New(fanout.Config{Broker: c.Inst.Root(), RingFrames: 512})
+	if err != nil {
+		return row, err
+	}
+	defer hub.Close()
+	var gws []*powerapi.Gateway
+	for i := 0; i < replicas; i++ {
+		gw, err := powerapi.New(powerapi.Config{Hub: hub})
+		if err != nil {
+			return row, err
+		}
+		defer gw.Close()
+		gws = append(gws, gw)
+	}
+
+	// One long job owns the whole machine; RepFactor stretches it far
+	// past the measured window.
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: nodes, RepFactor: 100})
+	if err != nil {
+		return row, err
+	}
+	hub.Sync(func() { c.RunFor(5 * time.Second) })
+
+	// Spread clients across replicas through the full handler path.
+	var recording atomic.Bool
+	shards := make([]*latShard, 64)
+	for i := range shards {
+		shards[i] = &latShard{h: stats.NewHistogram(0.01, 600_000, 64)}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	path := fmt.Sprintf("/v1/jobs/%d/stream", id)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sink := &fanoutSink{hub: hub, jobID: id, shard: shards[i%len(shards)], recording: &recording}
+			req := httptest.NewRequest(http.MethodGet, path, nil).WithContext(ctx)
+			gws[i%replicas].ServeHTTP(sink, req)
+		}(i)
+	}
+	waitFor := func(what string, timeout time.Duration, cond func(fanout.Metrics) bool) error {
+		deadline := time.Now().Add(timeout)
+		for {
+			if m := hub.Metrics(); cond(m) {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("timeout waiting for %s: %+v", what, hub.Metrics())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	// Attach barrier: every client subscribed, every catch-up snapshot
+	// delivered. The sim cannot advance while we wait, so the ring is
+	// frozen and the barrier is exact.
+	if err := waitFor("attach", 10*time.Minute, func(m fanout.Metrics) bool {
+		return m.Subscribers == clients
+	}); err != nil {
+		return row, err
+	}
+	base := hub.Metrics()
+	if err := waitFor("snapshot catch-up", 10*time.Minute, func(m fanout.Metrics) bool {
+		return m.SnapshotsServed >= uint64(clients)
+	}); err != nil {
+		return row, err
+	}
+
+	// Measured window: advance the sim one sampling interval at a time
+	// and barrier on full delivery — every client has seen every frame —
+	// so MemStats brackets a quiescent region.
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	recording.Store(true)
+	start := hub.Metrics()
+	for burst := 0; burst < fanoutMeasuredBursts; burst++ {
+		hub.Sync(func() { c.RunFor(fanoutSampleIntervalMs * time.Millisecond) })
+		if err := waitFor("burst delivery", 10*time.Minute, func(m fanout.Metrics) bool {
+			appended := m.FramesAppended - start.FramesAppended
+			delivered := m.FramesDelivered - start.FramesDelivered
+			return delivered >= uint64(clients)*appended
+		}); err != nil {
+			return row, err
+		}
+	}
+	recording.Store(false)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	end := hub.Metrics()
+
+	row.UpstreamSubs = end.SampleSubs
+	row.Frames = end.FramesAppended - start.FramesAppended
+	row.Deliveries = end.FramesDelivered - start.FramesDelivered
+	row.Evictions = end.Evictions - base.Evictions
+	if row.Deliveries > 0 {
+		row.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(row.Deliveries)
+	}
+	merged := stats.NewHistogram(0.01, 600_000, 64)
+	for _, s := range shards {
+		s.mu.Lock()
+		err := merged.MergeHistogram(s.h)
+		s.mu.Unlock()
+		if err != nil {
+			return row, err
+		}
+	}
+	row.P50Ms = merged.Quantile(0.50)
+	row.P99Ms = merged.Quantile(0.99)
+
+	// Teardown: disconnect every client and wait for the handlers.
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Minute):
+		return row, errors.New("clients did not disconnect")
+	}
+	return row, nil
+}
+
+// fanoutResumeByteIdentical replays the snapshot-then-delta protocol on
+// a small instance: a reference subscriber streams a job uninterrupted;
+// a second subscriber disconnects mid-stream and reconnects presenting
+// its last sequence. The interrupted client's two sessions concatenated
+// must equal the reference byte-for-byte.
+func fanoutResumeByteIdentical(o Options) (bool, error) {
+	c, err := cluster.New(cluster.Config{System: cluster.Lassen, Nodes: 2, Seed: o.Seed})
+	if err != nil {
+		return false, err
+	}
+	defer c.Close()
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		return powermon.New(powermon.Config{PublishSamples: true})
+	}); err != nil {
+		return false, err
+	}
+	hub, err := fanout.New(fanout.Config{Broker: c.Inst.Root(), RingFrames: 1 << 16})
+	if err != nil {
+		return false, err
+	}
+	defer hub.Close()
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: 2})
+	if err != nil {
+		return false, err
+	}
+	hub.Sync(func() { c.RunFor(5 * time.Second) })
+
+	ref, err := hub.Attach(context.Background(), id, fanout.AttachOptions{})
+	if err != nil {
+		return false, err
+	}
+	defer ref.Close()
+	intr, err := hub.Attach(context.Background(), id, fanout.AttachOptions{})
+	if err != nil {
+		return false, err
+	}
+
+	// drain pulls everything currently buffered for a subscriber.
+	drain := func(sub *fanout.Subscriber, dst *bytes.Buffer, lastSeq *uint64) (terminal bool, err error) {
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			frames, err := sub.Next(ctx, nil)
+			cancel()
+			if errors.Is(err, io.EOF) {
+				return true, nil
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				return false, nil
+			}
+			if err != nil {
+				return false, err
+			}
+			for _, f := range frames {
+				dst.Write(f.Data)
+				if f.Seq > 0 {
+					*lastSeq = f.Seq
+				}
+			}
+		}
+	}
+
+	var refBody, part1, part2 bytes.Buffer
+	var refSeq, intrSeq uint64
+	hub.Sync(func() { c.RunFor(10 * time.Second) })
+	if _, err := drain(ref, &refBody, &refSeq); err != nil {
+		return false, err
+	}
+	if _, err := drain(intr, &part1, &intrSeq); err != nil {
+		return false, err
+	}
+	// Interrupt, produce more frames while disconnected, reconnect with
+	// the last sequence (the SSE layer's Last-Event-ID).
+	intr.Close()
+	hub.Sync(func() { c.RunFor(10 * time.Second) })
+	resumed, err := hub.Attach(context.Background(), id,
+		fanout.AttachOptions{ResumeSeq: intrSeq, HasResume: true})
+	if err != nil {
+		return false, err
+	}
+	defer resumed.Close()
+
+	// Run the job to completion; both streams must end with done.
+	for {
+		var idle bool
+		hub.Sync(func() { _, idle = c.RunUntilIdle(time.Hour) })
+		refDone, err := drain(ref, &refBody, &refSeq)
+		if err != nil {
+			return false, err
+		}
+		resDone, err := drain(resumed, &part2, &intrSeq)
+		if err != nil {
+			return false, err
+		}
+		if refDone && resDone {
+			break
+		}
+		if idle && (!refDone || !resDone) {
+			return false, errors.New("cluster idle but streams not terminated")
+		}
+	}
+
+	got := append(append([]byte{}, part1.Bytes()...), part2.Bytes()...)
+	if len(part1.Bytes()) == 0 || len(part1.Bytes()) >= len(refBody.Bytes()) {
+		return false, fmt.Errorf("degenerate interruption: part1 %dB of %dB reference",
+			part1.Len(), refBody.Len())
+	}
+	return bytes.Equal(got, refBody.Bytes()), nil
+}
+
+func (r *FanoutResult) tabular() ([]string, [][]string) {
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Clients),
+			fmt.Sprintf("%d", row.Replicas),
+			fmt.Sprintf("%d", row.UpstreamSubs),
+			fmt.Sprintf("%d", row.Frames),
+			fmt.Sprintf("%d", row.Deliveries),
+			fmt.Sprintf("%.2f", row.P50Ms),
+			fmt.Sprintf("%.2f", row.P99Ms),
+			fmt.Sprintf("%.2f", row.AllocsPerEvent),
+			fmt.Sprintf("%d", row.Evictions),
+		})
+	}
+	return []string{"clients", "replicas", "upstream_subs", "frames", "deliveries",
+		"p50_ms", "p99_ms", "allocs_per_event", "evictions"}, rows
+}
+
+// Render prints the broadcast-plane table.
+func (r *FanoutResult) Render() string {
+	header, rows := r.tabular()
+	return fmt.Sprintf("Fanout: SSE broadcast plane, %d-node Lassen, one job, replicated gateway tier\n", r.Nodes) +
+		table(header, rows) +
+		fmt.Sprintf("upstream_subs is the hub's bus subscriptions during the run — exactly one per job\n"+
+			"no matter how many clients. Delivery p99 gate %.0fms; allocs/event gate %.1f;\n"+
+			"snapshot-then-delta resume byte-identical: %v.\n",
+			fanoutMaxP99Ms, fanoutMaxAllocsPerEvt, r.ResumeByteIdentical)
+}
+
+// RenderCSV emits the table as CSV.
+func (r *FanoutResult) RenderCSV() string {
+	header, rows := r.tabular()
+	return csvTable(header, rows)
+}
+
+// RenderJSON emits the benchmark in the BENCH_fanout.json shape CI
+// publishes as an artifact.
+func (r *FanoutResult) RenderJSON() (string, error) {
+	out, err := json.MarshalIndent(struct {
+		Experiment    string  `json:"experiment"`
+		GateP99Ms     float64 `json:"gate_p99_ms"`
+		GateAllocsEvt float64 `json:"gate_allocs_per_event"`
+		*FanoutResult
+	}{Experiment: "fanout", GateP99Ms: fanoutMaxP99Ms, GateAllocsEvt: fanoutMaxAllocsPerEvt, FanoutResult: r}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

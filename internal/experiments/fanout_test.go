@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFanoutQuick runs the broadcast-plane benchmark at quick scale and
+// gates the acceptance criteria: exactly one upstream bus subscription
+// per job regardless of client count, p99 delivery latency and
+// allocations per delivered event under their bounds, and the
+// snapshot-then-delta resume byte-identical to an uninterrupted
+// reference stream. Fanout itself errors on any gate breach, so CI only
+// needs this call to fail the build. The full run adds the 100k-client
+// row and is published as BENCH_fanout.json.
+func TestFanoutQuick(t *testing.T) {
+	res, err := Fanout(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("quick rows = %d, want 2: %+v", len(res.Rows), res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row.UpstreamSubs != 1 {
+			t.Fatalf("%d clients held %d upstream subscriptions, want 1", row.Clients, row.UpstreamSubs)
+		}
+		if row.Frames == 0 || row.Deliveries == 0 {
+			t.Fatalf("empty measured window: %+v", row)
+		}
+		if want := uint64(row.Clients) * row.Frames; row.Deliveries < want {
+			t.Fatalf("%d clients: %d deliveries < clients*frames %d", row.Clients, row.Deliveries, want)
+		}
+		if row.Evictions != 0 {
+			t.Fatalf("%d clients: %d evictions during healthy fan-out", row.Clients, row.Evictions)
+		}
+	}
+	if !res.ResumeByteIdentical {
+		t.Fatal("resumed stream not byte-identical to reference")
+	}
+	if !strings.Contains(res.Render(), "upstream_subs") {
+		t.Fatal("render missing upstream_subs column")
+	}
+	js, err := res.RenderJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"experiment": "fanout"`, `"resume_byte_identical": true`, `"upstream_subs": 1`} {
+		if !strings.Contains(js, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, js)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package fanout is the broadcast plane between the event bus and the
+// gateway tier's subscribers: the layer that makes "a million dashboards
+// watching one cluster" cost the TBON no more than one.
+//
+// The trap it removes is per-consumer filtering. Before it, every SSE
+// connection held its own subscription on the full power-monitor.sample
+// bus and filtered per connection, so delivery cost was
+// O(clients x events) at the broker and every sample was re-marshalled
+// once per client. The hub inverts that: ONE upstream bus subscription
+// per job feeds a per-job broadcast ring — a shared buffer of SSE frames
+// rendered exactly once, each stamped with a monotonically increasing
+// sequence number — and any number of subscribers drain the ring at
+// their own pace. Broker-side cost is O(jobs x events); per-subscriber
+// cost is a byte copy.
+//
+// Catch-up is snapshot-then-delta: a late joiner first receives a
+// `snapshot` frame (the latest known sample per rank, stamped with the
+// ring's current sequence) and then deltas from that position; a
+// reconnect presenting a Last-Event-ID still inside the ring's window
+// skips the snapshot and receives only the missing frames, byte-identical
+// to the stream an uninterrupted client saw. Backpressure never blocks
+// the producer: the ring overwrites its oldest frame when full, and a
+// subscriber that has fallen a full ring behind is evicted with a
+// terminal `too_slow` frame instead of stalling its siblings.
+//
+// The hub is also the shared root attachment for a multi-replica gateway
+// tier: shared-nothing powerapi.Gateway replicas register with one hub,
+// serialize their upstream work on its mutex, and receive the job
+// lifecycle events that drive cache invalidation through a single set of
+// bus subscriptions instead of one set per replica.
+package fanout
+
+import (
+	"errors"
+	"strconv"
+	"time"
+)
+
+// Frame kinds, doubling as the SSE `event:` field of the rendered frame.
+const (
+	// KindSnapshot carries the catch-up state a fresh joiner needs: the
+	// latest known sample per rank and the ring sequence the deltas that
+	// follow resume from.
+	KindSnapshot = "snapshot"
+	// KindSample is one node's sensor read, the ring's steady-state diet.
+	KindSample = "sample"
+	// KindDone terminates the stream when the job finishes. It lives in
+	// the ring like any frame, so a resumed client replays it identically.
+	KindDone = "done"
+	// KindTooSlow is the terminal frame a subscriber receives when it has
+	// fallen a full ring behind and its next frame has been overwritten.
+	// It is rendered per eviction, never stored in the ring, and carries
+	// no id line: the sequence gap is the point.
+	KindTooSlow = "too_slow"
+)
+
+// ErrClosed reports that the hub has been shut down.
+var ErrClosed = errors.New("fanout: hub closed")
+
+// ErrStopped reports that the subscriber's stop channel fired — the
+// owning gateway is draining and the stream should say goodbye.
+var ErrStopped = errors.New("fanout: subscriber stopped")
+
+// Frame is one broadcast unit: the rendered SSE wire bytes plus the
+// metadata subscribers steer by. Data is immutable once published and
+// shared by every subscriber — deliver it with a single Write, never
+// mutate it.
+type Frame struct {
+	// Seq is the ring sequence (1-based, dense, strictly increasing).
+	// Zero for terminal frames that live outside the ring (too_slow).
+	Seq  uint64
+	Kind string
+	// Data is the complete SSE frame: "id: <seq>\nevent: <kind>\ndata:
+	// <json>\n\n" (the id line is absent for too_slow frames).
+	Data []byte
+	// At is the wall-clock instant the frame entered the ring — the
+	// reference point for delivery-latency measurement.
+	At time.Time
+}
+
+// renderFrame builds the SSE wire bytes for one ring frame. Rendering
+// happens exactly once per event, here; every subscriber shares the
+// result.
+func renderFrame(seq uint64, kind string, data []byte) []byte {
+	b := make([]byte, 0, len(kind)+len(data)+40)
+	b = append(b, "id: "...)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, "\nevent: "...)
+	b = append(b, kind...)
+	b = append(b, "\ndata: "...)
+	b = append(b, data...)
+	b = append(b, "\n\n"...)
+	return b
+}
+
+// tooSlowFrame renders the terminal eviction frame: the subscriber
+// wanted next but the ring's oldest surviving frame is oldest, so
+// everything in between is gone.
+func tooSlowFrame(next, oldest uint64) []byte {
+	b := make([]byte, 0, 96)
+	b = append(b, "event: "+KindTooSlow+"\ndata: {\"error\":\"subscriber fell a full ring behind\",\"next\":"...)
+	b = strconv.AppendUint(b, next, 10)
+	b = append(b, ",\"oldest\":"...)
+	b = strconv.AppendUint(b, oldest, 10)
+	b = append(b, "}\n\n"...)
+	return b
+}

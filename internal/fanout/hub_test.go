@@ -1,0 +1,263 @@
+package fanout_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/fanout"
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/job"
+	"fluxpower/internal/flux/msg"
+)
+
+func testCluster(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{System: cluster.Lassen, Nodes: nodes, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		return powermon.New(powermon.Config{PublishSamples: true})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newHub(t *testing.T, c *cluster.Cluster) *fanout.Hub {
+	t.Helper()
+	h, err := fanout.New(fanout.Config{Broker: c.Inst.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+// drainAll reads a subscriber to its terminal frame, returning the
+// concatenated wire bytes.
+func drainAll(t *testing.T, sub *fanout.Subscriber, h *fanout.Hub, c *cluster.Cluster) string {
+	t.Helper()
+	var out strings.Builder
+	idle := false
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		frames, err := sub.Next(ctx, nil)
+		cancel()
+		if errors.Is(err, io.EOF) {
+			return out.String()
+		}
+		if err != nil {
+			if idle {
+				t.Fatal("cluster idle but stream never terminated")
+			}
+			// Nothing buffered: advance the simulation to produce more.
+			h.Sync(func() { _, idle = c.RunUntilIdle(2 * time.Hour) })
+			continue
+		}
+		for _, f := range frames {
+			out.Write(f.Data)
+		}
+	}
+}
+
+// TestOneUpstreamSubscriptionPerJob is the tentpole invariant: however
+// many subscribers watch one job, the hub holds exactly one bus
+// subscription and issues exactly one resolve RPC.
+func TestOneUpstreamSubscriptionPerJob(t *testing.T) {
+	c := testCluster(t, 4)
+	h := newHub(t, c)
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Sync(func() { c.RunFor(5 * time.Second) })
+
+	root := c.Inst.Root()
+	before := root.Stats().RPCsIssued
+
+	const subscribers = 64
+	subs := make([]*fanout.Subscriber, subscribers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := h.Attach(context.Background(), id, fanout.AttachOptions{})
+			mu.Lock()
+			subs[i] = s
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if got := root.Stats().RPCsIssued - before; got != 1 {
+		t.Fatalf("%d concurrent attaches issued %d resolve RPCs, want 1", subscribers, got)
+	}
+	m := h.Metrics()
+	if m.SampleSubs != 1 || m.Rings != 1 || m.Subscribers != subscribers {
+		t.Fatalf("metrics: %+v", m)
+	}
+	for _, s := range subs {
+		s.Close()
+	}
+}
+
+// TestSamplesFanOutToAllSubscribers checks every subscriber sees every
+// published frame, in order, sharing the ring's rendered bytes.
+func TestSamplesFanOutToAllSubscribers(t *testing.T) {
+	c := testCluster(t, 2)
+	h := newHub(t, c)
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Sync(func() { c.RunFor(5 * time.Second) })
+
+	a, err := h.Attach(context.Background(), id, fanout.AttachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := h.Attach(context.Background(), id, fanout.AttachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	bodyA := drainAll(t, a, h, c)
+	bodyB := drainAll(t, b, h, c)
+	if bodyA != bodyB {
+		t.Fatalf("two subscribers saw different streams:\nA %d bytes\nB %d bytes", len(bodyA), len(bodyB))
+	}
+	if !strings.Contains(bodyA, "event: snapshot") || !strings.Contains(bodyA, "event: sample") ||
+		!strings.Contains(bodyA, "event: done") {
+		t.Fatalf("stream missing expected events: %q", bodyA[:min(len(bodyA), 300)])
+	}
+}
+
+// TestFinishGarbageCollectsRing checks that once the job is done and
+// the last subscriber detaches, the ring and its bus subscription are
+// gone.
+func TestFinishGarbageCollectsRing(t *testing.T) {
+	c := testCluster(t, 2)
+	h := newHub(t, c)
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Sync(func() { c.RunFor(5 * time.Second) })
+	sub, err := h.Attach(context.Background(), id, fanout.AttachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = drainAll(t, sub, h, c)
+	sub.Close()
+	if m := h.Metrics(); m.Rings != 0 || m.SampleSubs != 0 || m.Subscribers != 0 {
+		t.Fatalf("ring leaked after finish + detach: %+v", m)
+	}
+}
+
+// TestUnknownJobNoRingLeak checks a failed resolve leaves no residue:
+// the error surfaces as ENOENT and the rings map stays empty.
+func TestUnknownJobNoRingLeak(t *testing.T) {
+	c := testCluster(t, 2)
+	h := newHub(t, c)
+	_, err := h.Attach(context.Background(), 424242, fanout.AttachOptions{})
+	var me *msg.Error
+	if !errors.As(err, &me) || me.Errnum != msg.ENOENT {
+		t.Fatalf("attach to unknown job: %v", err)
+	}
+	if m := h.Metrics(); m.Rings != 0 || m.RingsCreated != 0 {
+		t.Fatalf("failed attach leaked a ring: %+v", m)
+	}
+	// A later attach must retry the resolve, not replay the failure.
+	if _, err := h.Attach(context.Background(), 424242, fanout.AttachOptions{}); err == nil {
+		t.Fatal("second attach unexpectedly succeeded")
+	}
+}
+
+// TestInactiveJobImmediateDone: attaching to a finished job yields a
+// snapshot and the terminal done frame without any bus subscription.
+func TestInactiveJobImmediateDone(t *testing.T) {
+	c := testCluster(t, 2)
+	h := newHub(t, c)
+	id, err := c.Submit(job.Spec{App: "nqueens", Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, idle := c.RunUntilIdle(2 * time.Hour); !idle {
+		t.Fatal("job never finished")
+	}
+	sub, err := h.Attach(context.Background(), id, fanout.AttachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if m := h.Metrics(); m.SampleSubs != 0 {
+		t.Fatalf("inactive job holds a sample subscription: %+v", m)
+	}
+	body := drainAll(t, sub, h, c)
+	if !strings.Contains(body, "event: done") {
+		t.Fatalf("no done frame: %q", body)
+	}
+}
+
+// TestCloseWakesSubscribers: a parked Next returns ErrClosed when the
+// hub shuts down.
+func TestCloseWakesSubscribers(t *testing.T) {
+	c := testCluster(t, 2)
+	h, err := fanout.New(fanout.Config{Broker: c.Inst.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Sync(func() { c.RunFor(5 * time.Second) })
+	sub, err := h.Attach(context.Background(), id, fanout.AttachOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	// Drain whatever is buffered so the next call parks.
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		_, err := sub.Next(ctx, nil)
+		cancel()
+		if err != nil {
+			break
+		}
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sub.Next(context.Background(), nil)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, fanout.ErrClosed) {
+			t.Fatalf("parked Next returned %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake the parked subscriber")
+	}
+}

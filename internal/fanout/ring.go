@@ -1,0 +1,261 @@
+package fanout
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// slot is one occupied ring position.
+type slot struct {
+	seq  uint64
+	kind string
+	data []byte // rendered SSE frame, immutable once written
+	at   time.Time
+}
+
+// ring is one job's broadcast buffer. A single producer (the hub's
+// per-job bus subscription) appends under the write lock; any number of
+// subscribers read under the read lock at their own sequence position.
+// The critical sections are a handful of pointer moves — the "lock
+// light" part — and the producer never waits for a reader: when the
+// ring is full the oldest slot is overwritten and readers that still
+// needed it discover the eviction on their next read.
+type ring struct {
+	jobID uint64
+	now   func() time.Time
+
+	mu    sync.RWMutex
+	buf   []slot
+	head  uint64 // last assigned sequence; 0 = nothing published yet
+	count int    // occupied slots, <= len(buf)
+	// notify is closed and replaced on every append: a reader that found
+	// nothing new parks on the current channel and wakes on the next
+	// publish, with no per-subscriber registration to maintain.
+	notify chan struct{}
+	// last holds the latest sample payload per rank — the snapshot a
+	// fresh joiner catches up from.
+	last map[int32]json.RawMessage
+	// snap caches the rendered snapshot frame for the current head, so a
+	// burst of late joiners (100k clients reconnecting after a gateway
+	// restart) costs one render, not 100k.
+	snap []byte
+	// done marks a finished job: the terminal frame is in the ring and
+	// further appends are ignored.
+	done bool
+	// filter is the job's rank membership, swapped wholesale when a
+	// topology reattach forces a re-resolve.
+	filter map[int32]bool
+
+	// subs is the attached subscriber count — guarded by the hub's
+	// mutex, not the ring's, so attach/detach and ring GC decisions are
+	// atomic with the rings map.
+	subs int
+	// unsub releases the ring's one upstream bus subscription; nil once
+	// released. Guarded by mu.
+	unsub func()
+
+	// refreshing/refreshAgain coalesce reattach-driven membership
+	// re-resolves: one in flight per ring, at most one queued behind it.
+	refreshing   atomic.Bool
+	refreshAgain atomic.Bool
+}
+
+func newRing(jobID uint64, frames int, now func() time.Time) *ring {
+	return &ring{
+		jobID:  jobID,
+		now:    now,
+		buf:    make([]slot, frames),
+		notify: make(chan struct{}),
+		last:   map[int32]json.RawMessage{},
+	}
+}
+
+// hasRank reports whether rank is in the job's current membership. Read
+// on the broker's event-delivery path for every bus sample, so it must
+// stay a map probe under a read lock.
+func (r *ring) hasRank(rank int32) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.filter[rank]
+}
+
+// setFilter replaces the membership set (initial resolve and every
+// reattach-driven re-resolve).
+func (r *ring) setFilter(ranks []int32) {
+	m := make(map[int32]bool, len(ranks))
+	for _, rk := range ranks {
+		m[rk] = true
+	}
+	r.mu.Lock()
+	r.filter = m
+	r.mu.Unlock()
+}
+
+// intersects reports whether any of ranks is in the membership set.
+func (r *ring) intersects(ranks []int32) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, rk := range ranks {
+		if r.filter[rk] {
+			return true
+		}
+	}
+	return false
+}
+
+// append publishes one frame: assign the next sequence, render the wire
+// bytes once, overwrite the oldest slot if full, wake every parked
+// reader. Returns false when the ring is already done (late samples
+// after the job finished are dropped, preserving the terminal frame as
+// the stream's last word). rank is the sample's origin for snapshot
+// bookkeeping (< 0 for non-sample frames).
+func (r *ring) append(kind string, data json.RawMessage, rank int32) bool {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return false
+	}
+	if kind == KindDone {
+		r.done = true
+	}
+	r.head++
+	s := &r.buf[int((r.head-1)%uint64(len(r.buf)))]
+	s.seq, s.kind, s.at = r.head, kind, r.now()
+	s.data = renderFrame(r.head, kind, data)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	if kind == KindSample && rank >= 0 {
+		r.last[rank] = data
+	}
+	r.snap = nil
+	n := r.notify
+	r.notify = make(chan struct{})
+	r.mu.Unlock()
+	close(n)
+	return true
+}
+
+// readFrom fills dst (reusing its backing array) with frames starting
+// at sequence from, up to dst's capacity. It returns evicted=true when
+// from has already been overwritten — the caller fell a full ring
+// behind — and, when nothing is available yet, the channel to park on.
+func (r *ring) readFrom(from uint64, dst []Frame) (frames []Frame, evicted bool, wait <-chan struct{}) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.count > 0 {
+		if oldest := r.head - uint64(r.count) + 1; from < oldest {
+			return nil, true, nil
+		}
+	}
+	dst = dst[:0]
+	for seq := from; seq <= r.head && len(dst) < cap(dst); seq++ {
+		s := &r.buf[int((seq-1)%uint64(len(r.buf)))]
+		dst = append(dst, Frame{Seq: s.seq, Kind: s.kind, Data: s.data, At: s.at})
+	}
+	return dst, false, r.notify
+}
+
+// oldestSeq reports the oldest sequence still in the ring (0 if empty).
+func (r *ring) oldestSeq() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.count == 0 {
+		return 0
+	}
+	return r.head - uint64(r.count) + 1
+}
+
+// frameTime reports when seq entered the ring, if it is still held.
+func (r *ring) frameTime(seq uint64) (time.Time, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.count == 0 || seq > r.head || seq < r.head-uint64(r.count)+1 {
+		return time.Time{}, false
+	}
+	return r.buf[int((seq-1)%uint64(len(r.buf)))].at, true
+}
+
+// snapshotLocked renders (or reuses) the snapshot frame at sequence
+// seq: the latest sample per rank, keys sorted so identical state
+// renders identical bytes. seq is derived from head (and whether the
+// ring is done) and snap is invalidated on every append, so the cache
+// stays coherent. Caller holds the write lock.
+func (r *ring) snapshotLocked(seq uint64) []byte {
+	if r.snap != nil {
+		return r.snap
+	}
+	ranks := make([]int, 0, len(r.last))
+	for rk := range r.last {
+		ranks = append(ranks, int(rk))
+	}
+	sort.Ints(ranks)
+	var body bytes.Buffer
+	body.WriteString(`{"job":`)
+	body.WriteString(strconv.FormatUint(r.jobID, 10))
+	body.WriteString(`,"seq":`)
+	body.WriteString(strconv.FormatUint(seq, 10))
+	body.WriteString(`,"nodes":{`)
+	for i, rk := range ranks {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		body.WriteByte('"')
+		body.WriteString(strconv.Itoa(rk))
+		body.WriteString(`":`)
+		body.Write(r.last[int32(rk)])
+	}
+	body.WriteString("}}")
+	r.snap = renderFrame(seq, KindSnapshot, body.Bytes())
+	return r.snap
+}
+
+// position places a fresh subscriber: a resume sequence still inside
+// the ring's window gets a pure delta (no snapshot — the bytes that
+// follow are identical to what an uninterrupted client received); any
+// other join gets the snapshot frame and deltas from the current head.
+func (r *ring) position(sub *Subscriber, opts AttachOptions) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if opts.HasResume && opts.ResumeSeq <= r.head &&
+		(r.count == 0 || opts.ResumeSeq+1 >= r.head-uint64(r.count)+1) {
+		sub.next = opts.ResumeSeq + 1
+		if r.done && opts.ResumeSeq == r.head {
+			// The client already holds the terminal frame; there is
+			// nothing left to stream.
+			sub.terminal = true
+		}
+		return
+	}
+	snapSeq := r.head
+	if r.done {
+		// Leave the terminal frame out of the snapshot so a late joiner
+		// still receives it (and its id) as a delta.
+		snapSeq--
+	}
+	sub.pending = r.snapshotLocked(snapSeq)
+	sub.pendingSeq = snapSeq
+	sub.next = snapSeq + 1
+}
+
+// isDone reports whether the terminal frame has been published.
+func (r *ring) isDone() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.done
+}
+
+// takeUnsub claims the ring's upstream subscription release exactly
+// once.
+func (r *ring) takeUnsub() func() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u := r.unsub
+	r.unsub = nil
+	return u
+}

@@ -1,0 +1,169 @@
+package fanout
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testRing(frames int) *ring {
+	base := time.Unix(1000, 0)
+	n := 0
+	r := newRing(7, frames, func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Second)
+	})
+	r.setFilter([]int32{0, 1})
+	return r
+}
+
+func payload(i int) []byte { return []byte(fmt.Sprintf(`{"rank":0,"n":%d}`, i)) }
+
+func TestRingSequencesAreDense(t *testing.T) {
+	r := testRing(4)
+	for i := 1; i <= 3; i++ {
+		if !r.append(KindSample, payload(i), 0) {
+			t.Fatalf("append %d refused", i)
+		}
+	}
+	dst := make([]Frame, 0, 16)
+	frames, evicted, _ := r.readFrom(1, dst)
+	if evicted || len(frames) != 3 {
+		t.Fatalf("readFrom(1): evicted=%v n=%d", evicted, len(frames))
+	}
+	for i, f := range frames {
+		if f.Seq != uint64(i+1) {
+			t.Fatalf("frame %d has seq %d", i, f.Seq)
+		}
+		want := renderFrame(f.Seq, KindSample, payload(i+1))
+		if !bytes.Equal(f.Data, want) {
+			t.Fatalf("frame %d bytes:\n got %q\nwant %q", i, f.Data, want)
+		}
+	}
+}
+
+func TestRingEvictionBoundary(t *testing.T) {
+	r := testRing(4)
+	for i := 1; i <= 6; i++ {
+		r.append(KindSample, payload(i), 0)
+	}
+	// Ring of 4 after 6 appends holds seqs 3..6.
+	if got := r.oldestSeq(); got != 3 {
+		t.Fatalf("oldestSeq = %d, want 3", got)
+	}
+	dst := make([]Frame, 0, 16)
+	if _, evicted, _ := r.readFrom(2, dst); !evicted {
+		t.Fatal("reader at overwritten seq 2 not evicted")
+	}
+	frames, evicted, _ := r.readFrom(3, dst)
+	if evicted || len(frames) != 4 || frames[0].Seq != 3 {
+		t.Fatalf("reader at oldest surviving seq: evicted=%v n=%d", evicted, len(frames))
+	}
+}
+
+func TestRingProducerNeverBlocks(t *testing.T) {
+	r := testRing(2)
+	// Nobody reads; appends far past capacity must all succeed instantly.
+	for i := 1; i <= 100; i++ {
+		if !r.append(KindSample, payload(i), 0) {
+			t.Fatalf("append %d refused", i)
+		}
+	}
+	if r.oldestSeq() != 99 {
+		t.Fatalf("oldestSeq = %d, want 99", r.oldestSeq())
+	}
+}
+
+func TestRingDoneIsTerminal(t *testing.T) {
+	r := testRing(8)
+	r.append(KindSample, payload(1), 0)
+	r.append(KindDone, []byte(`{"id":7}`), -1)
+	if r.append(KindSample, payload(2), 0) {
+		t.Fatal("append after done accepted")
+	}
+	if !r.isDone() {
+		t.Fatal("ring not done")
+	}
+	dst := make([]Frame, 0, 16)
+	frames, _, _ := r.readFrom(1, dst)
+	if len(frames) != 2 || frames[1].Kind != KindDone {
+		t.Fatalf("frames after done: %+v", frames)
+	}
+}
+
+func TestRingResumeInsideWindowSkipsSnapshot(t *testing.T) {
+	r := testRing(8)
+	for i := 1; i <= 5; i++ {
+		r.append(KindSample, payload(i), 0)
+	}
+	sub := &Subscriber{r: r}
+	r.position(sub, AttachOptions{ResumeSeq: 3, HasResume: true})
+	if sub.pending != nil || sub.next != 4 {
+		t.Fatalf("resume at 3: pending=%v next=%d", sub.pending != nil, sub.next)
+	}
+}
+
+func TestRingResumeOutsideWindowGetsSnapshot(t *testing.T) {
+	r := testRing(4)
+	for i := 1; i <= 10; i++ {
+		r.append(KindSample, payload(i), 0)
+	}
+	sub := &Subscriber{r: r}
+	// Seq 2 was overwritten long ago: snapshot-then-delta from head.
+	r.position(sub, AttachOptions{ResumeSeq: 2, HasResume: true})
+	if sub.pending == nil || sub.pendingSeq != 10 || sub.next != 11 {
+		t.Fatalf("stale resume: pending=%v pendingSeq=%d next=%d",
+			sub.pending != nil, sub.pendingSeq, sub.next)
+	}
+}
+
+func TestRingLateJoinerToDoneRingStillSeesDone(t *testing.T) {
+	r := testRing(8)
+	r.append(KindSample, payload(1), 0)
+	r.append(KindDone, []byte(`{"id":7}`), -1)
+	sub := &Subscriber{r: r}
+	r.position(sub, AttachOptions{})
+	// Snapshot sits at head-1 so the done frame itself arrives as a
+	// delta with its own id.
+	if sub.pending == nil || sub.pendingSeq != 1 || sub.next != 2 {
+		t.Fatalf("late join to done ring: pendingSeq=%d next=%d", sub.pendingSeq, sub.next)
+	}
+	dst := make([]Frame, 0, 4)
+	frames, evicted, _ := r.readFrom(sub.next, dst)
+	if evicted || len(frames) != 1 || frames[0].Kind != KindDone {
+		t.Fatalf("delta after snapshot: evicted=%v frames=%+v", evicted, frames)
+	}
+}
+
+func TestRingSnapshotCachedAcrossJoiners(t *testing.T) {
+	r := testRing(8)
+	r.append(KindSample, payload(1), 0)
+	a, b := &Subscriber{r: r}, &Subscriber{r: r}
+	r.position(a, AttachOptions{})
+	r.position(b, AttachOptions{})
+	if &a.pending[0] != &b.pending[0] {
+		t.Fatal("two joiners at the same head rendered two snapshots")
+	}
+	r.append(KindSample, payload(2), 1)
+	c := &Subscriber{r: r}
+	r.position(c, AttachOptions{})
+	if bytes.Equal(a.pending, c.pending) {
+		t.Fatal("append did not invalidate the cached snapshot")
+	}
+}
+
+func TestRingSnapshotRendersSortedRanks(t *testing.T) {
+	r := testRing(8)
+	r.setFilter([]int32{0, 1, 2})
+	r.append(KindSample, []byte(`{"rank":2}`), 2)
+	r.append(KindSample, []byte(`{"rank":0}`), 0)
+	r.append(KindSample, []byte(`{"rank":1}`), 1)
+	sub := &Subscriber{r: r}
+	r.position(sub, AttachOptions{})
+	want := renderFrame(3, KindSnapshot,
+		[]byte(`{"job":7,"seq":3,"nodes":{"0":{"rank":0},"1":{"rank":1},"2":{"rank":2}}}`))
+	if !bytes.Equal(sub.pending, want) {
+		t.Fatalf("snapshot:\n got %q\nwant %q", sub.pending, want)
+	}
+}

@@ -1,0 +1,83 @@
+package fanout
+
+import (
+	"context"
+	"io"
+	"sync"
+)
+
+// Subscriber is one consumer's cursor into a job's broadcast ring.
+// Not safe for concurrent use by multiple goroutines (each connection
+// owns one); Close may be called from anywhere, once or many times.
+type Subscriber struct {
+	hub *Hub
+	r   *ring
+
+	// next is the sequence this subscriber wants next.
+	next uint64
+	// pending is the rendered snapshot frame to deliver before any delta
+	// (nil when resuming inside the ring window); pendingSeq its sequence.
+	pending    []byte
+	pendingSeq uint64
+
+	// scratch is the reusable batch buffer readFrom fills — its capacity
+	// bounds frames-per-Next.
+	scratch []Frame
+
+	// terminal marks that the final frame (done or too_slow) has been
+	// handed out; the next call reports io.EOF.
+	terminal bool
+
+	closeOnce sync.Once
+}
+
+// Next blocks until at least one frame is available and returns the
+// batch. After a terminal frame (done or too_slow) has been returned,
+// Next reports io.EOF. ctx cancellation returns ctx.Err(); the stop
+// channel (a gateway drain signal; may be nil) returns ErrStopped; hub
+// shutdown returns ErrClosed. Frames share the ring's rendered bytes —
+// write them out before the next call, never mutate them.
+func (s *Subscriber) Next(ctx context.Context, stop <-chan struct{}) ([]Frame, error) {
+	if s.terminal {
+		return nil, io.EOF
+	}
+	if s.pending != nil {
+		f := Frame{Seq: s.pendingSeq, Kind: KindSnapshot, Data: s.pending}
+		s.pending = nil
+		s.hub.snapshotsServed.Add(1)
+		s.hub.framesDelivered.Add(1)
+		return append(s.scratch[:0], f), nil
+	}
+	for {
+		frames, evicted, wait := s.r.readFrom(s.next, s.scratch)
+		if evicted {
+			s.terminal = true
+			s.hub.evictions.Add(1)
+			s.hub.framesDelivered.Add(1)
+			return []Frame{{Kind: KindTooSlow, Data: tooSlowFrame(s.next, s.r.oldestSeq())}}, nil
+		}
+		if len(frames) > 0 {
+			s.next = frames[len(frames)-1].Seq + 1
+			if frames[len(frames)-1].Kind == KindDone {
+				s.terminal = true
+			}
+			s.hub.framesDelivered.Add(uint64(len(frames)))
+			return frames, nil
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-stop:
+			return nil, ErrStopped
+		case <-s.hub.closed:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close detaches the subscriber from its ring (the last one out of a
+// finished ring garbage-collects it). Idempotent.
+func (s *Subscriber) Close() {
+	s.closeOnce.Do(func() { s.hub.detach(s.r) })
+}

@@ -1,0 +1,258 @@
+package chaos_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"fluxpower/internal/cluster"
+	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/fanout"
+	"fluxpower/internal/flux/broker"
+	"fluxpower/internal/flux/chaos"
+	"fluxpower/internal/flux/job"
+	"fluxpower/internal/powerapi"
+)
+
+// sseSink is a minimal streaming ResponseWriter: it records every byte
+// a handler writes so the test can audit the wire stream afterwards.
+type sseSink struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *sseSink) Header() http.Header  { return http.Header{} }
+func (s *sseSink) WriteHeader(code int) {}
+func (s *sseSink) Flush()               {}
+func (s *sseSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+func (s *sseSink) bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf.Bytes()...)
+}
+
+// sseIDs extracts the sequence number from every "id: <n>" line.
+func sseIDs(t *testing.T, body []byte) []uint64 {
+	t.Helper()
+	var ids []uint64
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("id: ")) {
+			continue
+		}
+		n, err := strconv.ParseUint(string(line[4:]), 10, 64)
+		if err != nil {
+			t.Fatalf("unparsable id line %q: %v", line, err)
+		}
+		ids = append(ids, n)
+	}
+	return ids
+}
+
+// TestChaosFanoutSoak streams a job to 1000 concurrent SSE clients
+// through a two-replica gateway tier sharing one fanout hub while an
+// interior rank crashes and restarts under the self-healing fabric. The
+// contract: every client's stream carries strictly contiguous sequence
+// numbers — zero duplicated, zero missing — all 1000 streams are
+// byte-identical, nobody is evicted, the gateways serve no 5xx, and the
+// full chaos invariant suite is clean after quiesce.
+func TestChaosFanoutSoak(t *testing.T) {
+	const (
+		size     = 16
+		seed     = int64(7)
+		crashed  = int32(1) // interior rank: subtree orphaned, then rejoin
+		nClients = 1000
+	)
+	plan := chaos.Plan{
+		Seed: seed,
+		Nodes: []chaos.NodeRule{
+			{Rank: crashed, Kind: chaos.FaultCrash,
+				Window: chaos.Window{StartSec: 20, EndSec: 40}},
+		},
+	}
+	inj := chaos.New(plan)
+	fail := func(format string, args ...any) {
+		t.Helper()
+		soakFail(t, "TestChaosFanoutSoak", seed, plan, inj.Stats(), format, args...)
+	}
+
+	c, err := cluster.New(cluster.Config{
+		System:      cluster.Lassen,
+		Nodes:       size,
+		Seed:        seed,
+		WrapLink:    inj.WrapLink,
+		CallTimeout: 2 * time.Second,
+		Heal:        &broker.HealConfig{Interval: 250 * time.Millisecond, MissThreshold: 3},
+	})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Close()
+	inj.Bind(c.Sched)
+
+	var live *chaos.Liveness
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		l := chaos.NewLiveness(2 * time.Second)
+		if rank == 0 {
+			live = l
+		}
+		return l
+	}); err != nil {
+		t.Fatalf("load liveness: %v", err)
+	}
+	if err := c.Inst.LoadModuleAll(func(rank int32) broker.Module {
+		return powermon.New(powermon.Config{
+			SampleInterval: 2 * time.Second,
+			CollectTimeout: 2 * time.Second,
+			PublishSamples: true,
+		})
+	}); err != nil {
+		t.Fatalf("load monitor: %v", err)
+	}
+
+	// One hub, two shared-nothing gateway replicas. The ring is sized so
+	// a client parked across an entire sim advance can never fall a full
+	// window behind — this soak asserts zero evictions.
+	hub, err := fanout.New(fanout.Config{Broker: c.Inst.Root(), RingFrames: 1 << 16})
+	if err != nil {
+		t.Fatalf("hub: %v", err)
+	}
+	defer hub.Close()
+	gws := make([]*powerapi.Gateway, 2)
+	for i := range gws {
+		gw, err := powerapi.New(powerapi.Config{Hub: hub, RequestTimeout: 2 * time.Second})
+		if err != nil {
+			t.Fatalf("gateway %d: %v", i, err)
+		}
+		defer gw.Close()
+		gws[i] = gw
+	}
+
+	id, err := c.Submit(job.Spec{Name: "chaos-fanout", App: "gemm", Nodes: size - 2, RepFactor: 60})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	hub.Sync(func() { c.RunFor(10 * time.Second) }) // warm-up: ring filling
+
+	// 1000 clients spread across the replicas, each on its own goroutine
+	// the way a real http.Server would run them.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sinks := make([]*sseSink, nClients)
+	var wg sync.WaitGroup
+	for i := 0; i < nClients; i++ {
+		sinks[i] = &sseSink{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodGet,
+				fmt.Sprintf("/v1/jobs/%d/stream", id), nil).WithContext(ctx)
+			gws[i%len(gws)].ServeHTTP(sinks[i], req)
+		}(i)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for hub.Metrics().Subscribers < nClients {
+		if time.Now().After(deadline) {
+			fail("only %d/%d clients attached", hub.Metrics().Subscribers, nClients)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Between sim advances, yield wall-clock time until delivery counts
+	// stop moving so every client has drained its backlog (single-CPU
+	// hosts schedule the 1000 readers only while this goroutine sleeps).
+	drain := func() {
+		prev := ^uint64(0)
+		for i := 0; i < 500; i++ {
+			cur := hub.Metrics().FramesDelivered
+			if cur == prev {
+				return
+			}
+			prev = cur
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	drain() // catch-up snapshots
+
+	hub.Sync(func() { c.RunFor(4 * time.Second) }) // pre-crash samples
+	drain()
+
+	// Crash window [20,40): the subtree under the crashed rank reattaches
+	// elsewhere, then the rank revives and rejoins. The ring dedupe
+	// upstream must keep every client's sequence stream gapless.
+	inj.Arm()
+	for round := 0; round < 12; round++ {
+		hub.Sync(func() { c.RunFor(3 * time.Second) })
+		drain()
+	}
+	inj.Disarm()
+	hub.Sync(func() { c.RunFor(15 * time.Second) }) // quiesce past deadlines
+	drain()
+
+	// Disconnect every client; nothing is being appended, so each body is
+	// final and covers the identical frame range.
+	cancel()
+	allDone := make(chan struct{})
+	go func() { wg.Wait(); close(allDone) }()
+	select {
+	case <-allDone:
+	case <-time.After(30 * time.Second):
+		fail("streams did not exit on client disconnect")
+	}
+
+	m := hub.Metrics()
+	if m.Evictions != 0 {
+		fail("%d clients evicted during soak (ring %d frames)", m.Evictions, 1<<16)
+	}
+	for i, gw := range gws {
+		if gm := gw.Metrics(); gm.Errors5xx != 0 {
+			fail("gateway %d counted %d 5xx responses", i, gm.Errors5xx)
+		}
+	}
+
+	// Audit every wire stream: strictly contiguous ids from the snapshot
+	// on — a duplicate or a gap anywhere is a broadcast-plane bug.
+	ref := sinks[0].bytes()
+	ids := sseIDs(t, ref)
+	if len(ids) < 100 {
+		fail("reference stream implausibly short: %d frames", len(ids))
+	}
+	for i, want := 1, ids[0]+1; i < len(ids); i, want = i+1, want+1 {
+		if ids[i] != want {
+			fail("client 0 sequence break at frame %d: id %d after %d", i, ids[i], ids[i-1])
+		}
+	}
+	if bytes.Contains(ref, []byte("event: too_slow")) {
+		fail("reference stream carries a too_slow eviction")
+	}
+	for i := 1; i < nClients; i++ {
+		if !bytes.Equal(sinks[i].bytes(), ref) {
+			got := sseIDs(t, sinks[i].bytes())
+			fail("client %d stream diverges from client 0: %d frames [%d..] vs %d frames [%d..]",
+				i, len(got), got[0], len(ids), ids[0])
+		}
+	}
+
+	vs := chaos.Check(chaos.CheckConfig{
+		Brokers:            c.Inst.Brokers,
+		Injector:           inj,
+		Liveness:           live,
+		Monitor:            true,
+		AckMarginSec:       0.3,
+		RPCTimeout:         2 * time.Second,
+		ExpectAllReachable: true,
+	})
+	if len(vs) > 0 {
+		fail("%d invariant violations after quiesce:\n%s", len(vs), violationList(vs))
+	}
+	t.Logf("fanout soak: %d clients, %d frames each, hub %+v", nClients, len(ids), m)
+}

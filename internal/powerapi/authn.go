@@ -1,0 +1,91 @@
+package powerapi
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// Tenant is one authenticated API consumer: a bearer token plus the
+// quotas the gateway enforces on its behalf. Configuring any tenant
+// switches the gateway to authenticated mode — requests without a valid
+// token get 401.
+type Tenant struct {
+	// Name identifies the tenant in metrics and rate-limit keys.
+	Name string
+	// Token is the bearer credential presented as
+	// "Authorization: Bearer <token>".
+	Token string
+	// MaxStreams caps the tenant's concurrent SSE streams; 0 = unlimited.
+	MaxStreams int
+	// RateLimit/RateBurst bound the tenant's aggregate request rate
+	// across all its clients, layered over (not replacing) the per-client
+	// buckets. 0 = unlimited.
+	RateLimit float64
+	RateBurst int
+}
+
+// tenantState is a Tenant plus its live accounting.
+type tenantState struct {
+	Tenant
+	// streams is the tenant's live SSE stream count, checked against
+	// MaxStreams at stream admission.
+	streams atomic.Int64
+}
+
+// acquireStream claims a concurrent-stream slot, failing when the quota
+// is exhausted. A nil receiver (anonymous mode) always admits.
+func (t *tenantState) acquireStream() bool {
+	if t == nil || t.MaxStreams <= 0 {
+		return true
+	}
+	for {
+		cur := t.streams.Load()
+		if cur >= int64(t.MaxStreams) {
+			return false
+		}
+		if t.streams.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// releaseStream returns a slot claimed by acquireStream.
+func (t *tenantState) releaseStream() {
+	if t == nil || t.MaxStreams <= 0 {
+		return
+	}
+	t.streams.Add(-1)
+}
+
+// authenticate maps the request's bearer token to its tenant. With no
+// tenants configured every request passes as anonymous (nil tenant).
+// Token comparison is constant-time per candidate so timing does not
+// leak how much of a guess matched.
+func (gw *Gateway) authenticate(r *http.Request) (*tenantState, bool) {
+	if len(gw.tenants) == 0 {
+		return nil, true
+	}
+	auth := r.Header.Get("Authorization")
+	const scheme = "Bearer "
+	if len(auth) <= len(scheme) || !strings.EqualFold(auth[:len(scheme)], scheme) {
+		return nil, false
+	}
+	token := strings.TrimSpace(auth[len(scheme):])
+	for _, t := range gw.tenants {
+		if len(t.Token) == len(token) &&
+			subtle.ConstantTimeCompare([]byte(t.Token), []byte(token)) == 1 {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// unauthorized rejects a request that failed authentication.
+func (gw *Gateway) unauthorized(w http.ResponseWriter) {
+	gw.authFailures.Add(1)
+	gw.errors4xx.Add(1)
+	w.Header().Set("WWW-Authenticate", `Bearer realm="powerapi"`)
+	http.Error(w, `{"error":"missing or invalid bearer token"}`, http.StatusUnauthorized)
+}

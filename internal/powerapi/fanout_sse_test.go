@@ -1,0 +1,477 @@
+package powerapi
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/fanout"
+	"fluxpower/internal/flux/job"
+)
+
+// gateWriter is an SSE sink whose Write can be stalled (a slow consumer
+// that stops reading) or made to panic (a handler crash), with a
+// mutex-guarded buffer safe to read while the handler still runs.
+type gateWriter struct {
+	mu     sync.Mutex
+	header http.Header
+	body   bytes.Buffer
+	code   int
+
+	blocked atomic.Bool
+	gate    chan struct{}
+	panics  atomic.Bool
+}
+
+func newGateWriter() *gateWriter {
+	return &gateWriter{header: http.Header{}, gate: make(chan struct{})}
+}
+
+func (w *gateWriter) Header() http.Header { return w.header }
+func (w *gateWriter) WriteHeader(code int) {
+	w.mu.Lock()
+	w.code = code
+	w.mu.Unlock()
+}
+func (w *gateWriter) Flush() {}
+func (w *gateWriter) Write(p []byte) (int, error) {
+	if w.panics.Load() {
+		panic("simulated handler crash mid-write")
+	}
+	if w.blocked.Load() {
+		<-w.gate
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.body.Write(p)
+}
+func (w *gateWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.body.String()
+}
+
+// startedJob submits a job and advances until samples can flow.
+func startedJob(t *testing.T, gw *Gateway, c interface {
+	Submit(job.Spec) (uint64, error)
+	RunFor(time.Duration)
+}, nodes int) uint64 {
+	t.Helper()
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Sync(func() { c.RunFor(5 * time.Second) })
+	return id
+}
+
+// TestStreamSlowClientEvicted: a consumer that stops reading falls a
+// full ring behind, receives a terminal too_slow frame, and is closed —
+// while the producer and a healthy sibling stream keep flowing.
+func TestStreamSlowClientEvicted(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{PublishSamples: true})
+	hub, err := fanout.New(fanout.Config{Broker: c.Inst.Root(), RingFrames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hub.Close)
+	gw := newGateway(t, c, Config{Hub: hub})
+	id := startedJob(t, gw, c, 2)
+
+	// Healthy sibling first.
+	sibCtx, sibCancel := context.WithCancel(context.Background())
+	defer sibCancel()
+	sibRec, sibDone := startStream(t, gw, id, sibCtx)
+
+	// Stalled consumer: its Write blocks after attach.
+	slow := newGateWriter()
+	slow.blocked.Store(true)
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+strconv.FormatUint(id, 10)+"/stream", nil)
+	slowDone := make(chan struct{})
+	started := gw.Metrics().StreamsStarted
+	go func() {
+		defer close(slowDone)
+		gw.ServeHTTP(slow, req)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.Metrics().StreamsStarted == started {
+		if time.Now().After(deadline) {
+			t.Fatal("slow stream never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Push well more than one ring (4 frames) of samples past the stalled
+	// reader. The producer must never block on it. Advance in
+	// sample-interval steps with a breath between, so the healthy sibling
+	// gets scheduled to drain while the stalled client falls behind.
+	for i := 0; i < 15; i++ {
+		gw.Sync(func() { c.RunFor(2 * time.Second) })
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Let the stalled writer proceed: its buffered frame completes, then
+	// the next read discovers the eviction.
+	slow.blocked.Store(false)
+	close(slow.gate)
+	select {
+	case <-slowDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("evicted stream did not close")
+	}
+	if !strings.Contains(slow.String(), "event: too_slow") {
+		t.Fatalf("stalled consumer not evicted with too_slow: %q", slow.String())
+	}
+	if m := hub.Metrics(); m.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", m.Evictions)
+	}
+
+	// The sibling was never penalized: it keeps receiving samples.
+	gw.Sync(func() { c.RunFor(4 * time.Second) })
+	sibCancel()
+	select {
+	case <-sibDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sibling stream did not exit on disconnect")
+	}
+	if !strings.Contains(sibRec.Body.String(), "event: sample") {
+		t.Fatal("sibling stream starved while the slow client stalled")
+	}
+	if strings.Contains(sibRec.Body.String(), "event: too_slow") {
+		t.Fatal("healthy sibling was evicted")
+	}
+}
+
+// lastEventID scans an SSE body for the last "id:" line.
+func lastEventID(t *testing.T, body string) string {
+	t.Helper()
+	id := ""
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, "id: "); ok {
+			id = rest
+		}
+	}
+	if id == "" {
+		t.Fatalf("no id line in body: %q", body)
+	}
+	return id
+}
+
+// TestStreamResumeByteIdentical: an interrupted client that reconnects
+// with Last-Event-ID receives exactly the missed frames — the
+// concatenation of its two sessions is byte-identical to a client that
+// never disconnected.
+func TestStreamResumeByteIdentical(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{PublishSamples: true})
+	gw := newGateway(t, c, Config{})
+	id := startedJob(t, gw, c, 2)
+
+	// Both clients join at the same ring position (the sim cannot
+	// advance between the two attaches — only gw.Sync moves it).
+	refRec, refDone := startStream(t, gw, id, context.Background())
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	rec1, done1 := startStream(t, gw, id, ctx1)
+
+	gw.Sync(func() { c.RunFor(10 * time.Second) })
+	// Give the handler a beat to flush buffered frames, then interrupt.
+	time.Sleep(50 * time.Millisecond)
+	cancel1()
+	select {
+	case <-done1:
+	case <-time.After(5 * time.Second):
+		t.Fatal("interrupted stream did not exit")
+	}
+	part1 := rec1.Body.String()
+
+	// Reconnect presenting the browser's Last-Event-ID.
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+strconv.FormatUint(id, 10)+"/stream", nil)
+	req.Header.Set("Last-Event-ID", lastEventID(t, part1))
+	rec2 := httptest.NewRecorder()
+	done2 := make(chan struct{})
+	started := gw.Metrics().StreamsStarted
+	go func() {
+		defer close(done2)
+		gw.ServeHTTP(rec2, req)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.Metrics().StreamsStarted == started {
+		if time.Now().After(deadline) {
+			t.Fatal("resumed stream never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Run the job to completion; both live streams end with done.
+	for i := 0; i < 1000; i++ {
+		var idle bool
+		gw.Sync(func() { _, idle = c.RunUntilIdle(time.Minute) })
+		if idle {
+			break
+		}
+	}
+	for _, d := range []chan struct{}{refDone, done2} {
+		select {
+		case <-d:
+		case <-time.After(10 * time.Second):
+			t.Fatal("stream did not terminate on job finish")
+		}
+	}
+
+	ref, part2 := refRec.Body.String(), rec2.Body.String()
+	if !strings.Contains(part2, "event: sample") && !strings.Contains(part2, "event: done") {
+		t.Fatalf("resumed session delivered nothing: %q", part2)
+	}
+	if strings.Contains(part2, "event: snapshot") {
+		t.Fatalf("valid resume was served a snapshot instead of a pure delta: %q",
+			part2[:min(len(part2), 200)])
+	}
+	if got := part1 + part2; got != ref {
+		t.Fatalf("interrupted+resumed stream differs from uninterrupted reference:\n got %d bytes\nwant %d bytes",
+			len(got), len(ref))
+	}
+}
+
+// TestStreamCleanupOnHandlerPanic: a panic mid-write must still release
+// the ring subscription and count the stream ended (the single deferred
+// cleanup owns every exit path).
+func TestStreamCleanupOnHandlerPanic(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{PublishSamples: true})
+	gw := newGateway(t, c, Config{})
+	id := startedJob(t, gw, c, 2)
+
+	w := newGateWriter()
+	w.panics.Store(true)
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/"+strconv.FormatUint(id, 10)+"/stream", nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			if recover() == nil {
+				t.Error("handler did not panic")
+			}
+		}()
+		gw.ServeHTTP(w, req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("panicking handler never returned")
+	}
+	m := gw.Metrics()
+	if m.StreamsStarted != 1 || m.StreamsEnded != 1 {
+		t.Fatalf("streams started=%d ended=%d, want 1/1", m.StreamsStarted, m.StreamsEnded)
+	}
+	if fm := gw.Hub().Metrics(); fm.Subscribers != 0 {
+		t.Fatalf("panicked stream leaked %d subscribers", fm.Subscribers)
+	}
+	// The gateway must still drain cleanly (wg not leaked by the panic).
+	closed := make(chan struct{})
+	go func() { gw.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung after handler panic")
+	}
+}
+
+// authedReq builds a request with a bearer token and distinct client
+// address.
+func authedReq(path, token, addr string) *http.Request {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if addr != "" {
+		req.RemoteAddr = addr
+	}
+	return req
+}
+
+func TestTenantAuthRequired(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{PublishSamples: true})
+	gw := newGateway(t, c, Config{Tenants: []Tenant{{Name: "acme", Token: "s3cret"}}})
+
+	for _, token := range []string{"", "wrong", "s3cret-but-longer"} {
+		rec := httptest.NewRecorder()
+		gw.ServeHTTP(rec, authedReq("/v1/jobs", token, ""))
+		if rec.Code != http.StatusUnauthorized {
+			t.Fatalf("token %q: status %d, want 401", token, rec.Code)
+		}
+		if rec.Header().Get("WWW-Authenticate") == "" {
+			t.Fatal("401 without WWW-Authenticate")
+		}
+	}
+	rec := httptest.NewRecorder()
+	gw.ServeHTTP(rec, authedReq("/v1/jobs", "s3cret", ""))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("valid token: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if m := gw.Metrics(); m.AuthFailures != 3 {
+		t.Fatalf("AuthFailures = %d, want 3", m.AuthFailures)
+	}
+}
+
+func TestTenantAggregateRateLimit(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{PublishSamples: true})
+	gw := newGateway(t, c, Config{Tenants: []Tenant{
+		{Name: "acme", Token: "tok-a", RateLimit: 0.001, RateBurst: 2},
+		{Name: "bigco", Token: "tok-b"},
+	}})
+
+	// The tenant's bucket is aggregate: rotating client addresses does
+	// not escape it.
+	limited := 0
+	for i := 0; i < 6; i++ {
+		rec := httptest.NewRecorder()
+		gw.ServeHTTP(rec, authedReq("/v1/jobs", "tok-a", "10.0.0."+strconv.Itoa(i)+":99"))
+		if rec.Code == http.StatusTooManyRequests {
+			limited++
+			if rec.Header().Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		}
+	}
+	if limited != 4 {
+		t.Fatalf("%d of 6 limited, want 4 (burst 2)", limited)
+	}
+	// An unlimited sibling tenant is unaffected.
+	rec := httptest.NewRecorder()
+	gw.ServeHTTP(rec, authedReq("/v1/jobs", "tok-b", ""))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sibling tenant: status %d", rec.Code)
+	}
+}
+
+func TestTenantStreamQuota(t *testing.T) {
+	c := testCluster(t, 2, powermon.Config{PublishSamples: true})
+	gw := newGateway(t, c, Config{Tenants: []Tenant{{Name: "acme", Token: "tok", MaxStreams: 1}}})
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Sync(func() { c.RunFor(5 * time.Second) })
+	path := "/v1/jobs/" + strconv.FormatUint(id, 10) + "/stream"
+
+	// First stream occupies the tenant's only slot.
+	ctx, cancel := context.WithCancel(context.Background())
+	req1 := authedReq(path, "tok", "").WithContext(ctx)
+	rec1 := httptest.NewRecorder()
+	done1 := make(chan struct{})
+	go func() {
+		defer close(done1)
+		gw.ServeHTTP(rec1, req1)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for gw.Metrics().StreamsStarted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first stream never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Second concurrent stream exceeds the quota.
+	rec2 := httptest.NewRecorder()
+	gw.ServeHTTP(rec2, authedReq(path, "tok", ""))
+	if rec2.Code != http.StatusTooManyRequests ||
+		!strings.Contains(rec2.Body.String(), "stream quota") {
+		t.Fatalf("over-quota stream: status %d body %q", rec2.Code, rec2.Body.String())
+	}
+	if m := gw.Metrics(); m.QuotaStreamRejected != 1 {
+		t.Fatalf("QuotaStreamRejected = %d, want 1", m.QuotaStreamRejected)
+	}
+
+	// Releasing the first slot readmits the tenant.
+	cancel()
+	select {
+	case <-done1:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first stream did not exit")
+	}
+	ctx3, cancel3 := context.WithCancel(context.Background())
+	req3 := authedReq(path, "tok", "").WithContext(ctx3)
+	rec3 := httptest.NewRecorder()
+	done3 := make(chan struct{})
+	started := gw.Metrics().StreamsStarted
+	go func() {
+		defer close(done3)
+		gw.ServeHTTP(rec3, req3)
+	}()
+	deadline = time.Now().Add(5 * time.Second)
+	for gw.Metrics().StreamsStarted == started {
+		if time.Now().After(deadline) {
+			t.Fatal("post-release stream never attached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel3()
+	<-done3
+}
+
+// TestReplicatedGatewaysShareOneHub: two shared-nothing gateway
+// replicas on one hub serve identical data, share a single set of
+// upstream lifecycle subscriptions, and both see event-driven cache
+// invalidation.
+func TestReplicatedGatewaysShareOneHub(t *testing.T) {
+	c := testCluster(t, 4, powermon.Config{PublishSamples: true})
+	hub, err := fanout.New(fanout.Config{Broker: c.Inst.Root()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hub.Close)
+	a := newGateway(t, c, Config{Hub: hub})
+	b := newGateway(t, c, Config{Hub: hub})
+
+	id, err := c.Submit(job.Spec{App: "gemm", Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Sync(func() { c.RunFor(5 * time.Second) })
+
+	// Both replicas answer; both now hold the running job cached.
+	for _, gw := range []*Gateway{a, b} {
+		rec := get(gw, "/v1/jobs", "")
+		if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"id":`+strconv.FormatUint(id, 10)) {
+			t.Fatalf("replica answer: %d %q", rec.Code, rec.Body.String())
+		}
+	}
+
+	// Run to completion. The finish event must invalidate BOTH replicas'
+	// caches through the hub's single subscription set.
+	var idle bool
+	a.Sync(func() { _, idle = c.RunUntilIdle(2 * time.Hour) })
+	if !idle {
+		t.Fatal("job never finished")
+	}
+	for name, gw := range map[string]*Gateway{"a": a, "b": b} {
+		rec := get(gw, "/v1/jobs", "")
+		if !strings.Contains(rec.Body.String(), `"state":"INACTIVE"`) {
+			t.Fatalf("replica %s served stale list after finish: %q", name, rec.Body.String())
+		}
+	}
+
+	// One SSE client on each replica drains the SAME ring: one upstream
+	// subscription total.
+	recA, doneA := startStream(t, a, id, context.Background())
+	recB, doneB := startStream(t, b, id, context.Background())
+	for _, d := range []chan struct{}{doneA, doneB} {
+		select {
+		case <-d:
+		case <-time.After(5 * time.Second):
+			t.Fatal("finished-job stream did not end")
+		}
+	}
+	if recA.Body.String() != recB.Body.String() {
+		t.Fatal("replicas served different streams for one job")
+	}
+	if m := hub.Metrics(); m.SampleSubs != 0 {
+		t.Fatalf("sample subscriptions leaked: %+v", m)
+	}
+}

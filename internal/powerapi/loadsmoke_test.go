@@ -92,20 +92,55 @@ func TestServeLoadSmoke(t *testing.T) {
 
 func TestClientKey(t *testing.T) {
 	for _, tc := range []struct {
-		remote, xff, want string
+		remote, xff string
+		trustProxy  bool
+		want        string
 	}{
-		{"192.0.2.1:1234", "", "192.0.2.1"},
-		{"192.0.2.1:1234", "203.0.113.5", "203.0.113.5"},
-		{"192.0.2.1:1234", "203.0.113.5, 10.0.0.1", "203.0.113.5"},
-		{"unix-socket", "", "unix-socket"},
+		// Default (untrusted): the header is attacker-controlled and must
+		// never become the bucket key, or one client rotates addresses to
+		// bypass the limiter entirely.
+		{"192.0.2.1:1234", "", false, "192.0.2.1"},
+		{"192.0.2.1:1234", "203.0.113.5", false, "192.0.2.1"},
+		{"192.0.2.1:1234", "203.0.113.5, 10.0.0.1", false, "192.0.2.1"},
+		{"unix-socket", "", false, "unix-socket"},
+		// Behind a declared trusted proxy the first forwarded hop is the
+		// client.
+		{"192.0.2.1:1234", "", true, "192.0.2.1"},
+		{"192.0.2.1:1234", "203.0.113.5", true, "203.0.113.5"},
+		{"192.0.2.1:1234", "203.0.113.5, 10.0.0.1", true, "203.0.113.5"},
 	} {
 		req := httptest.NewRequest(http.MethodGet, "/v1/jobs", nil)
 		req.RemoteAddr = tc.remote
 		if tc.xff != "" {
 			req.Header.Set("X-Forwarded-For", tc.xff)
 		}
-		if got := clientKey(req); got != tc.want {
-			t.Errorf("clientKey(remote=%q xff=%q) = %q, want %q", tc.remote, tc.xff, got, tc.want)
+		if got := clientKey(req, tc.trustProxy); got != tc.want {
+			t.Errorf("clientKey(remote=%q xff=%q trust=%v) = %q, want %q",
+				tc.remote, tc.xff, tc.trustProxy, got, tc.want)
 		}
+	}
+}
+
+// TestRateLimitSpoofResistance drives the full gateway: without
+// TrustProxy, rotating X-Forwarded-For must not mint fresh buckets.
+func TestRateLimitSpoofResistance(t *testing.T) {
+	c := testCluster(t, 4, powermon.Config{})
+	gw := newGateway(t, c, Config{RateLimit: 1, RateBurst: 2})
+	limited := 0
+	for i := 0; i < 10; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/v1/jobs", nil)
+		req.RemoteAddr = "192.0.2.1:1234"
+		req.Header.Set("X-Forwarded-For", fmt.Sprintf("203.0.113.%d", i))
+		rec := httptest.NewRecorder()
+		gw.ServeHTTP(rec, req)
+		if rec.Code == http.StatusTooManyRequests {
+			limited++
+		}
+	}
+	if limited < 8 {
+		t.Fatalf("spoofed XFF minted fresh buckets: only %d of 10 limited", limited)
+	}
+	if gw.limiters.size() != 1 {
+		t.Fatalf("expected 1 bucket (remote host), got %d", gw.limiters.size())
 	}
 }

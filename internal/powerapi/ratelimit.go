@@ -16,7 +16,7 @@ import (
 // of one-shot clients cannot grow the pool without bound.
 type limiterPool struct {
 	mu      sync.Mutex
-	rate    float64 // tokens per second
+	rate    float64 // default tokens per second (allow path)
 	burst   float64
 	buckets map[string]*bucket
 	now     func() time.Time
@@ -26,8 +26,13 @@ type limiterPool struct {
 	lastPrune  time.Time
 }
 
+// bucket carries its own rate/burst so one pool can serve keys with
+// different limits (per-tenant quotas share a pool with per-client
+// defaults).
 type bucket struct {
 	tokens float64
+	rate   float64
+	burst  float64
 	last   time.Time
 }
 
@@ -44,21 +49,36 @@ func newLimiterPool(rate float64, burst int, now func() time.Time) *limiterPool 
 	}
 }
 
-// allow consumes one token from key's bucket. When the bucket is empty it
-// returns ok=false and how long until a token will be available.
+// allow consumes one token from key's bucket at the pool's default
+// rate/burst. When the bucket is empty it returns ok=false and how long
+// until a token will be available.
 func (p *limiterPool) allow(key string) (ok bool, retryAfter time.Duration) {
 	if p == nil || p.rate <= 0 {
 		return true, 0
+	}
+	return p.allowWith(key, p.rate, p.burst)
+}
+
+// allowWith consumes one token from key's bucket, creating it with the
+// given rate/burst on first sight. A non-positive rate admits
+// unconditionally.
+func (p *limiterPool) allowWith(key string, rate, burst float64) (ok bool, retryAfter time.Duration) {
+	if p == nil || rate <= 0 {
+		return true, 0
+	}
+	if burst < 1 {
+		burst = 1
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	now := p.now()
 	b, found := p.buckets[key]
 	if !found {
-		b = &bucket{tokens: p.burst, last: now}
+		b = &bucket{tokens: burst, rate: rate, burst: burst, last: now}
 		p.buckets[key] = b
 	} else {
-		b.tokens = math.Min(p.burst, b.tokens+now.Sub(b.last).Seconds()*p.rate)
+		b.rate, b.burst = rate, burst
+		b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
 		b.last = now
 	}
 	p.maybePrune(now)
@@ -67,7 +87,7 @@ func (p *limiterPool) allow(key string) (ok bool, retryAfter time.Duration) {
 		return true, 0
 	}
 	deficit := 1 - b.tokens
-	return false, time.Duration(deficit / p.rate * float64(time.Second))
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
 }
 
 // maybePrune drops buckets idle long enough to have refilled completely —
@@ -78,8 +98,8 @@ func (p *limiterPool) maybePrune(now time.Time) {
 		return
 	}
 	p.lastPrune = now
-	full := time.Duration(p.burst / p.rate * float64(time.Second))
 	for key, b := range p.buckets {
+		full := time.Duration(b.burst / b.rate * float64(time.Second))
 		if now.Sub(b.last) > full {
 			delete(p.buckets, key)
 		}
@@ -93,16 +113,20 @@ func (p *limiterPool) size() int {
 	return len(p.buckets)
 }
 
-// clientKey identifies the client for rate limiting: the first entry of
-// X-Forwarded-For when present (the gateway may sit behind a proxy),
-// otherwise the connection's remote host without the port, so one
-// client's parallel connections share a bucket.
-func clientKey(r *http.Request) string {
-	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
-		if i := strings.IndexByte(xff, ','); i >= 0 {
-			xff = xff[:i]
+// clientKey identifies the client for rate limiting. By default it is
+// the connection's remote host without the port, so one client's
+// parallel connections share a bucket. Only when the operator declares
+// the gateway sits behind a trusted proxy (Config.TrustProxy) is the
+// first X-Forwarded-For entry honored — otherwise any client could
+// rotate the header and mint itself a fresh bucket per request.
+func clientKey(r *http.Request, trustProxy bool) string {
+	if trustProxy {
+		if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+			if i := strings.IndexByte(xff, ','); i >= 0 {
+				xff = xff[:i]
+			}
+			return strings.TrimSpace(xff)
 		}
-		return strings.TrimSpace(xff)
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"fluxpower/internal/core/powermon"
+	"fluxpower/internal/fanout"
 	"fluxpower/internal/flux/broker"
 	"fluxpower/internal/flux/job"
 	"fluxpower/internal/flux/msg"
@@ -46,8 +47,16 @@ import (
 // Broker is usable; defaults are filled in by New.
 type Config struct {
 	// Broker is the attach point — normally the root, like the system
-	// instance's local socket. Required.
+	// instance's local socket. Required unless Hub is set (the hub's
+	// broker is used, and setting both to different brokers is an error).
 	Broker *broker.Broker
+
+	// Hub is the shared broadcast plane. Replicated gateway tiers pass
+	// the same hub to every replica: they share its single root
+	// attachment, its per-job fan-out rings, and its one set of cache
+	// invalidation subscriptions. Nil means this gateway creates and
+	// owns a private hub (closed with the gateway).
+	Hub *fanout.Hub
 
 	// RequestTimeout bounds each request's upstream work. Default 5s.
 	RequestTimeout time.Duration
@@ -67,10 +76,16 @@ type Config struct {
 	RateLimit float64
 	RateBurst int
 
-	// StreamBuffer is the per-SSE-stream sample channel depth; a slow
-	// consumer drops samples rather than stalling event delivery.
-	// Default 64.
-	StreamBuffer int
+	// TrustProxy honors X-Forwarded-For for rate-limit client identity.
+	// Leave false (the default) unless a trusted proxy terminates every
+	// connection — otherwise clients can rotate the header to mint
+	// themselves fresh buckets.
+	TrustProxy bool
+
+	// Tenants enables bearer-token authentication and per-tenant quotas
+	// (aggregate request rate and concurrent SSE streams). Empty means
+	// anonymous mode: no auth required, per-client limits only.
+	Tenants []Tenant
 
 	// Now overrides the clock (tests). Default time.Now. Cache TTLs and
 	// rate-limit refill are measured on this clock.
@@ -96,9 +111,6 @@ func (c Config) withDefaults() Config {
 			c.RateBurst = 1
 		}
 	}
-	if c.StreamBuffer <= 0 {
-		c.StreamBuffer = 64
-	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -118,6 +130,9 @@ type Metrics struct {
 	UpstreamCalls uint64 `json:"upstream_calls"`
 	Errors4xx     uint64 `json:"errors_4xx"`
 	Errors5xx     uint64 `json:"errors_5xx"`
+
+	AuthFailures        uint64 `json:"auth_failures"`
+	QuotaStreamRejected uint64 `json:"quota_stream_rejected"`
 
 	StreamsStarted  uint64 `json:"streams_started"`
 	StreamsEnded    uint64 `json:"streams_ended"`
@@ -148,11 +163,13 @@ type StoreMetrics struct {
 	TornRecords    int     `json:"torn_records"`
 }
 
-// metricsResponse is the /v1/metrics body: the gateway's own counters
-// plus, when any rank runs a durable store, the fleet's store summary.
+// metricsResponse is the /v1/metrics body: the gateway's own counters,
+// the shared broadcast plane's counters, and, when any rank runs a
+// durable store, the fleet's store summary.
 type metricsResponse struct {
 	Metrics
-	Store *StoreMetrics `json:"store,omitempty"`
+	Fanout *fanout.Metrics `json:"fanout,omitempty"`
+	Store  *StoreMetrics   `json:"store,omitempty"`
 }
 
 // Gateway is the HTTP handler. Create with New, serve with any
@@ -164,21 +181,40 @@ type Gateway struct {
 	qc  *query.Client
 	mux *http.ServeMux
 
-	// brokerMu serializes all broker-bound work. The gateway holds ONE
-	// attachment to the broker — the moral equivalent of the single
-	// local-socket connection a real Flux client multiplexes — and in
-	// simulation the scheduler behind the broker is single-threaded, so
-	// concurrent HTTP handlers must take turns upstream. Coalescing and
-	// caching make the serialized section rare and short.
-	brokerMu sync.Mutex
+	// hub is the broadcast plane: the shared root attachment, the
+	// per-job SSE fan-out rings, and the lifecycle subscriptions that
+	// drive cache invalidation. ownHub marks a hub this gateway created
+	// for itself (and must close); a replicated tier shares one hub.
+	hub    *fanout.Hub
+	ownHub bool
+	// unregister removes this replica from the hub's invalidation
+	// broadcast.
+	unregister func()
+
+	// brokerMu serializes all broker-bound work. It points at the hub's
+	// upstream mutex: every replica sharing a hub shares ONE attachment
+	// to the broker — the moral equivalent of the single local-socket
+	// connection a real Flux client multiplexes — and in simulation the
+	// scheduler behind the broker is single-threaded, so concurrent HTTP
+	// handlers must take turns upstream. Coalescing and caching make the
+	// serialized section rare and short.
+	brokerMu *sync.Mutex
 
 	cache    *responseCache
 	flight   *flightGroup
 	limiters *limiterPool
 
+	// tenants is the configured tenant set (authenticated mode when
+	// non-empty); tenantLimiters holds the per-tenant aggregate buckets,
+	// separate from the per-client pool so neither evicts the other.
+	tenants        []*tenantState
+	tenantLimiters *limiterPool
+
 	requests, rateLimited    atomic.Uint64
 	coalesced, upstreamCalls atomic.Uint64
 	errors4xx, errors5xx     atomic.Uint64
+	authFailures             atomic.Uint64
+	quotaStreams             atomic.Uint64
 	streamsStarted           atomic.Uint64
 	streamsEnded             atomic.Uint64
 	samplesStreamed          atomic.Uint64
@@ -200,26 +236,49 @@ type Gateway struct {
 	// (10 µs .. 60 s) so merges and quantile reads stay cheap.
 	latMu   sync.Mutex
 	latency *stats.Histogram
-
-	unsubs []func()
 }
 
-// New builds a gateway attached to cfg.Broker and subscribes to job
-// lifecycle events for cache invalidation.
+// New builds a gateway on the broadcast hub (creating a private one
+// from cfg.Broker when cfg.Hub is nil) and registers for the job
+// lifecycle events that drive cache invalidation.
 func New(cfg Config) (*Gateway, error) {
+	ownHub := false
+	if cfg.Hub == nil {
+		if cfg.Broker == nil {
+			return nil, errors.New("powerapi: Config.Broker is required")
+		}
+		hub, err := fanout.New(fanout.Config{Broker: cfg.Broker, Now: cfg.Now})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Hub = hub
+		ownHub = true
+	}
 	if cfg.Broker == nil {
-		return nil, errors.New("powerapi: Config.Broker is required")
+		cfg.Broker = cfg.Hub.Broker()
+	} else if cfg.Broker != cfg.Hub.Broker() {
+		return nil, errors.New("powerapi: Config.Broker differs from Config.Hub's broker")
 	}
 	cfg = cfg.withDefaults()
 	gw := &Gateway{
 		cfg:      cfg,
 		pm:       powermon.NewClient(cfg.Broker),
 		qc:       query.NewClient(cfg.Broker),
+		hub:      cfg.Hub,
+		ownHub:   ownHub,
+		brokerMu: cfg.Hub.UpstreamMu(),
 		cache:    newResponseCache(cfg.CacheSize, cfg.Now),
 		flight:   newFlightGroup(),
 		limiters: newLimiterPool(cfg.RateLimit, cfg.RateBurst, cfg.Now),
 		latency:  stats.NewHistogram(0.01, 60_000, 64),
 		done:     make(chan struct{}),
+	}
+	for _, t := range cfg.Tenants {
+		ts := &tenantState{Tenant: t}
+		gw.tenants = append(gw.tenants, ts)
+		if gw.tenantLimiters == nil {
+			gw.tenantLimiters = newLimiterPool(0, 1, cfg.Now)
+		}
 	}
 
 	mux := http.NewServeMux()
@@ -234,24 +293,19 @@ func New(cfg Config) (*Gateway, error) {
 
 	// A finished job's cached entries are stale the instant the finish
 	// event lands: the telemetry window froze, and the list's state
-	// column changed. Start/submit events only perturb the list.
-	gw.unsubs = append(gw.unsubs,
-		cfg.Broker.Subscribe(job.EventFinish, func(ev *msg.Message) {
-			var rec job.Record
-			if err := ev.Unmarshal(&rec); err == nil {
-				gw.cache.invalidateJob(rec.ID)
-			}
-			gw.cache.invalidateJob(listCacheID)
-		}),
-		cfg.Broker.Subscribe(job.EventSubmit, func(ev *msg.Message) {
-			gw.cache.invalidateJob(listCacheID)
-		}),
-		cfg.Broker.Subscribe(job.EventStart, func(ev *msg.Message) {
-			gw.cache.invalidateJob(listCacheID)
-		}),
-	)
+	// column changed. Start/submit events only perturb the list. The hub
+	// holds the bus subscriptions once and broadcasts to every replica,
+	// so a replicated tier still costs the broker one set.
+	gw.unregister = gw.hub.Register(fanout.Replica{
+		InvalidateJob:  gw.cache.invalidateJob,
+		InvalidateList: func() { gw.cache.invalidateJob(listCacheID) },
+	})
 	return gw, nil
 }
+
+// Hub exposes the gateway's broadcast plane, so drivers can attach
+// additional replicas or read fan-out metrics.
+func (gw *Gateway) Hub() *fanout.Hub { return gw.hub }
 
 // listCacheID is the pseudo-job id under which the /v1/jobs listing is
 // cached, so lifecycle events can invalidate it like any job entry.
@@ -264,11 +318,12 @@ func (gw *Gateway) Close() {
 	gw.closeOnce.Do(func() {
 		gw.closing.Store(true)
 		close(gw.done)
-		for _, unsub := range gw.unsubs {
-			unsub()
-		}
+		gw.unregister()
 	})
 	gw.wg.Wait()
+	if gw.ownHub {
+		gw.hub.Close()
+	}
 }
 
 // Sync runs fn while holding the gateway's broker attachment. Drivers
@@ -290,9 +345,12 @@ func (gw *Gateway) Metrics() Metrics {
 	p99 := gw.latency.Quantile(0.99)
 	gw.latMu.Unlock()
 	return Metrics{
-		LatencyP50Ms:    p50,
-		LatencyP95Ms:    p95,
-		LatencyP99Ms:    p99,
+		LatencyP50Ms:        p50,
+		LatencyP95Ms:        p95,
+		LatencyP99Ms:        p99,
+		AuthFailures:        gw.authFailures.Load(),
+		QuotaStreamRejected: gw.quotaStreams.Load(),
+
 		Requests:        gw.requests.Load(),
 		RateLimited:     gw.rateLimited.Load(),
 		CacheHits:       hits,
@@ -332,17 +390,49 @@ func (gw *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `{"error":"shutting down"}`, http.StatusServiceUnavailable)
 		return
 	}
-	if ok, retryAfter := gw.limiters.allow(clientKey(r)); !ok {
-		gw.rateLimited.Add(1)
-		secs := int(retryAfter / time.Second)
-		if retryAfter%time.Second != 0 || secs == 0 {
-			secs++ // round up; Retry-After is integral seconds ≥ 1
+	tenant, ok := gw.authenticate(r)
+	if !ok {
+		gw.unauthorized(w)
+		return
+	}
+	if tenant != nil {
+		// The tenant's aggregate bucket sits above the per-client ones:
+		// a tenant cannot exceed its contracted rate by fanning out
+		// across many client addresses.
+		if ok, retryAfter := gw.tenantLimiters.allowWith("tenant:"+tenant.Name,
+			tenant.RateLimit, float64(tenant.RateBurst)); !ok {
+			gw.tooManyRequests(w, retryAfter)
+			return
 		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		http.Error(w, `{"error":"rate limit exceeded"}`, http.StatusTooManyRequests)
+		r = r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, tenant))
+	}
+	if ok, retryAfter := gw.limiters.allow(clientKey(r, gw.cfg.TrustProxy)); !ok {
+		gw.tooManyRequests(w, retryAfter)
 		return
 	}
 	gw.mux.ServeHTTP(w, r)
+}
+
+// tenantCtxKey carries the authenticated tenant through the request
+// context to the stream handler's quota check.
+type tenantCtxKey struct{}
+
+// requestTenant recovers the authenticated tenant (nil in anonymous
+// mode).
+func requestTenant(r *http.Request) *tenantState {
+	t, _ := r.Context().Value(tenantCtxKey{}).(*tenantState)
+	return t
+}
+
+// tooManyRequests rejects a rate-limited request with Retry-After.
+func (gw *Gateway) tooManyRequests(w http.ResponseWriter, retryAfter time.Duration) {
+	gw.rateLimited.Add(1)
+	secs := int(retryAfter / time.Second)
+	if retryAfter%time.Second != 0 || secs == 0 {
+		secs++ // round up; Retry-After is integral seconds ≥ 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	http.Error(w, `{"error":"rate limit exceeded"}`, http.StatusTooManyRequests)
 }
 
 // --- response plumbing ---
@@ -626,6 +716,8 @@ func (gw *Gateway) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 
 func (gw *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	out := metricsResponse{Metrics: gw.Metrics()}
+	fm := gw.hub.Metrics()
+	out.Fanout = &fm
 	out.Store = gw.storeMetrics(r.Context())
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -2,65 +2,37 @@ package powerapi
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
 
-	"fluxpower/internal/core/powermon"
-	"fluxpower/internal/flux/broker"
-	"fluxpower/internal/flux/job"
-	"fluxpower/internal/flux/msg"
+	"fluxpower/internal/fanout"
 )
 
-// streamFilter is an SSE stream's job-rank membership set. It is read on
-// the broker's event-delivery path for every published sample and
-// swapped wholesale when a topology reattach forces the stream to
-// re-resolve its job record, so reads take an RLock and refreshes
-// replace the map rather than mutating it.
-type streamFilter struct {
-	mu    sync.RWMutex
-	ranks map[int32]bool
-}
-
-func newStreamFilter(ranks []int32) *streamFilter {
-	f := &streamFilter{}
-	f.replace(ranks)
-	return f
-}
-
-func (f *streamFilter) has(rank int32) bool {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	return f.ranks[rank]
-}
-
-func (f *streamFilter) replace(ranks []int32) {
-	m := make(map[int32]bool, len(ranks))
-	for _, r := range ranks {
-		m[r] = true
-	}
-	f.mu.Lock()
-	f.ranks = m
-	f.mu.Unlock()
-}
-
 // handleJobStream serves GET /v1/jobs/{id}/stream: a Server-Sent Events
-// stream of the job's live power samples. It rides the broker's pub/sub
-// plane — node-agents publish each sensor read on powermon.SampleEvent
-// (when Config.PublishSamples is enabled on the monitor) and events
-// flood the instance, so the gateway sees every node's samples at the
-// root without issuing a single RPC per sample.
+// stream of the job's live power samples, drained from the job's
+// broadcast ring in the fanout hub. The hub holds ONE upstream bus
+// subscription per job — node-agents publish each sensor read on
+// powermon.SampleEvent (when Config.PublishSamples is enabled on the
+// monitor) and events flood the instance, so however many clients watch
+// a job, the broker does the same work as for one.
 //
-// Events:
+// Events (each frame carries an `id:` line with its ring sequence,
+// which browsers echo back as Last-Event-ID on reconnect):
 //
-//	event: sample   data: powermon.SamplePayload (one node, one read)
-//	event: done     data: {"id": <jobid>}        (job finished)
-//	event: shutdown data: {}                     (gateway closing)
+//	event: snapshot  data: {"job":…,"seq":…,"nodes":{…}}  (catch-up state)
+//	event: sample    data: powermon.SamplePayload          (one node, one read)
+//	event: done      data: {"id": <jobid>}                 (job finished)
+//	event: too_slow  data: {"error":…,"next":…,"oldest":…} (consumer evicted)
+//	event: shutdown  data: {}                              (gateway closing)
 //
-// A consumer too slow to keep up loses samples (drop-on-overflow) rather
-// than stalling the broker's event delivery.
+// A fresh join receives a snapshot then deltas; a reconnect presenting
+// a Last-Event-ID still inside the ring's window skips the snapshot and
+// receives exactly the missed frames, byte-identical to an
+// uninterrupted stream. A consumer that falls a full ring behind is
+// evicted with a terminal too_slow frame — backpressure never reaches
+// the producer or its sibling streams.
 func (gw *Gateway) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
@@ -73,81 +45,39 @@ func (gw *Gateway) handleJobStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `{"error":"streaming unsupported"}`, http.StatusInternalServerError)
 		return
 	}
-
-	// Resolve the job first: 404 for an unknown id, and the record's
-	// rank list is the stream's filter.
-	rctx, cancel := context.WithTimeout(r.Context(), gw.cfg.RequestTimeout)
-	var rec job.Record
-	gw.brokerMu.Lock()
-	resp, err := gw.cfg.Broker.CallContext(rctx, msg.NodeAny, "job-manager.info", map[string]uint64{"id": id})
-	if err == nil {
-		err = resp.Unmarshal(&rec)
+	tenant := requestTenant(r)
+	if !tenant.acquireStream() {
+		gw.quotaStreams.Add(1)
+		gw.errors4xx.Add(1)
+		http.Error(w, `{"error":"concurrent stream quota exceeded"}`, http.StatusTooManyRequests)
+		return
 	}
-	gw.brokerMu.Unlock()
+	defer tenant.releaseStream()
+
+	var opts fanout.AttachOptions
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		if seq, perr := strconv.ParseUint(lei, 10, 64); perr == nil {
+			opts = fanout.AttachOptions{ResumeSeq: seq, HasResume: true}
+		}
+	}
+	// Attach resolves the job on first use (404 for an unknown id) and
+	// positions this subscriber's cursor; the resolve is bounded by the
+	// request timeout even though the stream itself is open-ended.
+	actx, cancel := context.WithTimeout(r.Context(), gw.cfg.RequestTimeout)
+	sub, err := gw.hub.Attach(actx, id, opts)
 	cancel()
 	if err != nil {
 		gw.fail(w, err)
 		return
 	}
-	filter := newStreamFilter(rec.Ranks)
-
-	samples := make(chan powermon.SamplePayload, gw.cfg.StreamBuffer)
-	finished := make(chan struct{})
-	refresh := make(chan struct{}, 1)
-	var finishOnce sync.Once
-
-	// Subscribe before writing headers so no sample between the two is
-	// missed. Handlers run on the broker's delivery path: never block.
-	unsubSamples := gw.cfg.Broker.Subscribe(powermon.SampleEvent, func(ev *msg.Message) {
-		var sp powermon.SamplePayload
-		if err := ev.Unmarshal(&sp); err != nil || !filter.has(sp.Rank) {
-			return
-		}
-		select {
-		case samples <- sp:
-		default:
-			gw.samplesDropped.Add(1)
-		}
-	})
-	unsubFinish := gw.cfg.Broker.Subscribe(job.EventFinish, func(ev *msg.Message) {
-		var fin job.Record
-		if err := ev.Unmarshal(&fin); err == nil && fin.ID == id {
-			finishOnce.Do(func() { close(finished) })
-		}
-	})
-	// A topology reattach that moved any of this stream's ranks means the
-	// filter was resolved against a tree that no longer exists: ask the
-	// select loop (not this delivery-path handler, which must not block
-	// on an upstream RPC) to re-resolve the job record and swap the
-	// membership set. The buffered channel coalesces bursts of reattach
-	// events from one heal into a single re-resolve.
-	unsubReattach := gw.cfg.Broker.Subscribe(broker.TopicReattach, func(ev *msg.Message) {
-		var re broker.ReattachEvent
-		if err := ev.Unmarshal(&re); err != nil {
-			return
-		}
-		for _, r := range re.Ranks {
-			if filter.has(r) {
-				select {
-				case refresh <- struct{}{}:
-				default:
-				}
-				return
-			}
-		}
-	})
+	// One deferred cleanup owns every exit path — handler panic,
+	// client disconnect, eviction, shutdown — so a subscriber can never
+	// leak its ring slot.
 	defer func() {
-		unsubSamples()
-		unsubFinish()
-		unsubReattach()
+		sub.Close()
 		gw.streamsEnded.Add(1)
 	}()
 	gw.streamsStarted.Add(1)
-
-	// An already-finished job streams nothing; signal done immediately.
-	if rec.State == job.StateInactive {
-		finishOnce.Do(func() { close(finished) })
-	}
 
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
@@ -157,61 +87,28 @@ func (gw *Gateway) handleJobStream(w http.ResponseWriter, r *http.Request) {
 	flusher.Flush()
 
 	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case <-gw.done:
-			_, _ = fmt.Fprint(w, "event: shutdown\ndata: {}\n\n")
-			flusher.Flush()
-			return
-		case <-finished:
-			// Drain anything already buffered so the consumer sees the
-			// job's last samples before the terminal event.
-			for drained := false; !drained; {
-				select {
-				case sp := <-samples:
-					gw.writeSample(w, sp)
-				default:
-					drained = true
-				}
+		frames, err := sub.Next(r.Context(), gw.done)
+		if err != nil {
+			if errors.Is(err, fanout.ErrStopped) || errors.Is(err, fanout.ErrClosed) {
+				_, _ = fmt.Fprint(w, "event: shutdown\ndata: {}\n\n")
+				flusher.Flush()
 			}
-			_, _ = fmt.Fprintf(w, "event: done\ndata: {\"id\":%d}\n\n", id)
-			flusher.Flush()
+			// io.EOF (terminal frame already sent) and context
+			// cancellation end the stream silently.
 			return
-		case sp := <-samples:
-			gw.writeSample(w, sp)
-			flusher.Flush()
-		case <-refresh:
-			// Re-resolve the job record after a heal touched this
-			// stream's ranks. A transient resolve failure (the heal may
-			// still be in flight) keeps the previous filter — samples
-			// keep flowing on the stale set and the next reattach event
-			// retries — rather than killing a live stream.
-			rctx, cancel := context.WithTimeout(r.Context(), gw.cfg.RequestTimeout)
-			var cur job.Record
-			gw.brokerMu.Lock()
-			resp, err := gw.cfg.Broker.CallContext(rctx, msg.NodeAny, "job-manager.info", map[string]uint64{"id": id})
-			if err == nil {
-				err = resp.Unmarshal(&cur)
+		}
+		for _, f := range frames {
+			if _, werr := w.Write(f.Data); werr != nil {
+				return
 			}
-			gw.brokerMu.Unlock()
-			cancel()
-			if err != nil {
-				continue
-			}
-			filter.replace(cur.Ranks)
-			if cur.State == job.StateInactive {
-				finishOnce.Do(func() { close(finished) })
+			switch f.Kind {
+			case fanout.KindSample:
+				gw.samplesStreamed.Add(1)
+			case fanout.KindDone, fanout.KindTooSlow:
+				flusher.Flush()
+				return
 			}
 		}
+		flusher.Flush()
 	}
-}
-
-func (gw *Gateway) writeSample(w http.ResponseWriter, sp powermon.SamplePayload) {
-	data, err := json.Marshal(sp)
-	if err != nil {
-		return
-	}
-	_, _ = fmt.Fprintf(w, "event: sample\ndata: %s\n\n", data)
-	gw.samplesStreamed.Add(1)
 }

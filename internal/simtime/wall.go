@@ -85,10 +85,19 @@ func (w *Wall) Every(period time.Duration, fn TimerFunc) TimerHandle {
 	return t
 }
 
-// AfterFunc implements TimerProvider with a one-shot timer.
+// AfterFunc implements TimerProvider with a one-shot timer. The timer
+// is armed and registered under the provider lock so a concurrent Close
+// cannot observe a half-initialized handle (it reads t.cancel, which
+// must be written before the timer becomes visible to Close).
 func (w *Wall) AfterFunc(d time.Duration, fn TimerFunc) TimerHandle {
 	t := &wallTimer{stop: make(chan struct{})}
-	w.track(t)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		// Provider already closed: hand back a timer that never fires.
+		close(t.stop)
+		return t
+	}
 	timer := time.AfterFunc(d, func() {
 		select {
 		case <-t.stop:
@@ -97,6 +106,12 @@ func (w *Wall) AfterFunc(d time.Duration, fn TimerFunc) TimerHandle {
 		}
 	})
 	t.cancel = func() { timer.Stop() }
+	w.timers[t] = struct{}{}
+	t.release = func() {
+		w.mu.Lock()
+		delete(w.timers, t)
+		w.mu.Unlock()
+	}
 	return t
 }
 
